@@ -1,0 +1,56 @@
+// Table I: Evaluating VIP (paper, Section 4.1).
+//
+// Measures monolithic Sprite RPC over three delivery protocols -- raw
+// Ethernet, IP, and the virtual protocol VIP -- plus the native-Sprite-kernel
+// baseline (the same protocol under the kNativeSprite environment model; see
+// DESIGN.md for the substitution).
+//
+// Shape claims to reproduce:
+//   * the x-kernel implementation beats the native one (latency & throughput);
+//   * IP costs ~0.37 ms over raw ETH (a ~21% latency penalty on RPC);
+//   * VIP adds only ~0.06 ms over ETH and nearly eliminates the IP penalty;
+//   * all x-kernel stacks drive the wire at close to the same rate, but the
+//     VIP stack uses less CPU than the IP stack.
+
+#include "bench/bench_util.h"
+
+namespace xk {
+namespace {
+
+int Run() {
+  PrintTableHeader("Table I: Evaluating VIP");
+
+  ConfigResult n_rpc = RpcBench::Measure(
+      "N_RPC", [](HostStack& h) { return BuildMRpc(h, Delivery::kEth); },
+      HostEnv::kNativeSprite);
+  PrintRow(n_rpc, 2.6, 700, 1.2);
+
+  ConfigResult m_eth =
+      RpcBench::Measure("M_RPC-ETH", [](HostStack& h) { return BuildMRpc(h, Delivery::kEth); });
+  PrintRow(m_eth, 1.73, 863, 1.04);
+
+  ConfigResult m_ip =
+      RpcBench::Measure("M_RPC-IP", [](HostStack& h) { return BuildMRpc(h, Delivery::kIp); });
+  PrintRow(m_ip, 2.10, 836, 1.05);
+
+  ConfigResult m_vip =
+      RpcBench::Measure("M_RPC-VIP", [](HostStack& h) { return BuildMRpc(h, Delivery::kVip); });
+  PrintRow(m_vip, 1.79, 860, 1.04);
+
+  std::printf("\nDerived quantities:\n");
+  std::printf("  IP penalty over ETH:   %+.2f ms (%.0f%%)   [paper: +0.37 ms, 21%%]\n",
+              m_ip.latency_ms - m_eth.latency_ms,
+              100.0 * (m_ip.latency_ms - m_eth.latency_ms) / m_eth.latency_ms);
+  std::printf("  VIP overhead over ETH: %+.2f ms          [paper: +0.06 ms]\n",
+              m_vip.latency_ms - m_eth.latency_ms);
+  std::printf("  CPU per 16k call: ETH %.2f+%.2f  IP %.2f+%.2f  VIP %.2f+%.2f ms "
+              "(client+server; VIP < IP expected)\n",
+              m_eth.client_cpu_ms, m_eth.server_cpu_ms, m_ip.client_cpu_ms, m_ip.server_cpu_ms,
+              m_vip.client_cpu_ms, m_vip.server_cpu_ms);
+  return 0;
+}
+
+}  // namespace
+}  // namespace xk
+
+int main() { return xk::Run(); }

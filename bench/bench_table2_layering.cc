@@ -1,0 +1,39 @@
+// Table II: Monolithic RPC versus Layered RPC (paper, Section 4.2).
+//
+// Shape claims to reproduce:
+//   * layering costs ~0.14 ms of latency (1.93 vs 1.79);
+//   * throughput is nearly identical (both saturate the wire), because only
+//     FRAGMENT -- the bottom layer -- touches the 16 individual packets of a
+//     16 KB message; CHANNEL and SELECT handle one message each;
+//   * the layered version uses slightly LESS CPU per large message.
+
+#include "bench/bench_util.h"
+
+namespace xk {
+namespace {
+
+int Run() {
+  PrintTableHeader("Table II: Monolithic RPC versus Layered RPC");
+
+  ConfigResult m_vip =
+      RpcBench::Measure("M_RPC-VIP", [](HostStack& h) { return BuildMRpc(h, Delivery::kVip); });
+  PrintRow(m_vip, 1.79, 860, 1.04);
+
+  ConfigResult l_vip =
+      RpcBench::Measure("L_RPC-VIP", [](HostStack& h) { return BuildLRpc(h, Delivery::kVip); });
+  PrintRow(l_vip, 1.93, 839, 1.03);
+
+  std::printf("\nDerived quantities:\n");
+  std::printf("  Layering penalty: %+.2f ms        [paper: +0.14 ms]\n",
+              l_vip.latency_ms - m_vip.latency_ms);
+  std::printf("  CPU per 16k call (client+server): monolithic %.2f, layered %.2f ms "
+              "[paper: layered slightly less]\n",
+              m_vip.client_cpu_ms + m_vip.server_cpu_ms,
+              l_vip.client_cpu_ms + l_vip.server_cpu_ms);
+  return 0;
+}
+
+}  // namespace
+}  // namespace xk
+
+int main() { return xk::Run(); }

@@ -1,0 +1,116 @@
+// Table III: Cost of Individual RPC Layers (paper, Section 4.2).
+//
+// Measures the null round trip through each partial stack:
+//   VIP, FRAGMENT-VIP, CHANNEL-FRAGMENT-VIP, SELECT-CHANNEL-FRAGMENT-VIP
+// and reports each layer's incremental latency.
+//
+// Shape claims to reproduce:
+//   * SELECT (the trivial layer) costs ~0.11 ms -- the per-layer floor that
+//     makes ten-layer stacks thinkable;
+//   * CHANNEL is the most expensive layer (~0.49 ms) because of the
+//     synchronization and process switching intrinsic to request/reply;
+//   * FRAGMENT costs ~0.21 ms;
+//   * FRAGMENT by itself achieves ~865 kbytes/sec.
+
+#include "bench/bench_util.h"
+
+namespace xk {
+namespace {
+
+// Measures a null round trip through a partial stack driven by EchoAnchors.
+double MeasurePartialLatencyMs(int layers) {
+  auto net = Internet::TwoHosts();
+  auto& ch = net->host("client");
+  auto& sh = net->host("server");
+  RpcStack cstack = BuildPartial(ch, layers);
+  RpcStack sstack = BuildPartial(sh, layers);
+  EchoAnchor* client = nullptr;
+  ch.kernel->RunTask(net->events().now(), [&] {
+    client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, /*server_role=*/false);
+  });
+  sh.kernel->RunTask(net->events().now(), [&] {
+    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, /*server_role=*/true);
+    (void)EnableEcho(sstack, server);
+  });
+  SessionRef sess;
+  ch.kernel->RunTask(net->events().now(), [&] {
+    Result<SessionRef> r = OpenEchoSession(cstack, *client, sh.kernel->ip_addr());
+    if (r.ok()) {
+      sess = *r;
+    }
+  });
+  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
+    client->Send(sess, std::move(args), std::move(done));
+  };
+  LatencyResult lat = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
+  return ToMsec(lat.per_call);
+}
+
+// FRAGMENT standalone throughput: 16 KB messages, null (0-byte) echoes.
+double MeasureFragmentThroughput() {
+  auto net = Internet::TwoHosts();
+  auto& ch = net->host("client");
+  auto& sh = net->host("server");
+  RpcStack cstack = BuildPartial(ch, 1);
+  RpcStack sstack = BuildPartial(sh, 1);
+  EchoAnchor* client = nullptr;
+  ch.kernel->RunTask(net->events().now(), [&] {
+    client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, false);
+  });
+  sh.kernel->RunTask(net->events().now(), [&] {
+    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, true);
+    server.set_echo_limit(0);  // null replies
+    (void)EnableEcho(sstack, server);
+  });
+  SessionRef sess;
+  ch.kernel->RunTask(net->events().now(), [&] {
+    Result<SessionRef> r = OpenEchoSession(cstack, *client, sh.kernel->ip_addr());
+    if (r.ok()) {
+      sess = *r;
+    }
+  });
+  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
+    client->Send(sess, std::move(args), std::move(done));
+  };
+  ThroughputResult t = RpcWorkload::MeasureThroughput(*net, *ch.kernel, *sh.kernel, call,
+                                                      16 * 1024, 16);
+  return t.kbytes_per_sec;
+}
+
+int Run() {
+  std::printf("\nTable III: Cost of Individual RPC Layers\n");
+  std::printf("%-34s %10s %20s\n", "Configuration", "Latency", "Incremental Cost");
+  std::printf("%-34s %10s %20s\n", "", "(msec)", "(msec/layer)");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  const double paper[4] = {1.12, 1.33, 1.82, 1.93};
+  const char* names[4] = {"VIP", "FRAGMENT-VIP", "CHANNEL-FRAGMENT-VIP",
+                          "SELECT-CHANNEL-FRAGMENT-VIP"};
+  double lat[4];
+  for (int i = 0; i < 3; ++i) {
+    lat[i] = MeasurePartialLatencyMs(i);
+  }
+  {
+    // The full stack uses the real RPC anchors.
+    ConfigResult full = RpcBench::Measure(
+        "SELECT-CHANNEL-FRAGMENT-VIP", [](HostStack& h) { return BuildLRpc(h, Delivery::kVip); });
+    lat[3] = full.latency_ms;
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (i == 0) {
+      std::printf("%-34s %10.2f %20s   [paper: %.2f]\n", names[i], lat[i], "NA", paper[i]);
+    } else {
+      std::printf("%-34s %10.2f %20.2f   [paper: %.2f, +%.2f]\n", names[i], lat[i],
+                  lat[i] - lat[i - 1], paper[i], paper[i] - paper[i - 1]);
+    }
+  }
+
+  const double frag_tput = MeasureFragmentThroughput();
+  std::printf("\nFRAGMENT standalone throughput: %.0f kbytes/sec   [paper: 865]\n", frag_tput);
+  return 0;
+}
+
+}  // namespace
+}  // namespace xk
+
+int main() { return xk::Run(); }

@@ -1,0 +1,69 @@
+// Throughput sweep: the 1k..16k request-size series behind every
+// "Incremental Cost" column in Tables I and II (the paper reports the
+// endpoints; this regenerates the whole series, figure-style).
+//
+// Shape claims: every x-kernel stack's per-call time is close to linear in
+// message size with a slope near 1 ms per additional kbyte (the wire and the
+// per-fragment CPU costs pipeline); ETH >= VIP > IP throughout; the layered
+// stack tracks the monolithic stack.
+
+#include "bench/bench_util.h"
+
+namespace xk {
+namespace {
+
+struct Series {
+  std::string name;
+  RpcBench::Builder builder;
+  HostEnv env = HostEnv::kXKernel;
+};
+
+int Run() {
+  const std::vector<Series> series = {
+      {"M_RPC-ETH", [](HostStack& h) { return BuildMRpc(h, Delivery::kEth); }},
+      {"M_RPC-IP", [](HostStack& h) { return BuildMRpc(h, Delivery::kIp); }},
+      {"M_RPC-VIP", [](HostStack& h) { return BuildMRpc(h, Delivery::kVip); }},
+      {"L_RPC-VIP", [](HostStack& h) { return BuildLRpc(h, Delivery::kVip); }},
+      {"L_RPC-VIPsize", [](HostStack& h) { return BuildLRpcDynamic(h); }},
+      {"N_RPC", [](HostStack& h) { return BuildMRpc(h, Delivery::kEth); },
+       HostEnv::kNativeSprite},
+  };
+
+  std::printf("\nThroughput sweep: per-call round trip (ms) vs request size\n");
+  std::printf("%-8s", "size");
+  for (const auto& s : series) {
+    std::printf(" %14s", s.name.c_str());
+  }
+  std::printf("\n%s\n", std::string(8 + 15 * series.size(), '-').c_str());
+
+  std::vector<std::vector<double>> per_call(series.size());
+  for (size_t kb = 1; kb <= 16; ++kb) {
+    std::printf("%-8zu", kb * 1024);
+    for (size_t i = 0; i < series.size(); ++i) {
+      RpcBench::Instance in = RpcBench::MakeInstance(series[i].builder, series[i].env);
+      ThroughputResult t = RpcWorkload::MeasureThroughput(
+          *in.net, *in.ch->kernel, *in.sh->kernel, in.MakeCall(), kb * 1024, 8);
+      const double ms = ToMsec(t.elapsed) / t.completed;
+      per_call[i].push_back(ms);
+      std::printf(" %14.2f", ms);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nThroughput at 16k (kbytes/sec):\n");
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double t16 = per_call[i].back();
+    std::printf("  %-16s %6.0f\n", series[i].name.c_str(), 16.0 / (t16 / 1000.0));
+  }
+  std::printf("\nSlope 1k->16k (ms per additional kbyte):\n");
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::printf("  %-16s %6.2f\n", series[i].name.c_str(),
+                (per_call[i].back() - per_call[i].front()) / 15.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xk
+
+int main() { return xk::Run(); }

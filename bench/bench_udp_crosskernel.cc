@@ -1,0 +1,70 @@
+// Section 1 cross-kernel comparison: "the user-to-user round trip delay using
+// the UDP/IP protocol suite is 2.00 msec in the x-kernel and 5.36 msec in
+// SunOS Release 4.0 (4.3BSD Unix)".
+//
+// Both runs use the same UDP/IP/ETH protocol code over the same simulated
+// wire; only the host environment differs (see CostModel::SunOs in DESIGN.md
+// for the substitution). Unlike the Section 4 experiments this one is
+// user-to-user, so each send and each receive pays a user/kernel boundary
+// crossing.
+
+#include "bench/bench_util.h"
+#include "src/proto/udp.h"
+
+namespace xk {
+namespace {
+
+double MeasureUdpEchoMs(HostEnv env) {
+  auto net = Internet::TwoHosts(env);
+  auto& ch = net->host("client");
+  auto& sh = net->host("server");
+  UdpProtocol* cudp = BuildUdp(ch);
+  UdpProtocol* sudp = BuildUdp(sh);
+
+  EchoAnchor* client = nullptr;
+  ch.kernel->RunTask(net->events().now(), [&] {
+    client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, /*server_role=*/false);
+    // User process: each send/receive crosses the user/kernel boundary.
+    client->set_app_cost(ch.kernel->costs().user_kernel_cross);
+  });
+  sh.kernel->RunTask(net->events().now(), [&] {
+    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, /*server_role=*/true);
+    server.set_app_cost(2 * sh.kernel->costs().user_kernel_cross);  // in + out
+    ParticipantSet enable;
+    enable.local.port = 7;
+    (void)sudp->OpenEnable(server, enable);
+  });
+  SessionRef sess;
+  ch.kernel->RunTask(net->events().now(), [&] {
+    ParticipantSet parts;
+    parts.local.port = 1234;
+    parts.peer.host = sh.kernel->ip_addr();
+    parts.peer.port = 7;
+    Result<SessionRef> r = cudp->Open(*client, parts);
+    if (r.ok()) {
+      sess = *r;
+    }
+  });
+  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
+    client->Send(sess, std::move(args), std::move(done));
+  };
+  LatencyResult lat = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
+  return ToMsec(lat.per_call);
+}
+
+int Run() {
+  std::printf("\nSection 1: UDP/IP user-to-user round trip, x-kernel vs SunOS 4.0\n");
+  std::printf("%-24s %10s\n", "Environment", "Latency");
+  std::printf("%s\n", std::string(40, '-').c_str());
+  const double xk = MeasureUdpEchoMs(HostEnv::kXKernel);
+  const double sunos = MeasureUdpEchoMs(HostEnv::kSunOs);
+  std::printf("%-24s %7.2f ms   [paper: 2.00]\n", "x-kernel", xk);
+  std::printf("%-24s %7.2f ms   [paper: 5.36]\n", "SunOS 4.0 (4.3BSD)", sunos);
+  std::printf("\nRatio: %.2fx   [paper: 2.68x]\n", sunos / xk);
+  return 0;
+}
+
+}  // namespace
+}  // namespace xk
+
+int main() { return xk::Run(); }

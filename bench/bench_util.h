@@ -1,0 +1,131 @@
+// Shared benchmark harness: runs a named RPC configuration on the paper's
+// testbed topology (two hosts, one isolated 10 Mbps Ethernet) and measures
+// the three quantities every table reports:
+//
+//   Latency          round trip of a null call (null request, null reply)
+//   Throughput       kbytes/sec for 16 KB requests with null replies
+//   Incremental cost msec per additional 1 KB (slope of the 1k..16k sweep)
+//
+// Following the paper: all experiments are kernel-to-kernel, messages
+// fragment into wire-sized packets, and sessions are cached (steady state).
+
+#ifndef XK_BENCH_BENCH_UTIL_H_
+#define XK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/app/anchor.h"
+#include "src/app/stacks.h"
+#include "src/app/workload.h"
+#include "src/proto/topology.h"
+
+namespace xk {
+
+struct ConfigResult {
+  std::string name;
+  double latency_ms = 0;        // null-call round trip
+  double throughput_kbs = 0;    // at 16 KB requests
+  double incr_ms_per_kb = 0;    // slope between 1 KB and 16 KB
+  double client_cpu_ms = 0;     // CPU time per 16 KB call, client side
+  double server_cpu_ms = 0;
+};
+
+struct RpcBench {
+  using Builder = std::function<RpcStack(HostStack&)>;
+
+  // One fully-wired experiment instance.
+  struct Instance {
+    std::unique_ptr<Internet> net;
+    HostStack* ch = nullptr;
+    HostStack* sh = nullptr;
+    RpcStack cstack, sstack;
+    RpcClient* client = nullptr;
+    RpcServer* server = nullptr;
+
+    CallFn MakeCall() {
+      return [this](Message args, std::function<void(Result<Message>)> done) {
+        client->Call(sh->kernel->ip_addr(), 1, std::move(args), std::move(done));
+      };
+    }
+  };
+
+  static Instance MakeInstance(const Builder& builder, HostEnv env = HostEnv::kXKernel) {
+    Instance in;
+    in.net = Internet::TwoHosts(env);
+    in.ch = &in.net->host("client");
+    in.sh = &in.net->host("server");
+    in.cstack = builder(*in.ch);
+    in.sstack = builder(*in.sh);
+    in.ch->kernel->RunTask(in.net->events().now(), [&] {
+      in.client = &in.ch->kernel->Emplace<RpcClient>(*in.ch->kernel, in.cstack.top);
+    });
+    in.sh->kernel->RunTask(in.net->events().now(), [&] {
+      in.server = &in.sh->kernel->Emplace<RpcServer>(*in.sh->kernel, in.sstack.top);
+      // Null reply regardless of request size (the paper's throughput test).
+      (void)in.server->Export(RpcServer::kAny, [](uint16_t, Message&) { return Message(); });
+    });
+    return in;
+  }
+
+  // Measures the standard three columns for `builder` under `env`.
+  static ConfigResult Measure(const std::string& name, const Builder& builder,
+                              HostEnv env = HostEnv::kXKernel) {
+    ConfigResult result;
+    result.name = name;
+
+    {
+      Instance in = MakeInstance(builder, env);
+      LatencyResult lat = RpcWorkload::MeasureLatency(*in.net, *in.ch->kernel, in.MakeCall(), 64);
+      result.latency_ms = ToMsec(lat.per_call);
+    }
+    {
+      Instance in = MakeInstance(builder, env);
+      ThroughputResult t16 = RpcWorkload::MeasureThroughput(
+          *in.net, *in.ch->kernel, *in.sh->kernel, in.MakeCall(), 16 * 1024, 16);
+      result.throughput_kbs = t16.kbytes_per_sec;
+      result.client_cpu_ms = ToMsec(t16.client_cpu);
+      result.server_cpu_ms = ToMsec(t16.server_cpu);
+    }
+    {
+      Instance in = MakeInstance(builder, env);
+      ThroughputResult t1 = RpcWorkload::MeasureThroughput(*in.net, *in.ch->kernel,
+                                                           *in.sh->kernel, in.MakeCall(),
+                                                           1 * 1024, 16);
+      Instance in2 = MakeInstance(builder, env);
+      ThroughputResult t16 = RpcWorkload::MeasureThroughput(
+          *in2.net, *in2.ch->kernel, *in2.sh->kernel, in2.MakeCall(), 16 * 1024, 16);
+      const double ms1 = ToMsec(t1.elapsed) / t1.completed;
+      const double ms16 = ToMsec(t16.elapsed) / t16.completed;
+      result.incr_ms_per_kb = (ms16 - ms1) / 15.0;
+    }
+    return result;
+  }
+};
+
+// --- table printing ------------------------------------------------------------
+
+inline void PrintTableHeader(const char* title) {
+  std::printf("\n%s\n", title);
+  std::printf("%-30s %10s %14s %18s\n", "Configuration", "Latency", "Throughput",
+              "Incremental Cost");
+  std::printf("%-30s %10s %14s %18s\n", "", "(msec)", "(kbytes/sec)", "(msec/1k-bytes)");
+  std::printf("%s\n", std::string(76, '-').c_str());
+}
+
+inline void PrintRow(const ConfigResult& r, double paper_lat = 0, double paper_tput = 0,
+                     double paper_incr = 0) {
+  std::printf("%-30s %10.2f %14.0f %18.2f", r.name.c_str(), r.latency_ms, r.throughput_kbs,
+              r.incr_ms_per_kb);
+  if (paper_lat > 0) {
+    std::printf("   [paper: %.2f / %.0f / %.2f]", paper_lat, paper_tput, paper_incr);
+  }
+  std::printf("\n");
+}
+
+}  // namespace xk
+
+#endif  // XK_BENCH_BENCH_UTIL_H_

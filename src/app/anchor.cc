@@ -1,0 +1,223 @@
+#include "src/app/anchor.h"
+
+namespace xk {
+
+// ---------------------------------------------------------------------------
+// RpcClient
+// ---------------------------------------------------------------------------
+
+RpcClient::RpcClient(Kernel& kernel, Protocol* rpc, std::string name)
+    : Protocol(kernel, std::move(name), {rpc}), rpc_(rpc) {}
+
+void RpcClient::CallParts(const ParticipantSet& parts, Message args, RpcDone done) {
+  kernel().Charge(app_cost_);
+  Result<SessionRef> sess = rpc_->Open(*this, parts);
+  if (!sess.ok()) {
+    ++calls_failed_;
+    done(sess.status());
+    return;
+  }
+  outstanding_[sess->get()].push_back(std::move(done));
+  Status pushed = (*sess)->Push(args);
+  if (!pushed.ok()) {
+    ++calls_failed_;
+    RpcDone cb = std::move(outstanding_[sess->get()].back());
+    outstanding_[sess->get()].pop_back();
+    cb(pushed);
+  }
+}
+
+void RpcClient::Call(IpAddr server, uint16_t command, Message args, RpcDone done) {
+  // Cache open sessions (the paper's first "efficiency rule").
+  auto it = session_cache_.find({server, command});
+  if (it != session_cache_.end()) {
+    kernel().Charge(app_cost_);
+    SessionRef sess = it->second;
+    outstanding_[sess.get()].push_back(std::move(done));
+    Status pushed = sess->Push(args);
+    if (!pushed.ok()) {
+      ++calls_failed_;
+      RpcDone cb = std::move(outstanding_[sess.get()].back());
+      outstanding_[sess.get()].pop_back();
+      cb(pushed);
+    }
+    return;
+  }
+  ParticipantSet parts;
+  parts.peer.host = server;
+  parts.peer.command = command;
+  kernel().Charge(app_cost_);
+  Result<SessionRef> sess = rpc_->Open(*this, parts);
+  if (!sess.ok()) {
+    ++calls_failed_;
+    done(sess.status());
+    return;
+  }
+  session_cache_[{server, command}] = *sess;
+  outstanding_[sess->get()].push_back(std::move(done));
+  Status pushed = (*sess)->Push(args);
+  if (!pushed.ok()) {
+    ++calls_failed_;
+    RpcDone cb = std::move(outstanding_[sess->get()].back());
+    outstanding_[sess->get()].pop_back();
+    cb(pushed);
+  }
+}
+
+Status RpcClient::DoDemux(Session* lls, Message& msg) {
+  kernel().Charge(app_cost_);
+  auto it = outstanding_.find(lls);
+  if (it == outstanding_.end() || it->second.empty()) {
+    return ErrStatus(StatusCode::kNotFound);
+  }
+  RpcDone done = std::move(it->second.front());
+  it->second.pop_front();
+  ++calls_completed_;
+  done(msg);
+  return OkStatus();
+}
+
+void RpcClient::SessionError(Session& lls, Status error) {
+  auto it = outstanding_.find(&lls);
+  if (it == outstanding_.end() || it->second.empty()) {
+    return;
+  }
+  RpcDone done = std::move(it->second.front());
+  it->second.pop_front();
+  ++calls_failed_;
+  done(error);
+}
+
+Status RpcClient::DoControl(ControlOp op, ControlArgs& args) {
+  if (op == ControlOp::kGetMaxSendSize) {
+    args.u64 = max_send_size_;
+    return OkStatus();
+  }
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+// ---------------------------------------------------------------------------
+// RpcServer
+// ---------------------------------------------------------------------------
+
+RpcServer::RpcServer(Kernel& kernel, Protocol* rpc, std::string name)
+    : Protocol(kernel, std::move(name), {rpc}), rpc_(rpc) {}
+
+Status RpcServer::Export(uint16_t command, Handler handler) {
+  handlers_[command] = std::move(handler);
+  ParticipantSet parts;
+  if (command != kAny) {
+    parts.local.command = command;
+  }
+  return rpc_->OpenEnable(*this, parts);
+}
+
+Status RpcServer::ExportParts(const ParticipantSet& parts, Handler handler) {
+  handlers_[parts.local.command.value_or(kAny)] = std::move(handler);
+  return rpc_->OpenEnable(*this, parts);
+}
+
+RpcServer::Handler RpcServer::HandlerFor(uint16_t command) {
+  if (auto it = handlers_.find(command); it != handlers_.end()) {
+    return it->second;
+  }
+  if (auto it = handlers_.find(kAny); it != handlers_.end()) {
+    return it->second;
+  }
+  return nullptr;
+}
+
+Status RpcServer::DoDemux(Session* lls, Message& msg) {
+  if (lls == nullptr) {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+  uint16_t command = 0;
+  ControlArgs args;
+  if (lls->Control(ControlOp::kGetLastCommand, args).ok()) {
+    command = static_cast<uint16_t>(args.u64);
+  }
+  Handler handler = HandlerFor(command);
+  if (handler == nullptr) {
+    return ErrStatus(StatusCode::kNotFound);
+  }
+  kernel().Charge(app_cost_);
+  ++requests_served_;
+  if (service_delay_ > 0) {
+    // Slow service: reply later, from a fresh task.
+    SessionRef reply_to = lls->Ref();
+    Message request = msg;
+    kernel().SetTimer(service_delay_, [handler, reply_to, request, command]() mutable {
+      Message reply = handler(command, request);
+      (void)reply_to->Push(reply);
+    });
+    return OkStatus();
+  }
+  Message reply = handler(command, msg);
+  return lls->Push(reply);
+}
+
+Status RpcServer::DoControl(ControlOp op, ControlArgs& args) {
+  if (op == ControlOp::kGetMaxSendSize) {
+    args.u64 = UINT64_MAX;
+    return OkStatus();
+  }
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+// ---------------------------------------------------------------------------
+// EchoAnchor
+// ---------------------------------------------------------------------------
+
+EchoAnchor::EchoAnchor(Kernel& kernel, bool server_role, std::string name)
+    : Protocol(kernel, std::move(name), {}), server_role_(server_role) {}
+
+void EchoAnchor::Send(const SessionRef& sess, Message msg, RpcDone done) {
+  kernel().Charge(app_cost_);
+  outstanding_[sess.get()].push_back(std::move(done));
+  Status pushed = sess->Push(msg);
+  if (!pushed.ok()) {
+    RpcDone cb = std::move(outstanding_[sess.get()].back());
+    outstanding_[sess.get()].pop_back();
+    cb(pushed);
+  }
+}
+
+Status EchoAnchor::DoDemux(Session* lls, Message& msg) {
+  kernel().Charge(app_cost_);
+  if (server_role_) {
+    if (lls == nullptr) {
+      return ErrStatus(StatusCode::kInvalidArgument);
+    }
+    ++echoes_;
+    Message reply = echo_limit_ == SIZE_MAX ? msg : msg.Slice(0, echo_limit_);
+    return lls->Push(reply);
+  }
+  auto it = outstanding_.find(lls);
+  if (it == outstanding_.end() || it->second.empty()) {
+    return ErrStatus(StatusCode::kNotFound);
+  }
+  RpcDone done = std::move(it->second.front());
+  it->second.pop_front();
+  done(msg);
+  return OkStatus();
+}
+
+void EchoAnchor::SessionError(Session& lls, Status error) {
+  auto it = outstanding_.find(&lls);
+  if (it == outstanding_.end() || it->second.empty()) {
+    return;
+  }
+  RpcDone done = std::move(it->second.front());
+  it->second.pop_front();
+  done(error);
+}
+
+Status EchoAnchor::DoControl(ControlOp op, ControlArgs& args) {
+  if (op == ControlOp::kGetMaxSendSize) {
+    args.u64 = max_send_size_;
+    return OkStatus();
+  }
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+}  // namespace xk

@@ -1,0 +1,168 @@
+#include "src/app/stacks.h"
+
+namespace xk {
+
+namespace {
+
+// Runs `fn` as a configuration task on h's kernel and returns its result.
+template <typename Fn>
+RpcStack Configure(HostStack& h, Fn fn) {
+  RpcStack stack;
+  h.kernel->RunTask(h.kernel->events().now(), [&]() { fn(stack); });
+  return stack;
+}
+
+// The delivery protocol under an RPC stack.
+Protocol* MakeDelivery(HostStack& h, Delivery delivery, RpcStack& stack) {
+  Kernel& k = *h.kernel;
+  switch (delivery) {
+    case Delivery::kEth:
+      // Open-time shim: host-addressed opens, raw Ethernet sessions, zero
+      // per-message cost (how Sprite RPC sat "directly on the ethernet").
+      stack.vipaddr = &k.Emplace<VipAddrProtocol>(k, h.eth, nullptr, h.arp, "ethmap");
+      return stack.vipaddr;
+    case Delivery::kIp:
+      return h.ip;
+    case Delivery::kVip:
+      stack.vip = &k.Emplace<VipProtocol>(k, h.eth, h.ip, h.arp);
+      return stack.vip;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RpcStack BuildMRpc(HostStack& h, Delivery delivery) {
+  return Configure(h, [&](RpcStack& stack) {
+    Kernel& k = *h.kernel;
+    Protocol* lower = MakeDelivery(h, delivery, stack);
+    stack.sprite = &k.Emplace<SpriteRpcProtocol>(k, lower);
+    stack.top = stack.sprite;
+  });
+}
+
+RpcStack BuildLRpc(HostStack& h, Delivery delivery) {
+  return Configure(h, [&](RpcStack& stack) {
+    Kernel& k = *h.kernel;
+    Protocol* lower = MakeDelivery(h, delivery, stack);
+    stack.fragment = &k.Emplace<FragmentProtocol>(k, lower);
+    stack.channel = &k.Emplace<ChannelProtocol>(k, stack.fragment);
+    stack.select = &k.Emplace<SelectProtocol>(k, stack.channel);
+    stack.top = stack.select;
+  });
+}
+
+RpcStack BuildLRpcDynamic(HostStack& h) {
+  return Configure(h, [&](RpcStack& stack) {
+    Kernel& k = *h.kernel;
+    // Figure 3(b): VIP_ADDR picks ETH/IP at open time; FRAGMENT sits on it;
+    // VIP_SIZE bypasses FRAGMENT per message.
+    stack.vipaddr = &k.Emplace<VipAddrProtocol>(k, h.eth, h.ip, h.arp);
+    stack.fragment = &k.Emplace<FragmentProtocol>(k, stack.vipaddr);
+    stack.vipsize = &k.Emplace<VipSizeProtocol>(k, stack.vipaddr, stack.fragment, h.arp);
+    stack.channel = &k.Emplace<ChannelProtocol>(k, stack.vipsize);
+    stack.select = &k.Emplace<SelectProtocol>(k, stack.channel);
+    stack.top = stack.select;
+  });
+}
+
+RpcStack BuildPartial(HostStack& h, int layers) {
+  return Configure(h, [&](RpcStack& stack) {
+    Kernel& k = *h.kernel;
+    stack.vip = &k.Emplace<VipProtocol>(k, h.eth, h.ip, h.arp);
+    stack.top = stack.vip;
+    if (layers >= 1) {
+      stack.fragment = &k.Emplace<FragmentProtocol>(k, stack.vip);
+      stack.top = stack.fragment;
+    }
+    if (layers >= 2) {
+      stack.channel = &k.Emplace<ChannelProtocol>(k, stack.fragment);
+      stack.top = stack.channel;
+    }
+    if (layers >= 3) {
+      stack.select = &k.Emplace<SelectProtocol>(k, stack.channel);
+      stack.top = stack.select;
+    }
+  });
+}
+
+RpcStack BuildLRpcForwarding(HostStack& h) {
+  return Configure(h, [&](RpcStack& stack) {
+    Kernel& k = *h.kernel;
+    stack.vip = &k.Emplace<VipProtocol>(k, h.eth, h.ip, h.arp);
+    stack.fragment = &k.Emplace<FragmentProtocol>(k, stack.vip);
+    stack.channel = &k.Emplace<ChannelProtocol>(k, stack.fragment);
+    stack.select = &k.Emplace<SelectFwdProtocol>(k, stack.channel);
+    stack.top = stack.select;
+  });
+}
+
+RpcStack BuildSunRpc(HostStack& h, SunPairing pairing, SunAuth auth) {
+  return Configure(h, [&](RpcStack& stack) {
+    Kernel& k = *h.kernel;
+    stack.vip = &k.Emplace<VipProtocol>(k, h.eth, h.ip, h.arp);
+    stack.fragment = &k.Emplace<FragmentProtocol>(k, stack.vip);
+    Protocol* pair = nullptr;
+    if (pairing == SunPairing::kRequestReply) {
+      stack.reqrep = &k.Emplace<RequestReplyProtocol>(k, stack.fragment);
+      pair = stack.reqrep;
+    } else {
+      stack.channel = &k.Emplace<ChannelProtocol>(k, stack.fragment);
+      pair = stack.channel;
+    }
+    Protocol* below_select = pair;
+    switch (auth) {
+      case SunAuth::kNone:
+        break;
+      case SunAuth::kAuthNone:
+        stack.auth = &k.Emplace<AuthNoneProtocol>(k, pair);
+        below_select = stack.auth;
+        break;
+      case SunAuth::kAuthCred:
+        stack.auth = &k.Emplace<AuthCredProtocol>(k, pair);
+        below_select = stack.auth;
+        break;
+    }
+    stack.sunselect = &k.Emplace<SunSelectProtocol>(k, below_select);
+    stack.top = stack.sunselect;
+  });
+}
+
+UdpProtocol* BuildUdp(HostStack& h) {
+  UdpProtocol* udp = nullptr;
+  h.kernel->RunTask(h.kernel->events().now(),
+                    [&]() { udp = &h.kernel->Emplace<UdpProtocol>(*h.kernel, h.ip); });
+  return udp;
+}
+
+Result<SessionRef> OpenEchoSession(const RpcStack& stack, EchoAnchor& anchor, IpAddr peer) {
+  ParticipantSet parts;
+  parts.peer.host = peer;
+  if (stack.top == stack.vip) {
+    parts.local.ip_proto = kIpProtoRawTest;
+  } else if (stack.top == stack.fragment) {
+    parts.local.rel_proto = kRelProtoRawTest;
+  } else if (stack.top == stack.channel) {
+    parts.local.channel = 0;
+    parts.local.rel_proto = kRelProtoRawTest;
+  } else {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+  return stack.top->Open(anchor, parts);
+}
+
+Status EnableEcho(const RpcStack& stack, EchoAnchor& anchor) {
+  ParticipantSet parts;
+  if (stack.top == stack.vip) {
+    parts.local.ip_proto = kIpProtoRawTest;
+  } else if (stack.top == stack.fragment) {
+    parts.local.rel_proto = kRelProtoRawTest;
+  } else if (stack.top == stack.channel) {
+    parts.local.rel_proto = kRelProtoRawTest;
+  } else {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+  return stack.top->OpenEnable(anchor, parts);
+}
+
+}  // namespace xk

@@ -1,0 +1,90 @@
+// Stack builders: one function per protocol configuration the paper measures.
+//
+// Each builder instantiates the named composition on one host (inside a
+// configuration task) and returns pointers to every layer so tests and
+// benchmarks can read statistics. Build the same configuration on both hosts
+// of a topology, then attach anchors.
+//
+// Configurations (paper naming):
+//   M_RPC-ETH / M_RPC-IP / M_RPC-VIP      -- BuildMRpc(h, Delivery::...)
+//   L_RPC-VIP (SELECT-CHANNEL-FRAGMENT)   -- BuildLRpc(h)
+//   SELECT-CHANNEL-VIPsize (Figure 3(b))  -- BuildLRpcDynamic(h)
+//   Table III partial stacks              -- BuildPartial(h, layers)
+//   Sun RPC mix-and-match                 -- BuildSunRpc(h, pairing, auth)
+
+#ifndef XK_SRC_APP_STACKS_H_
+#define XK_SRC_APP_STACKS_H_
+
+#include "src/app/anchor.h"
+#include "src/proto/topology.h"
+#include "src/proto/udp.h"
+#include "src/proto/vip.h"
+#include "src/proto/vip_size.h"
+#include "src/rpc/channel.h"
+#include "src/rpc/fragment.h"
+#include "src/rpc/select.h"
+#include "src/rpc/select_fwd.h"
+#include "src/rpc/sprite_rpc.h"
+#include "src/rpc/sun/auth.h"
+#include "src/rpc/sun/request_reply.h"
+#include "src/rpc/sun/sun_select.h"
+
+namespace xk {
+
+// Which message-delivery protocol sits at the bottom of the RPC stack.
+enum class Delivery {
+  kEth,  // directly on the Ethernet (via the zero-cost open-time shim)
+  kIp,   // always through IP
+  kVip,  // the virtual protocol picks per destination/size
+};
+
+struct RpcStack {
+  Protocol* top = nullptr;  // what anchors open against
+  VipProtocol* vip = nullptr;
+  VipAddrProtocol* vipaddr = nullptr;
+  VipSizeProtocol* vipsize = nullptr;
+  FragmentProtocol* fragment = nullptr;
+  ChannelProtocol* channel = nullptr;
+  SelectProtocol* select = nullptr;
+  SpriteRpcProtocol* sprite = nullptr;
+  RequestReplyProtocol* reqrep = nullptr;
+  SunSelectProtocol* sunselect = nullptr;
+  AuthProtocolBase* auth = nullptr;
+};
+
+// Monolithic Sprite RPC over the chosen delivery protocol.
+RpcStack BuildMRpc(HostStack& h, Delivery delivery);
+
+// Layered Sprite RPC: SELECT-CHANNEL-FRAGMENT over the chosen delivery.
+RpcStack BuildLRpc(HostStack& h, Delivery delivery = Delivery::kVip);
+
+// The Section 4.3 configuration: SELECT-CHANNEL-VIP_SIZE with FRAGMENT below
+// the virtual protocol, bypassed for single-packet messages.
+RpcStack BuildLRpcDynamic(HostStack& h);
+
+// Partial layered stacks for Table III. `layers`: 0 = VIP only,
+// 1 = FRAGMENT-VIP, 2 = CHANNEL-FRAGMENT-VIP, 3 = SELECT-CHANNEL-FRAGMENT-VIP.
+RpcStack BuildPartial(HostStack& h, int layers);
+
+// Layered Sprite RPC with the forwarding selector instead of SELECT.
+RpcStack BuildLRpcForwarding(HostStack& h);
+
+// Sun RPC mix-and-match.
+enum class SunPairing { kRequestReply, kChannel };
+enum class SunAuth { kNone, kAuthNone, kAuthCred };
+RpcStack BuildSunRpc(HostStack& h, SunPairing pairing, SunAuth auth);
+
+// UDP/IP (for the Section 1 cross-kernel comparison).
+UdpProtocol* BuildUdp(HostStack& h);
+
+// --- echo-session helpers for the partial stacks ------------------------------
+
+// Client side: opens the session an EchoAnchor drives, against `stack.top`.
+Result<SessionRef> OpenEchoSession(const RpcStack& stack, EchoAnchor& anchor, IpAddr peer);
+
+// Server side: enables echo service on `stack.top`.
+Status EnableEcho(const RpcStack& stack, EchoAnchor& anchor);
+
+}  // namespace xk
+
+#endif  // XK_SRC_APP_STACKS_H_

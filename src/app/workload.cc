@@ -1,0 +1,77 @@
+#include "src/app/workload.h"
+
+namespace xk {
+
+LatencyResult RpcWorkload::MeasureLatency(Internet& net, Kernel& client_kernel,
+                                          const CallFn& call, int iters) {
+  LatencyResult result;
+  SimTime start = 0;
+  SimTime done_at = 0;
+  int remaining = iters;
+
+  std::function<void()> issue = [&]() {
+    call(Message(), [&](Result<Message> r) {
+      if (r.ok()) {
+        ++result.completed;
+      } else {
+        ++result.failed;
+      }
+      if (--remaining > 0) {
+        issue();  // still inside the completion task; the clock has advanced
+      } else {
+        done_at = client_kernel.now();
+      }
+    });
+  };
+
+  client_kernel.ScheduleTask(0, [&]() {
+    start = client_kernel.now();
+    issue();
+  });
+  net.RunAll();
+  if (iters > 0 && done_at > start) {
+    result.per_call = (done_at - start) / iters;
+  }
+  return result;
+}
+
+ThroughputResult RpcWorkload::MeasureThroughput(Internet& net, Kernel& client_kernel,
+                                                Kernel& server_kernel, const CallFn& call,
+                                                size_t bytes, int iters) {
+  ThroughputResult result;
+  result.bytes_per_call = bytes;
+  SimTime start = 0;
+  SimTime done_at = 0;
+  int remaining = iters;
+  const SimTime client_cpu0 = client_kernel.cpu().total_busy();
+  const SimTime server_cpu0 = server_kernel.cpu().total_busy();
+
+  std::function<void()> issue = [&]() {
+    call(Message(bytes), [&](Result<Message> r) {
+      if (r.ok()) {
+        ++result.completed;
+      }
+      if (--remaining > 0) {
+        issue();
+      } else {
+        done_at = client_kernel.now();
+      }
+    });
+  };
+
+  client_kernel.ScheduleTask(0, [&]() {
+    start = client_kernel.now();
+    issue();
+  });
+  net.RunAll();
+  result.elapsed = done_at - start;
+  if (result.elapsed > 0 && result.completed > 0) {
+    const double total_bytes = static_cast<double>(bytes) * result.completed;
+    result.kbytes_per_sec = total_bytes / 1024.0 / (ToMsec(result.elapsed) / 1000.0);
+    result.client_cpu = (client_kernel.cpu().total_busy() - client_cpu0) / result.completed;
+    result.server_cpu = (server_kernel.cpu().total_busy() - server_cpu0) / result.completed;
+  }
+  return result;
+}
+
+}  // namespace xk

@@ -1,0 +1,54 @@
+// Workload drivers reproducing the paper's measurement methodology
+// (Section 4): latency = round-trip of a null call averaged over many
+// iterations; throughput = round-trip of large requests with null replies;
+// incremental cost = slope of the 1k..16k sweep.
+
+#ifndef XK_SRC_APP_WORKLOAD_H_
+#define XK_SRC_APP_WORKLOAD_H_
+
+#include <functional>
+
+#include "src/core/kernel.h"
+#include "src/core/message.h"
+#include "src/proto/topology.h"
+
+namespace xk {
+
+// Issues one call carrying `args`; must invoke `done` exactly once.
+using CallFn = std::function<void(Message args, std::function<void(Result<Message>)> done)>;
+
+struct LatencyResult {
+  SimTime per_call = 0;  // average round-trip
+  int completed = 0;
+  int failed = 0;
+};
+
+struct ThroughputResult {
+  SimTime elapsed = 0;
+  size_t bytes_per_call = 0;
+  int completed = 0;
+  double kbytes_per_sec = 0.0;  // payload bytes delivered / elapsed
+  SimTime client_cpu = 0;       // CPU busy time per call
+  SimTime server_cpu = 0;
+};
+
+class RpcWorkload {
+ public:
+  // Runs `iters` sequential null calls through `call`, driving `net` to
+  // quiescence, and reports the average round trip. (The paper used 10,000
+  // iterations to average out noise; the simulator is deterministic, so a
+  // smaller count measures the same value -- the default still exercises
+  // steady-state session caching.)
+  static LatencyResult MeasureLatency(Internet& net, Kernel& client_kernel, const CallFn& call,
+                                      int iters = 100);
+
+  // Runs `iters` sequential calls with `bytes`-byte requests and null
+  // replies; reports payload throughput and per-side CPU time per call.
+  static ThroughputResult MeasureThroughput(Internet& net, Kernel& client_kernel,
+                                            Kernel& server_kernel, const CallFn& call,
+                                            size_t bytes, int iters = 20);
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_APP_WORKLOAD_H_

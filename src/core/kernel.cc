@@ -1,0 +1,99 @@
+#include "src/core/kernel.h"
+
+#include <cstdio>
+
+namespace xk {
+
+namespace {
+uint32_t g_next_boot_id = 1000;
+}  // namespace
+
+Kernel::Kernel(std::string host_name, EventQueue& events, HostEnv env, IpAddr ip, EthAddr eth)
+    : host_name_(std::move(host_name)),
+      events_(events),
+      env_(env),
+      costs_(CostModel::For(env)),
+      ip_(ip),
+      eth_(eth),
+      boot_id_(g_next_boot_id++) {}
+
+Kernel::~Kernel() {
+  // Tear the graph down top-first so high-level protocols can still reach the
+  // substrates they hold capabilities for.
+  while (!protocols_.empty()) {
+    protocols_.pop_back();
+  }
+}
+
+void Kernel::RunTask(SimTime at, const std::function<void()>& fn) {
+  cpu_.BeginTask(at);
+  fn();
+  cpu_.EndTask();
+}
+
+EventHandle Kernel::ScheduleTask(SimTime delay, std::function<void()> fn) {
+  return events_.ScheduleIn(delay, [this, fn = std::move(fn)]() { RunTask(events_.now(), fn); });
+}
+
+EventHandle Kernel::SetTimer(SimTime delay, std::function<void()> fn) {
+  cpu_.Charge(costs_.timer_set);
+  const SimTime fire_at = cpu_.now() + delay;
+  return events_.ScheduleAt(fire_at,
+                            [this, fn = std::move(fn)]() { RunTask(events_.now(), fn); });
+}
+
+void Kernel::CancelTimer(EventHandle& handle) {
+  if (handle.Cancel()) {
+    cpu_.Charge(costs_.timer_cancel);
+  }
+}
+
+Protocol& Kernel::Add(std::unique_ptr<Protocol> proto) {
+  Protocol& ref = *proto;
+  by_name_[ref.name()] = &ref;
+  protocols_.push_back(std::move(proto));
+  return ref;
+}
+
+Protocol* Kernel::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void Kernel::ChargeLayerCross() {
+  cpu_.Charge(costs_.proc_call + costs_.layer_cross_extra + costs_.buffer_alloc);
+}
+
+void Kernel::ChargeHdrStore(size_t bytes) {
+  SimTime cost = costs_.hdr_store_fixed +
+                 static_cast<SimTime>(static_cast<double>(bytes) *
+                                      static_cast<double>(costs_.hdr_store_per_byte));
+  if (Message::default_alloc_policy() == HeaderAllocPolicy::kPerLayerAlloc) {
+    cost += costs_.hdr_alloc_extra;
+  }
+  cpu_.Charge(cost);
+}
+
+void Kernel::ChargeHdrLoad(size_t bytes) {
+  SimTime cost = costs_.hdr_load_fixed +
+                 static_cast<SimTime>(static_cast<double>(bytes) *
+                                      static_cast<double>(costs_.hdr_load_per_byte));
+  if (Message::default_alloc_policy() == HeaderAllocPolicy::kPerLayerAlloc) {
+    cost += costs_.hdr_free_extra;
+  }
+  cpu_.Charge(cost);
+}
+
+void Kernel::Tracef(int level, const char* fmt, ...) {
+  if (level > trace_level_) {
+    return;
+  }
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[%10.3f ms] %-8s %s\n", ToMsec(events_.now()), host_name_.c_str(), buf);
+}
+
+}  // namespace xk

@@ -1,0 +1,140 @@
+// A Kernel is one simulated host: an instance of the x-kernel (or of a
+// baseline environment) holding a protocol graph, a CPU, timers, and the
+// accounting helpers protocols use to charge their work.
+//
+// Kernels for one experiment share an EventQueue (the simulation's clock) and
+// are attached to EthernetSegments through their Ethernet driver protocols.
+
+#ifndef XK_SRC_CORE_KERNEL_H_
+#define XK_SRC_CORE_KERNEL_H_
+
+#include <cstdarg>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/message.h"
+#include "src/core/protocol.h"
+#include "src/core/types.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+
+namespace xk {
+
+class Kernel {
+ public:
+  Kernel(std::string host_name, EventQueue& events, HostEnv env, IpAddr ip, EthAddr eth);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- identity ---------------------------------------------------------------
+  const std::string& host_name() const { return host_name_; }
+  IpAddr ip_addr() const { return ip_; }
+  EthAddr eth_addr() const { return eth_; }
+  HostEnv env() const { return env_; }
+
+  // Monotonic per-boot identifier (Sprite RPC uses it to detect reboots).
+  uint32_t boot_id() const { return boot_id_; }
+  // Simulates a crash/reboot: bumps the boot id. Protocol state is NOT
+  // cleared here; tests that model reboot also rebuild the protocol graph.
+  void Reboot() { ++boot_id_; }
+
+  // --- simulation access ------------------------------------------------------
+  EventQueue& events() { return events_; }
+  Cpu& cpu() { return cpu_; }
+  const CostModel& costs() const { return costs_; }
+  CostModel& mutable_costs() { return costs_; }
+  SimTime now() const { return cpu_.in_task() ? cpu_.now() : events_.now(); }
+
+  // --- tasks ------------------------------------------------------------------
+  // Runs `fn` as a shepherd task dispatched at event time `at` (begins at
+  // max(at, cpu busy_until)).
+  void RunTask(SimTime at, const std::function<void()>& fn);
+
+  // Schedules `fn` to run as a task after `delay` of simulated time.
+  EventHandle ScheduleTask(SimTime delay, std::function<void()> fn);
+
+  // --- timers -----------------------------------------------------------------
+  // Sets a timeout that fires `delay` from now as a task on this kernel.
+  // Charges timer_set. Must be called from within a task.
+  EventHandle SetTimer(SimTime delay, std::function<void()> fn);
+
+  // Cancels a pending timer, charging timer_cancel if it was still pending.
+  void CancelTimer(EventHandle& handle);
+
+  // --- protocol graph ---------------------------------------------------------
+  // Takes ownership; protocols are destroyed in reverse insertion order
+  // (top-most last-added protocols die before the substrates they use).
+  Protocol& Add(std::unique_ptr<Protocol> proto);
+
+  template <typename T, typename... Args>
+  T& Emplace(Args&&... args) {
+    auto p = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *p;
+    Add(std::move(p));
+    return ref;
+  }
+
+  // Looks up a protocol by name; null if absent.
+  Protocol* Find(const std::string& name) const;
+
+  // --- cost accounting helpers (see CostModel) --------------------------------
+  void Charge(SimTime cost) { cpu_.Charge(cost); }
+  void ChargeProcCall() { cpu_.Charge(costs_.proc_call); }
+  // One layer crossing (Push or Demux): procedure call + environment extras.
+  void ChargeLayerCross();
+  void ChargeHdrStore(size_t bytes);
+  void ChargeHdrLoad(size_t bytes);
+  void ChargeMapResolve() { cpu_.Charge(costs_.map_resolve); }
+  void ChargeMapBind() { cpu_.Charge(costs_.map_bind); }
+  void ChargeSemOp() { cpu_.Charge(costs_.sem_op); }
+  void ChargeProcessSwitch() { cpu_.Charge(costs_.process_switch); }
+  void ChargeUserKernelCross() { cpu_.Charge(costs_.user_kernel_cross); }
+  void ChargeCopy(size_t bytes) {
+    cpu_.Charge(static_cast<SimTime>(static_cast<double>(bytes) *
+                                     static_cast<double>(costs_.copy_per_byte)));
+  }
+  void ChargeDevCopy(size_t bytes) {
+    cpu_.Charge(static_cast<SimTime>(static_cast<double>(bytes) *
+                                     static_cast<double>(costs_.dev_copy_per_byte)));
+  }
+  void ChargeDevStart() { cpu_.Charge(costs_.dev_start); }
+  void ChargeIntr() { cpu_.Charge(costs_.intr_overhead); }
+  void ChargeChecksum(size_t bytes) {
+    cpu_.Charge(costs_.checksum_fixed +
+                static_cast<SimTime>(static_cast<double>(bytes) *
+                                     static_cast<double>(costs_.checksum_per_byte)));
+  }
+  void ChargeMsgSlice() { cpu_.Charge(costs_.msg_slice); }
+  void ChargeMsgJoin() { cpu_.Charge(costs_.msg_join); }
+  void ChargeSessionCreate() { cpu_.Charge(costs_.session_create); }
+  void ChargeSessionDestroy() { cpu_.Charge(costs_.session_destroy); }
+
+  // --- tracing ----------------------------------------------------------------
+  int trace_level() const { return trace_level_; }
+  void set_trace_level(int level) { trace_level_ = level; }
+  void Tracef(int level, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+
+ private:
+  std::string host_name_;
+  EventQueue& events_;
+  HostEnv env_;
+  CostModel costs_;
+  Cpu cpu_;
+  IpAddr ip_;
+  EthAddr eth_;
+  uint32_t boot_id_;
+  int trace_level_ = 0;
+
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::map<std::string, Protocol*> by_name_;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_CORE_KERNEL_H_

@@ -1,0 +1,64 @@
+// The x-kernel map tool: demultiplexing tables that bind external identifiers
+// (header fields) to sessions, with cost accounting built in.
+//
+// Protocols keep an *active* map (fully-specified keys -> open sessions) and
+// a *passive* map (partially-specified keys from open_enable -> the enabled
+// high-level protocol). Every Resolve charges map_resolve and every Bind
+// charges map_bind, so demux costs are accounted uniformly across protocols.
+
+#ifndef XK_SRC_CORE_MAP_H_
+#define XK_SRC_CORE_MAP_H_
+
+#include <map>
+
+#include "src/core/kernel.h"
+#include "src/core/protocol.h"
+
+namespace xk {
+
+template <typename Key, typename Value = SessionRef>
+class DemuxMap {
+ public:
+  explicit DemuxMap(Kernel& kernel) : kernel_(kernel) {}
+
+  // Looks up `key`, charging one map_resolve. Returns a default-constructed
+  // Value (null SessionRef) on miss.
+  Value Resolve(const Key& key) {
+    kernel_.ChargeMapResolve();
+    auto it = table_.find(key);
+    return it == table_.end() ? Value{} : it->second;
+  }
+
+  // Lookup without charging (configuration-time bookkeeping, not datapath).
+  Value Peek(const Key& key) const {
+    auto it = table_.find(key);
+    return it == table_.end() ? Value{} : it->second;
+  }
+
+  bool Contains(const Key& key) const { return table_.count(key) != 0; }
+
+  // Installs `key -> value`, charging one map_bind. Overwrites.
+  void Bind(const Key& key, Value value) {
+    kernel_.ChargeMapBind();
+    table_[key] = std::move(value);
+  }
+
+  void Unbind(const Key& key) { table_.erase(key); }
+
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  void clear() { table_.clear(); }
+
+  auto begin() { return table_.begin(); }
+  auto end() { return table_.end(); }
+  auto begin() const { return table_.begin(); }
+  auto end() const { return table_.end(); }
+
+ private:
+  Kernel& kernel_;
+  std::map<Key, Value> table_;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_CORE_MAP_H_

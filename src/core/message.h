@@ -1,0 +1,148 @@
+// The x-kernel message tool.
+//
+// A Message is a byte sequence that flows up and down a protocol stack. The
+// two defining operations are PushHeader (prepend bytes) and PopHeader
+// (consume bytes from the front) -- "we think of the message as a stack,
+// where the two operations push headers onto and pop headers off of the
+// stack" (paper, Section 2).
+//
+// The representation embodies the optimization the paper's Discussion section
+// credits for the 0.11 ms/layer floor: a single pre-allocated header arena is
+// shared by all layers, and pushing a header just adjusts a pointer downward
+// into that arena. The earlier x-kernel scheme -- allocating a fresh buffer
+// for every header, at 0.50 ms/layer -- is preserved as
+// HeaderAllocPolicy::kPerLayerAlloc so the ablation benchmark can measure the
+// difference.
+//
+// Payload bytes live in immutable, reference-counted chunks, so fragmentation
+// (Slice) and reassembly (Append) never copy payload data, and a protocol
+// that "saves a copy of the fragments in the local state" (FRAGMENT) shares
+// the underlying bytes with the in-flight message. This mirrors the paper's
+// footnote: multiple protocol layers may hold references to pieces of the
+// same message.
+
+#ifndef XK_SRC_CORE_MESSAGE_H_
+#define XK_SRC_CORE_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace xk {
+
+// How PushHeader obtains space for a new header.
+enum class HeaderAllocPolicy : uint8_t {
+  // Pre-allocated arena, pointer adjustment per header (current x-kernel
+  // scheme; 0.11 ms/layer on a Sun 3/75).
+  kPointerAdjust,
+  // A fresh buffer per header (the original x-kernel scheme; 0.50 ms/layer).
+  kPerLayerAlloc,
+};
+
+class Message {
+ public:
+  // Bytes reserved for the header arena. Large enough for the deepest stack
+  // in this repository (SELECT+CHANNEL+FRAGMENT+IP+ETH < 100 bytes).
+  static constexpr size_t kHeaderArenaSize = 192;
+
+  // Process-wide default allocation policy; the ablation bench flips this.
+  static HeaderAllocPolicy default_alloc_policy();
+  static void set_default_alloc_policy(HeaderAllocPolicy policy);
+
+  // An empty message.
+  Message();
+
+  // A message with `payload_len` zero bytes of payload.
+  explicit Message(size_t payload_len);
+
+  // A message whose payload is a copy of `bytes`.
+  static Message FromBytes(std::span<const uint8_t> bytes);
+
+  // Messages are cheap to copy: copies share payload chunks, and the header
+  // arena is copied lazily on the next PushHeader if still shared.
+  Message(const Message&) = default;
+  Message& operator=(const Message&) = default;
+  Message(Message&&) = default;
+  Message& operator=(Message&&) = default;
+
+  // Total length in bytes (headers currently pushed + payload). O(1).
+  size_t length() const { return length_; }
+  bool empty() const { return length_ == 0; }
+
+  // Prepends `header` to the message.
+  void PushHeader(std::span<const uint8_t> header);
+
+  // Copies the first out.size() bytes into `out` and consumes them. Returns
+  // false (leaving the message unchanged) if the message is shorter than the
+  // requested header.
+  bool PopHeader(std::span<uint8_t> out);
+
+  // Like PopHeader but does not consume.
+  bool PeekHeader(std::span<uint8_t> out) const;
+
+  // Discards the first n bytes. Returns false if the message is shorter.
+  bool Discard(size_t n);
+
+  // Keeps only the first n bytes (used to strip Ethernet minimum-frame
+  // padding once an inner length field is known). No-op if already shorter.
+  void Truncate(size_t n);
+
+  // A new message referencing bytes [offset, offset+len) of this one.
+  // Payload chunks are shared, not copied. Out-of-range requests clamp.
+  Message Slice(size_t offset, size_t len) const;
+
+  // Appends the byte sequence of `m` to this message (reassembly join).
+  // Chunks are shared with `m`.
+  void Append(const Message& m);
+
+  // Copies the whole byte sequence into a flat vector (used by device
+  // drivers when handing a frame to the simulated wire).
+  std::vector<uint8_t> Flatten() const;
+
+  // Copies min(out.size(), length()) bytes from the front into `out`;
+  // returns the number copied. Does not consume.
+  size_t CopyOut(std::span<uint8_t> out) const;
+
+  // Byte-wise comparison of contents (for tests).
+  bool ContentEquals(const Message& other) const;
+
+ private:
+  // Immutable shared byte storage.
+  struct Block {
+    std::vector<uint8_t> bytes;
+  };
+
+  // A view [off, off+len) into a Block.
+  struct Chunk {
+    std::shared_ptr<const Block> block;
+    size_t off = 0;
+    size_t len = 0;
+  };
+
+  // Header arena: headers are written at decreasing offsets. `start_` is the
+  // offset of the first valid byte for *this* message; `arena_len_` the number
+  // of valid arena bytes. The arena tracks its low-water mark so that a
+  // message whose start matches it (and that owns the arena exclusively) can
+  // extend in place; otherwise PushHeader clones the live region first.
+  struct Arena {
+    std::vector<uint8_t> buf;
+    size_t low = 0;  // lowest offset handed out so far
+  };
+
+  void EnsureOwnedArenaFor(size_t more);
+  void AppendArenaAsChunkTo(Message& dst, size_t skip, size_t take) const;
+
+  std::shared_ptr<Arena> arena_;  // may be null until first PushHeader
+  size_t arena_start_ = 0;        // offset of first valid byte in arena_
+  size_t arena_len_ = 0;          // number of valid bytes in arena_
+
+  std::vector<Chunk> chunks_;
+  size_t length_ = 0;  // arena_len_ + sum(chunk.len)
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_CORE_MESSAGE_H_

@@ -1,0 +1,57 @@
+#include "src/core/participant.h"
+
+#include <sstream>
+
+namespace xk {
+
+std::string Participant::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+  };
+  if (host) {
+    sep();
+    os << "host=" << host->ToString();
+  }
+  if (eth) {
+    sep();
+    os << "eth=" << eth->ToString();
+  }
+  if (eth_type) {
+    sep();
+    os << "type=0x" << std::hex << *eth_type << std::dec;
+  }
+  if (ip_proto) {
+    sep();
+    os << "ipproto=" << static_cast<int>(*ip_proto);
+  }
+  if (rel_proto) {
+    sep();
+    os << "relproto=" << *rel_proto;
+  }
+  if (port) {
+    sep();
+    os << "port=" << *port;
+  }
+  if (channel) {
+    sep();
+    os << "chan=" << *channel;
+  }
+  if (command) {
+    sep();
+    os << "cmd=" << *command;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string ParticipantSet::ToString() const {
+  return "local=" + local.ToString() + " peer=" + peer.ToString();
+}
+
+}  // namespace xk

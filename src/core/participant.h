@@ -1,0 +1,46 @@
+// Participants and participant sets (paper, Section 2).
+//
+// "Participants identify themselves and their peers with host addresses,
+// port numbers, protocol numbers, and so on. By convention, the first element
+// of that set identifies the local participant."
+//
+// We model a participant as a small struct of optional address components;
+// each protocol reads the components it understands (ETH reads eth/eth_type,
+// IP reads host/proto_num, CHANNEL reads channel, ...). A ParticipantSet for
+// open/open_done carries both ends; for open_enable only the local side need
+// be filled in.
+
+#ifndef XK_SRC_CORE_PARTICIPANT_H_
+#define XK_SRC_CORE_PARTICIPANT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/core/types.h"
+
+namespace xk {
+
+struct Participant {
+  std::optional<IpAddr> host;         // IP-level host address
+  std::optional<EthAddr> eth;         // Ethernet station address
+  std::optional<EthType> eth_type;    // Ethernet type (ETH-level demux key)
+  std::optional<IpProtoNum> ip_proto; // 8-bit IP protocol number
+  std::optional<RelProtoNum> rel_proto;  // 32-bit protocol number (FRAGMENT/CHANNEL hdrs)
+  std::optional<uint16_t> port;       // UDP port
+  std::optional<uint16_t> channel;    // RPC channel number
+  std::optional<uint16_t> command;    // RPC procedure id (SELECT-level address)
+
+  std::string ToString() const;
+};
+
+struct ParticipantSet {
+  Participant local;
+  Participant peer;
+
+  std::string ToString() const;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_CORE_PARTICIPANT_H_

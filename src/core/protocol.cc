@@ -1,0 +1,150 @@
+#include "src/core/protocol.h"
+
+#include "src/core/kernel.h"
+
+namespace xk {
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(Protocol& owner, Protocol* hlp) : owner_(owner), hlp_(hlp) {}
+
+Session::~Session() = default;
+
+Kernel& Session::kernel() const { return owner_.kernel(); }
+
+Status Session::Push(Message& msg) {
+  kernel().ChargeLayerCross();
+  return DoPush(msg);
+}
+
+Status Session::Pop(Message& msg, Session* lls) { return DoPop(msg, lls); }
+
+Status Session::Control(ControlOp op, ControlArgs& args) {
+  kernel().ChargeProcCall();
+  Status s = DoControl(op, args);
+  if (s.code() == StatusCode::kUnsupported && lower_for_control() != nullptr) {
+    return lower_for_control()->Control(op, args);
+  }
+  return s;
+}
+
+Status Session::DoControl(ControlOp op, ControlArgs& args) {
+  (void)op;
+  (void)args;
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+Status Session::DeliverUp(Message& msg) {
+  if (hlp_ == nullptr) {
+    return ErrStatus(StatusCode::kNotFound);
+  }
+  return hlp_->Demux(this, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+Protocol::Protocol(Kernel& kernel, std::string name, std::vector<Protocol*> lowers)
+    : kernel_(kernel), name_(std::move(name)), lowers_(std::move(lowers)) {}
+
+Protocol::~Protocol() = default;
+
+Result<SessionRef> Protocol::Open(Protocol& hlp, const ParticipantSet& parts) {
+  kernel_.ChargeProcCall();
+  return DoOpen(hlp, parts);
+}
+
+void Protocol::OpenAsync(Protocol& hlp, const ParticipantSet& parts, OpenCallback done) {
+  done(Open(hlp, parts));
+}
+
+Status Protocol::OpenEnable(Protocol& hlp, const ParticipantSet& parts) {
+  kernel_.ChargeProcCall();
+  return DoOpenEnable(hlp, parts);
+}
+
+Status Protocol::OpenDisable(Protocol& hlp, const ParticipantSet& parts) {
+  (void)hlp;
+  (void)parts;
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+Status Protocol::Demux(Session* lls, Message& msg) {
+  kernel_.ChargeLayerCross();
+  return DoDemux(lls, msg);
+}
+
+Status Protocol::OpenDoneUp(Protocol& llp, SessionRef lls, const ParticipantSet& parts) {
+  (void)llp;
+  (void)lls;
+  (void)parts;
+  return OkStatus();
+}
+
+void Protocol::SessionError(Session& lls, Status error) {
+  (void)lls;
+  (void)error;
+}
+
+Status Protocol::Control(ControlOp op, ControlArgs& args) {
+  kernel_.ChargeProcCall();
+  Status s = DoControl(op, args);
+  if (s.code() == StatusCode::kUnsupported && lower(0) != nullptr) {
+    return lower(0)->Control(op, args);
+  }
+  return s;
+}
+
+Result<SessionRef> Protocol::DoOpen(Protocol& hlp, const ParticipantSet& parts) {
+  (void)hlp;
+  (void)parts;
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+Status Protocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
+  (void)hlp;
+  (void)parts;
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+Status Protocol::DoControl(ControlOp op, ControlArgs& args) {
+  (void)op;
+  (void)args;
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+// ---------------------------------------------------------------------------
+// Control helpers
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> CtlGetU64(Protocol& p, ControlOp op) {
+  ControlArgs args;
+  Status s = p.Control(op, args);
+  if (!s.ok()) {
+    return s;
+  }
+  return args.u64;
+}
+
+Result<uint64_t> CtlGetU64(Session& s, ControlOp op) {
+  ControlArgs args;
+  Status st = s.Control(op, args);
+  if (!st.ok()) {
+    return st;
+  }
+  return args.u64;
+}
+
+Result<IpAddr> CtlGetIp(Session& s, ControlOp op) {
+  ControlArgs args;
+  Status st = s.Control(op, args);
+  if (!st.ok()) {
+    return st;
+  }
+  return args.ip;
+}
+
+}  // namespace xk

@@ -1,0 +1,190 @@
+// The x-kernel uniform protocol interface (paper, Section 2).
+//
+// Every protocol -- device driver, IP, the RPC layers, virtual protocols --
+// presents exactly this interface, which is what makes the paper's two design
+// techniques possible:
+//
+//   * protocols with the same semantics are substitutable (VIP can hand M_RPC
+//     an ETH session or an IP session; M_RPC cannot tell the difference), and
+//   * the binding between layers happens at run time through open/open_enable,
+//     not at compile time.
+//
+// Protocol objects create sessions and demultiplex incoming messages to them;
+// session objects hold per-connection state and interpret messages (push on
+// the way down, pop on the way up).
+//
+// Cost accounting: the public Push/Demux entry points are non-virtual; they
+// charge the uniform layer-crossing cost ("it costs only one procedure call
+// to pass a message from a high-level protocol to a low-level protocol") plus
+// whatever the host environment adds (mbuf allocation in the SunOS model,
+// etc.), then dispatch to the protected virtual implementations. Protocol
+// implementations charge their own header/map/timer work through the Kernel's
+// Charge* helpers.
+
+#ifndef XK_SRC_CORE_PROTOCOL_H_
+#define XK_SRC_CORE_PROTOCOL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/control.h"
+#include "src/core/message.h"
+#include "src/core/participant.h"
+#include "src/core/types.h"
+
+namespace xk {
+
+class Kernel;
+class Protocol;
+class Session;
+
+using SessionRef = std::shared_ptr<Session>;
+
+// Completion for asynchronous opens (used when an open must wait for address
+// resolution, e.g. VIP consulting ARP; everything else opens synchronously).
+using OpenCallback = std::function<void(Result<SessionRef>)>;
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+// An instance of a protocol created at run time: the end-point of a network
+// connection. Interprets messages and maintains connection state.
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  Session(Protocol& owner, Protocol* hlp);
+  virtual ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Passes a message down into this session (charged layer crossing).
+  Status Push(Message& msg);
+
+  // Passes a message up out of this session; called by the owning protocol's
+  // demux. `lls` is the lower session the message arrived on (null when the
+  // owning protocol sits directly on a device).
+  Status Pop(Message& msg, Session* lls);
+
+  // Reads/sets session parameters. Unknown opcodes are forwarded to the
+  // lowest session below this one, so e.g. kGetPeerHost asked of a CHANNEL
+  // session reaches the IP/ETH level that knows the answer.
+  Status Control(ControlOp op, ControlArgs& args);
+
+  // The protocol this session is an instance of.
+  Protocol& owner() const { return owner_; }
+
+  // The high-level protocol that opened (or was handed) this session, i.e.
+  // where popped messages are delivered. May be reassigned when a cached
+  // session is re-opened by a different client.
+  Protocol* hlp() const { return hlp_; }
+  void set_hlp(Protocol* hlp) { hlp_ = hlp; }
+
+  Kernel& kernel() const;
+
+  SessionRef Ref() { return shared_from_this(); }
+
+ protected:
+  virtual Status DoPush(Message& msg) = 0;
+  virtual Status DoPop(Message& msg, Session* lls) = 0;
+  virtual Status DoControl(ControlOp op, ControlArgs& args);
+
+  // The session below this one, used to forward control ops this level does
+  // not understand. Null for sessions that sit directly on a device.
+  virtual Session* lower_for_control() const { return nullptr; }
+
+  // Delivers `msg` upward: invokes hlp()->Demux(this, msg). The common tail
+  // of every DoPop.
+  Status DeliverUp(Message& msg);
+
+ private:
+  Protocol& owner_;
+  Protocol* hlp_;
+};
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+class Protocol {
+ public:
+  // `lowers` are the capabilities this protocol was configured with at kernel
+  // build time ("each protocol object is given a capability at configuration
+  // time for the low-level protocols upon which it depends").
+  Protocol(Kernel& kernel, std::string name, std::vector<Protocol*> lowers);
+  virtual ~Protocol();
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  // --- session creation (Section 2) -----------------------------------------
+
+  // Actively creates (or returns a cached) session for `parts`, on behalf of
+  // high-level protocol `hlp`.
+  Result<SessionRef> Open(Protocol& hlp, const ParticipantSet& parts);
+
+  // Like Open but may complete later (address resolution). The default
+  // implementation completes synchronously with Open's result.
+  virtual void OpenAsync(Protocol& hlp, const ParticipantSet& parts, OpenCallback done);
+
+  // Passively enables session creation: messages matching `parts` (typically
+  // only the local participant is specified) create sessions on demand and
+  // deliver to `hlp`.
+  Status OpenEnable(Protocol& hlp, const ParticipantSet& parts);
+
+  // Revokes a passive enable.
+  virtual Status OpenDisable(Protocol& hlp, const ParticipantSet& parts);
+
+  // --- demultiplexing ---------------------------------------------------------
+
+  // Switches an incoming message to one of this protocol's sessions, creating
+  // one first (open_done) if a matching enable exists. `lls` is the session
+  // of the protocol below that the message arrived on (null for drivers).
+  Status Demux(Session* lls, Message& msg);
+
+  // Upcall: a lower protocol `llp` passively created `lls` on our behalf
+  // (we had open-enabled it). Lets this protocol wire its own state to the
+  // new lower session. Default: accept and ignore (protocols that demux
+  // purely on their own header don't need the notification).
+  virtual Status OpenDoneUp(Protocol& llp, SessionRef lls, const ParticipantSet& parts);
+
+  // Upcall: an operation pending inside lower session `lls` failed
+  // asynchronously (e.g. a CHANNEL call exhausted its retransmissions).
+  // Default: ignore.
+  virtual void SessionError(Session& lls, Status error);
+
+  // --- control ----------------------------------------------------------------
+
+  Status Control(ControlOp op, ControlArgs& args);
+
+  // --- accessors --------------------------------------------------------------
+
+  Kernel& kernel() const { return kernel_; }
+  const std::string& name() const { return name_; }
+
+  // The i'th configured lower protocol (null if not configured).
+  Protocol* lower(size_t i = 0) const { return i < lowers_.size() ? lowers_[i] : nullptr; }
+  size_t num_lowers() const { return lowers_.size(); }
+
+ protected:
+  virtual Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts);
+  virtual Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts);
+  virtual Status DoDemux(Session* lls, Message& msg) = 0;
+  virtual Status DoControl(ControlOp op, ControlArgs& args);
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+  std::vector<Protocol*> lowers_;
+};
+
+// Typed convenience wrappers over common control ops.
+Result<uint64_t> CtlGetU64(Protocol& p, ControlOp op);
+Result<uint64_t> CtlGetU64(Session& s, ControlOp op);
+Result<IpAddr> CtlGetIp(Session& s, ControlOp op);
+
+}  // namespace xk
+
+#endif  // XK_SRC_CORE_PROTOCOL_H_

@@ -1,0 +1,47 @@
+#include "src/core/types.h"
+
+#include <cstdio>
+
+namespace xk {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kError:
+      return "ERROR";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kUnreachable:
+      return "UNREACHABLE";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kTooBig:
+      return "TOO_BIG";
+    case StatusCode::kRejected:
+      return "REJECTED";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string IpAddr::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr_ >> 24) & 0xFF, (addr_ >> 16) & 0xFF,
+                (addr_ >> 8) & 0xFF, addr_ & 0xFF);
+  return buf;
+}
+
+std::string EthAddr::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1], bytes_[2],
+                bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace xk

@@ -1,0 +1,134 @@
+#include "src/proto/topology.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xk {
+
+Internet::Internet(HostEnv default_env, uint64_t seed) : default_env_(default_env), seed_(seed) {}
+
+Internet::~Internet() {
+  // Kernels (and the protocols inside them) may hold sessions referring to
+  // segments; destroy kernels first.
+  kernels_.clear();
+  segments_.clear();
+}
+
+int Internet::AddSegment(WireModel wire) {
+  const int id = static_cast<int>(segments_.size());
+  segments_.push_back(
+      std::make_unique<EthernetSegment>(events_, wire, seed_ + static_cast<uint64_t>(id)));
+  attachments_.emplace_back();
+  return id;
+}
+
+HostStack& Internet::AddHost(const std::string& name, int segment, IpAddr ip,
+                             std::optional<HostEnv> env) {
+  const EthAddr mac = EthAddr::FromIndex(next_eth_index_++);
+  auto kernel = std::make_unique<Kernel>(name, events_, env.value_or(default_env_), ip, mac);
+  Kernel* k = kernel.get();
+  kernels_.push_back(std::move(kernel));
+
+  HostStack stack;
+  stack.kernel = k;
+  // Protocol constructors perform open_enables, which charge the CPU, so the
+  // graph is built inside a configuration task.
+  k->RunTask(events_.now(), [&]() {
+    stack.eth = &k->Emplace<EthProtocol>(*k, *segments_[segment]);
+    stack.arp = &k->Emplace<ArpProtocol>(*k, stack.eth);
+    stack.ip = &k->Emplace<IpProtocol>(
+        *k, std::vector<IpInterface>{IpInterface{stack.eth, stack.arp, ip, 24}});
+  });
+  attachments_[segment].push_back(Attachment{ip, mac, stack.arp});
+  hosts_.emplace_back(name, stack);
+  return hosts_.back().second;
+}
+
+HostStack& Internet::AddRouter(const std::string& name,
+                               std::vector<std::pair<int, IpAddr>> attachments) {
+  assert(!attachments.empty());
+  const EthAddr primary_mac = EthAddr::FromIndex(next_eth_index_);
+  auto kernel = std::make_unique<Kernel>(name, events_, default_env_, attachments[0].second,
+                                         primary_mac);
+  Kernel* k = kernel.get();
+  kernels_.push_back(std::move(kernel));
+
+  HostStack stack;
+  stack.kernel = k;
+  k->RunTask(events_.now(), [&]() {
+    std::vector<IpInterface> ifaces;
+    for (size_t i = 0; i < attachments.size(); ++i) {
+      const auto& [seg, addr] = attachments[i];
+      const EthAddr mac = EthAddr::FromIndex(next_eth_index_++);
+      auto* eth = &k->Emplace<EthProtocol>(*k, *segments_[seg], mac,
+                                           "eth" + std::to_string(i));
+      auto* arp = &k->Emplace<ArpProtocol>(*k, eth, addr, "arp" + std::to_string(i));
+      ifaces.push_back(IpInterface{eth, arp, addr, 24});
+      attachments_[seg].push_back(Attachment{addr, mac, arp});
+      if (i == 0) {
+        stack.eth = eth;
+        stack.arp = arp;
+      }
+    }
+    stack.ip = &k->Emplace<IpProtocol>(*k, std::move(ifaces));
+    stack.ip->set_forwarding(true);
+  });
+  hosts_.emplace_back(name, stack);
+  return hosts_.back().second;
+}
+
+void Internet::WarmArp() {
+  for (const auto& seg : attachments_) {
+    for (const Attachment& a : seg) {
+      a.arp->kernel().RunTask(events_.now(), [&]() {
+        for (const Attachment& b : seg) {
+          if (&a == &b) {
+            continue;
+          }
+          ControlArgs args;
+          args.ip = b.ip;
+          args.eth = b.eth;
+          (void)a.arp->Control(ControlOp::kAddResolveEntry, args);
+        }
+      });
+    }
+  }
+}
+
+void Internet::SetDefaultGateway(const std::string& host_name, IpAddr gw) {
+  HostStack& h = host(host_name);
+  h.kernel->RunTask(events_.now(), [&]() { h.ip->SetDefaultGateway(gw); });
+}
+
+HostStack& Internet::host(const std::string& name) {
+  for (auto& [n, stack] : hosts_) {
+    if (n == name) {
+      return stack;
+    }
+  }
+  throw std::out_of_range("no such host: " + name);
+}
+
+std::unique_ptr<Internet> Internet::TwoHosts(HostEnv env) {
+  auto net = std::make_unique<Internet>(env);
+  const int seg = net->AddSegment();
+  net->AddHost("client", seg, IpAddr(10, 0, 1, 1));
+  net->AddHost("server", seg, IpAddr(10, 0, 1, 2));
+  net->WarmArp();
+  return net;
+}
+
+std::unique_ptr<Internet> Internet::TwoSegments(HostEnv env) {
+  auto net = std::make_unique<Internet>(env);
+  const int seg_a = net->AddSegment();
+  const int seg_b = net->AddSegment();
+  net->AddHost("client", seg_a, IpAddr(10, 0, 1, 1));
+  net->AddHost("server", seg_b, IpAddr(10, 0, 2, 1));
+  net->AddRouter("router", {{seg_a, IpAddr(10, 0, 1, 254)}, {seg_b, IpAddr(10, 0, 2, 254)}});
+  net->WarmArp();
+  net->SetDefaultGateway("client", IpAddr(10, 0, 1, 254));
+  net->SetDefaultGateway("server", IpAddr(10, 0, 2, 254));
+  return net;
+}
+
+}  // namespace xk

@@ -1,0 +1,105 @@
+// Topology builder: assembles simulated internetworks (hosts, Ethernet
+// segments, routers) with the standard substrate stack (ETH + ARP + IP) on
+// every node. Tests, benchmarks, and examples build their experiment
+// networks through this.
+//
+// The paper's testbed -- "a pair of Sun 3/75s connected by an isolated 10Mbps
+// ethernet" -- is Internet::TwoHosts(); multi-segment topologies exercise the
+// routed (non-local) paths that motivate VIP.
+
+#ifndef XK_SRC_PROTO_TOPOLOGY_H_
+#define XK_SRC_PROTO_TOPOLOGY_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/kernel.h"
+#include "src/proto/arp.h"
+#include "src/proto/eth.h"
+#include "src/proto/ip.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/link.h"
+
+namespace xk {
+
+// The substrate protocols of one node. Higher layers (VIP, RPC, ...) are
+// added by the stack builders in src/app.
+struct HostStack {
+  Kernel* kernel = nullptr;
+  EthProtocol* eth = nullptr;  // first interface (hosts have exactly one)
+  ArpProtocol* arp = nullptr;
+  IpProtocol* ip = nullptr;
+};
+
+class Internet {
+ public:
+  explicit Internet(HostEnv default_env = HostEnv::kXKernel, uint64_t seed = 1);
+  ~Internet();
+
+  Internet(const Internet&) = delete;
+  Internet& operator=(const Internet&) = delete;
+
+  // --- construction -----------------------------------------------------------
+
+  // Adds an Ethernet segment; returns its id.
+  int AddSegment(WireModel wire = WireModel{});
+
+  // Adds a host with the substrate stack on `segment`. The environment
+  // defaults to the Internet's.
+  HostStack& AddHost(const std::string& name, int segment, IpAddr ip,
+                     std::optional<HostEnv> env = std::nullopt);
+
+  // Adds a router attached to several segments (one (segment, address) pair
+  // per interface), with IP forwarding enabled.
+  HostStack& AddRouter(const std::string& name,
+                       std::vector<std::pair<int, IpAddr>> attachments);
+
+  // Installs static ARP entries for every same-segment pair, modeling the
+  // warm caches of the paper's steady-state measurements.
+  void WarmArp();
+
+  // Sets `host`'s default gateway.
+  void SetDefaultGateway(const std::string& host, IpAddr gw);
+
+  // --- canned topologies ------------------------------------------------------
+
+  // The paper's testbed: two hosts, one isolated segment, warm caches.
+  // Hosts are "client" (10.0.1.1) and "server" (10.0.1.2).
+  static std::unique_ptr<Internet> TwoHosts(HostEnv env = HostEnv::kXKernel);
+
+  // Two segments joined by a router; "client" (10.0.1.1) and "server"
+  // (10.0.2.1) are on different segments, default routes installed.
+  static std::unique_ptr<Internet> TwoSegments(HostEnv env = HostEnv::kXKernel);
+
+  // --- access -----------------------------------------------------------------
+  EventQueue& events() { return events_; }
+  EthernetSegment& segment(int id) { return *segments_[id]; }
+  HostStack& host(const std::string& name);
+
+  // Runs the simulation to quiescence; returns events fired.
+  size_t RunAll() { return events_.Run(); }
+
+ private:
+  struct Attachment {
+    IpAddr ip;
+    EthAddr eth;
+    ArpProtocol* arp;
+  };
+
+  HostEnv default_env_;
+  EventQueue events_;
+  uint64_t seed_;
+  uint32_t next_eth_index_ = 1;
+  std::vector<std::unique_ptr<EthernetSegment>> segments_;
+  std::vector<std::vector<Attachment>> attachments_;  // per segment
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  // deque: AddHost/AddRouter return stable references into this container.
+  std::deque<std::pair<std::string, HostStack>> hosts_;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_PROTO_TOPOLOGY_H_

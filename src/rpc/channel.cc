@@ -1,0 +1,336 @@
+#include "src/rpc/channel.h"
+
+#include "src/core/wire.h"
+
+namespace xk {
+
+namespace {
+constexpr uint16_t kFlagRequest = 0x1;
+constexpr uint16_t kFlagReply = 0x2;
+constexpr uint16_t kFlagAck = 0x4;        // explicit "still working on it"
+constexpr uint16_t kFlagPleaseAck = 0x8;  // retransmitted request asks for one
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ChannelProtocol
+// ---------------------------------------------------------------------------
+
+ChannelProtocol::ChannelProtocol(Kernel& kernel, Protocol* lower, std::string name)
+    : Protocol(kernel, std::move(name), {lower}), active_(kernel), passive_(kernel) {
+  ParticipantSet enable;
+  enable.local.ip_proto = kIpProtoChannel;
+  enable.local.rel_proto = kRelProtoChannel;
+  (void)this->lower(0)->OpenEnable(*this, enable);
+}
+
+Result<SessionRef> ChannelProtocol::DoOpen(Protocol& hlp, const ParticipantSet& parts) {
+  if (!parts.peer.host.has_value() || !parts.local.rel_proto.has_value()) {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+  // Protocols that do not manage channel ids themselves (e.g. SUN_SELECT when
+  // CHANNEL replaces REQUEST_REPLY) get channel 0.
+  const uint16_t channel_id = parts.local.channel.value_or(0);
+  const Key key{*parts.peer.host, channel_id, *parts.local.rel_proto};
+  if (SessionRef cached = active_.Resolve(key)) {
+    cached->set_hlp(&hlp);
+    return cached;
+  }
+  ParticipantSet lparts;
+  lparts.peer.host = *parts.peer.host;
+  lparts.local.ip_proto = kIpProtoChannel;       // read by VIP/IP lowers
+  lparts.local.rel_proto = kRelProtoChannel;     // read by FRAGMENT/VIP_SIZE lowers
+  Result<SessionRef> lower_sess = lower(0)->Open(*this, lparts);
+  if (!lower_sess.ok()) {
+    return lower_sess.status();
+  }
+  kernel().ChargeSessionCreate();
+  auto sess = std::make_shared<ChannelSession>(*this, &hlp, *parts.peer.host,
+                                               channel_id, *parts.local.rel_proto,
+                                               *lower_sess);
+  active_.Bind(key, sess);
+  return SessionRef(sess);
+}
+
+Status ChannelProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
+  if (!parts.local.rel_proto.has_value()) {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+  if (Protocol* existing = passive_.Peek(*parts.local.rel_proto);
+      existing != nullptr && existing != &hlp) {
+    return ErrStatus(StatusCode::kAlreadyExists);
+  }
+  passive_.Bind(*parts.local.rel_proto, &hlp);
+  return OkStatus();
+}
+
+Status ChannelProtocol::DoDemux(Session* lls, Message& msg) {
+  uint8_t raw[kHeaderSize];
+  if (!msg.PopHeader(raw)) {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+  kernel().ChargeHdrLoad(kHeaderSize);
+  WireReader r(raw);
+  const uint16_t flags = r.GetU16();
+  const uint16_t channel = r.GetU16();
+  const RelProtoNum proto = r.GetU32();
+  const uint32_t seq = r.GetU32();
+  const uint16_t error = r.GetU16();
+  const uint32_t boot_id = r.GetU32();
+
+  // The peer's address comes from the delivering session, not the header
+  // (CHANNEL deliberately carries no host addresses -- FRAGMENT or IP below
+  // know them).
+  IpAddr peer;
+  if (lls != nullptr) {
+    ControlArgs args;
+    if (lls->Control(ControlOp::kGetPeerHost, args).ok()) {
+      peer = args.ip;
+    }
+  }
+  const Key key{peer, channel, proto};
+  SessionRef sess = active_.Resolve(key);
+  if (sess == nullptr) {
+    Protocol* hlp = passive_.Resolve(proto);
+    if (hlp == nullptr || lls == nullptr) {
+      kernel().Tracef(2, "channel: no binding for proto %u", proto);
+      return ErrStatus(StatusCode::kNotFound);
+    }
+    kernel().ChargeSessionCreate();
+    auto created =
+        std::make_shared<ChannelSession>(*this, hlp, peer, channel, proto, lls->Ref());
+    active_.Bind(key, created);
+    ParticipantSet up;
+    up.local.rel_proto = proto;
+    up.local.channel = channel;
+    up.peer.host = peer;
+    Status s = hlp->OpenDoneUp(*this, created, up);
+    if (!s.ok()) {
+      active_.Unbind(key);
+      return s;
+    }
+    sess = created;
+  }
+  return static_cast<ChannelSession*>(sess.get())
+      ->HandlePacket(flags, seq, error, boot_id, msg, lls);
+}
+
+Status ChannelProtocol::DoControl(ControlOp op, ControlArgs& args) {
+  switch (op) {
+    case ControlOp::kGetRetransmits:
+      args.u64 = stats_.retransmissions;
+      return OkStatus();
+    case ControlOp::kGetDuplicatesDropped:
+      args.u64 = stats_.duplicates_suppressed;
+      return OkStatus();
+    case ControlOp::kSetTimeoutBase:
+      base_timeout_ = static_cast<SimTime>(args.u64);
+      return OkStatus();
+    case ControlOp::kSetRetransmitLimit:
+      retry_limit_ = static_cast<int>(args.u64);
+      return OkStatus();
+    case ControlOp::kGetMaxSendSize:
+      // CHANNEL adds a header but does not fragment; it depends on the layer
+      // below to carry (or split) what its own clients push.
+      return lower(0)->Control(ControlOp::kGetMaxPacket, args);
+    default:
+      return ErrStatus(StatusCode::kUnsupported);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ChannelSession
+// ---------------------------------------------------------------------------
+
+ChannelSession::ChannelSession(ChannelProtocol& owner, Protocol* hlp, IpAddr peer,
+                               uint16_t channel, RelProtoNum proto, SessionRef lower)
+    : Session(owner, hlp),
+      chan_(owner),
+      peer_(peer),
+      channel_(channel),
+      proto_(proto),
+      lower_(std::move(lower)) {}
+
+void ChannelSession::Send(uint16_t flags, uint32_t seq, uint16_t error,
+                          const Message& payload) {
+  uint8_t raw[ChannelProtocol::kHeaderSize];
+  WireWriter w(raw);
+  w.PutU16(flags);
+  w.PutU16(channel_);
+  w.PutU32(proto_);
+  w.PutU32(seq);
+  w.PutU16(error);
+  w.PutU32(kernel().boot_id());
+  Message pkt = payload;
+  kernel().ChargeHdrStore(ChannelProtocol::kHeaderSize);
+  pkt.PushHeader(raw);
+  (void)lower_->Push(pkt);
+}
+
+SimTime ChannelSession::TimeoutFor(const Message& msg) const {
+  // Step function: single-fragment messages use the base timeout;
+  // multi-fragment messages wait long enough that FRAGMENT cannot still be
+  // mid-transfer (paper, Section 3.2).
+  ControlArgs args;
+  size_t opt = 1024;
+  if (lower_->Control(ControlOp::kGetOptPacket, args).ok()) {
+    opt = args.u64;
+  }
+  const size_t frags = msg.length() / (opt + 1) + 1;
+  return chan_.base_timeout_ * static_cast<SimTime>(frags);
+}
+
+void ChannelSession::ArmTimer() {
+  pending_->timer = kernel().SetTimer(
+      TimeoutFor(pending_->request) * (pending_->acked ? 4 : 1), [this]() { OnTimeout(); });
+}
+
+void ChannelSession::OnTimeout() {
+  if (!pending_.has_value()) {
+    return;
+  }
+  if (pending_->retries >= chan_.retry_limit_) {
+    ++chan_.stats_.call_failures;
+    pending_.reset();
+    if (hlp() != nullptr) {
+      hlp()->SessionError(*this, ErrStatus(StatusCode::kTimeout));
+    }
+    return;
+  }
+  ++pending_->retries;
+  ++chan_.stats_.retransmissions;
+  // Retransmissions ask the server to confirm liveness explicitly.
+  Send(kFlagRequest | kFlagPleaseAck, pending_->seq, 0, pending_->request);
+  ArmTimer();
+}
+
+Status ChannelSession::DoPush(Message& msg) {
+  if (in_progress_) {
+    // A request from the peer is executing here: this push is its reply.
+    in_progress_ = false;
+    saved_reply_ = msg;  // kept until implicitly acked by the next request
+    Send(kFlagReply, recv_seq_, 0, msg);
+    return OkStatus();
+  }
+  // Client call.
+  if (pending_.has_value()) {
+    return ErrStatus(StatusCode::kError);  // one outstanding call per channel
+  }
+  const uint32_t seq = ++send_seq_;
+  ++chan_.stats_.calls_sent;
+  pending_.emplace();
+  pending_->request = msg;
+  pending_->seq = seq;
+  Send(kFlagRequest, seq, 0, msg);
+  ArmTimer();
+  kernel().ChargeSemOp();  // the calling shepherd blocks awaiting the reply
+  return OkStatus();
+}
+
+Status ChannelSession::HandleRequest(uint32_t seq, uint32_t boot_id, Message& payload,
+                                     Session* lls) {
+  if (lls != nullptr) {
+    lower_ = lls->Ref();  // replies return the way the request came
+  }
+  if (client_boot_id_ != 0 && boot_id != client_boot_id_) {
+    // The client rebooted: its sequence space restarted.
+    ++chan_.stats_.boot_resets;
+    recv_seq_ = 0;
+    in_progress_ = false;
+    saved_reply_.reset();
+  }
+  client_boot_id_ = boot_id;
+
+  if (seq == recv_seq_) {
+    // Duplicate of the current request: at-most-once -- never re-execute.
+    ++chan_.stats_.duplicates_suppressed;
+    if (saved_reply_.has_value()) {
+      ++chan_.stats_.replies_resent;
+      Send(kFlagReply, recv_seq_, 0, *saved_reply_);
+    } else if (in_progress_) {
+      ++chan_.stats_.explicit_acks_sent;
+      Send(kFlagAck, recv_seq_, 0, Message());
+    }
+    return OkStatus();
+  }
+  if (seq < recv_seq_) {
+    ++chan_.stats_.stale_drops;
+    return OkStatus();
+  }
+  // New request: implicitly acknowledges the previous reply.
+  saved_reply_.reset();
+  recv_seq_ = seq;
+  in_progress_ = true;
+  ++chan_.stats_.requests_executed;
+  // Dispatch to the server process.
+  kernel().ChargeSemOp();
+  kernel().ChargeProcessSwitch();
+  return DeliverUp(payload);
+}
+
+Status ChannelSession::HandleReply(uint16_t flags, uint32_t seq, uint16_t error,
+                                   Message& payload) {
+  if (!pending_.has_value() || seq != pending_->seq) {
+    ++chan_.stats_.stale_drops;
+    return OkStatus();  // late reply to an abandoned/completed call
+  }
+  if (flags & kFlagAck) {
+    // Explicit ack: the server is alive and still working; wait longer.
+    ++chan_.stats_.explicit_acks_received;
+    pending_->acked = true;
+    kernel().CancelTimer(pending_->timer);
+    ArmTimer();
+    return OkStatus();
+  }
+  (void)error;
+  kernel().CancelTimer(pending_->timer);
+  pending_.reset();
+  ++chan_.stats_.replies_received;
+  // Wake the blocked calling shepherd.
+  kernel().ChargeSemOp();
+  kernel().ChargeProcessSwitch();
+  return DeliverUp(payload);
+}
+
+Status ChannelSession::HandlePacket(uint16_t flags, uint32_t seq, uint16_t error,
+                                    uint32_t boot_id, Message& payload, Session* lls) {
+  if (flags & kFlagRequest) {
+    return HandleRequest(seq, boot_id, payload, lls);
+  }
+  if (flags & (kFlagReply | kFlagAck)) {
+    if (peer_boot_id_ != 0 && boot_id != peer_boot_id_ && pending_.has_value()) {
+      // The server rebooted while we were waiting: the call's fate is
+      // unknown. Surface the failure (Sprite's crash detection would).
+      ++chan_.stats_.boot_resets;
+    }
+    peer_boot_id_ = boot_id;
+    return HandleReply(flags, seq, error, payload);
+  }
+  return ErrStatus(StatusCode::kInvalidArgument);
+}
+
+Status ChannelSession::DoPop(Message& msg, Session* lls) {
+  (void)lls;
+  return DeliverUp(msg);
+}
+
+Status ChannelSession::DoControl(ControlOp op, ControlArgs& args) {
+  switch (op) {
+    case ControlOp::kGetPeerHost:
+      args.ip = peer_;
+      return OkStatus();
+    case ControlOp::kGetMyHost:
+      args.ip = kernel().ip_addr();
+      return OkStatus();
+    case ControlOp::kGetMyProto:
+    case ControlOp::kGetPeerProto:
+      args.u64 = proto_;
+      return OkStatus();
+    case ControlOp::kGetBootId:
+      args.u64 = peer_boot_id_;
+      return OkStatus();
+    default:
+      return ErrStatus(StatusCode::kUnsupported);
+  }
+}
+
+}  // namespace xk

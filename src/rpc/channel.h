@@ -1,0 +1,140 @@
+// CHANNEL: request/reply transactions with at-most-once semantics (paper,
+// Section 3.2).
+//
+// Each channel is a separate x-kernel session running the Sprite algorithm:
+// a high-level protocol pushes a request into the channel and the reply is
+// returned (delivered up when it arrives, with the blocked shepherd's
+// semaphore and process-switch costs charged at the paper's attribution
+// points -- CHANNEL is the most expensive layer because "of the cost of
+// synchronization and process switching that is intrinsic to the
+// request/reply paradigm").
+//
+//  * IMPLICIT ACKNOWLEDGEMENT: a reply acknowledges its request; the next
+//    request on a channel acknowledges the previous reply (whose saved copy
+//    the server then discards).
+//  * AT-MOST-ONCE: duplicate requests are answered from the saved reply (if
+//    done) or elicit an explicit ACK (if still executing); they are never
+//    re-executed.
+//  * STEP-FUNCTION TIMEOUT: because FRAGMENT exists as a separate protocol
+//    below, CHANNEL's retransmit timer grows with the number of fragments the
+//    message will become, so it never fires while FRAGMENT is mid-transfer.
+//  * BOOT IDs detect peer reboots; a rebooted client resets the channel, a
+//    rebooted server fails the pending call.
+//
+// Header (paper appendix, CHANNEL_HDR):
+//   flags(2) channel(2) protocol_num(4) sequence_num(4) error(2) boot_id(4)
+//   -- 18 bytes. Note the deliberate duplication the paper discusses: both
+//   FRAGMENT and CHANNEL carry their own sequence number and protocol number.
+
+#ifndef XK_SRC_RPC_CHANNEL_H_
+#define XK_SRC_RPC_CHANNEL_H_
+
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "src/core/kernel.h"
+#include "src/core/map.h"
+#include "src/core/protocol.h"
+
+namespace xk {
+
+class ChannelProtocol : public Protocol {
+ public:
+  static constexpr size_t kHeaderSize = 18;
+
+  // `lower` is FRAGMENT, VIP_SIZE, VIP, or IP -- anything host-addressed.
+  ChannelProtocol(Kernel& kernel, Protocol* lower, std::string name = "channel");
+
+  void set_base_timeout(SimTime t) { base_timeout_ = t; }
+  void set_retry_limit(int n) { retry_limit_ = n; }
+
+  struct Stats {
+    uint64_t calls_sent = 0;
+    uint64_t replies_received = 0;
+    uint64_t requests_executed = 0;
+    uint64_t retransmissions = 0;
+    uint64_t duplicates_suppressed = 0;  // duplicate requests NOT re-executed
+    uint64_t replies_resent = 0;         // answered from the saved reply
+    uint64_t explicit_acks_sent = 0;
+    uint64_t explicit_acks_received = 0;
+    uint64_t call_failures = 0;  // retries exhausted
+    uint64_t boot_resets = 0;
+    uint64_t stale_drops = 0;  // old-sequence packets discarded
+  };
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
+  Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;
+  Status DoDemux(Session* lls, Message& msg) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+
+ private:
+  friend class ChannelSession;
+  using Key = std::tuple<IpAddr, uint16_t, RelProtoNum>;  // (peer, channel, proto)
+
+  DemuxMap<Key> active_;
+  DemuxMap<RelProtoNum, Protocol*> passive_;
+  SimTime base_timeout_ = Msec(50);
+  int retry_limit_ = 5;
+  Stats stats_;
+};
+
+class ChannelSession : public Session {
+ public:
+  ChannelSession(ChannelProtocol& owner, Protocol* hlp, IpAddr peer, uint16_t channel,
+                 RelProtoNum proto, SessionRef lower);
+
+  Status HandlePacket(uint16_t flags, uint32_t seq, uint16_t error, uint32_t boot_id,
+                      Message& payload, Session* lls);
+
+  uint16_t channel_id() const { return channel_; }
+  bool call_pending() const { return pending_.has_value(); }
+
+ protected:
+  // Push semantics depend on direction: with no request executing locally
+  // this is a CLIENT CALL (send request, await reply); while a request from
+  // the peer is executing, it is the SERVER'S REPLY to that request.
+  Status DoPush(Message& msg) override;
+  Status DoPop(Message& msg, Session* lls) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+  Session* lower_for_control() const override { return lower_.get(); }
+
+ private:
+  struct PendingCall {
+    Message request;  // saved for retransmission
+    uint32_t seq = 0;
+    int retries = 0;
+    bool acked = false;  // server sent an explicit "I'm working on it"
+    EventHandle timer;
+  };
+
+  void Send(uint16_t flags, uint32_t seq, uint16_t error, const Message& payload);
+  SimTime TimeoutFor(const Message& msg) const;
+  void ArmTimer();
+  void OnTimeout();
+  Status HandleRequest(uint32_t seq, uint32_t boot_id, Message& payload, Session* lls);
+  Status HandleReply(uint16_t flags, uint32_t seq, uint16_t error, Message& payload);
+
+  ChannelProtocol& chan_;
+  IpAddr peer_;
+  uint16_t channel_;
+  RelProtoNum proto_;
+  SessionRef lower_;
+
+  // --- client half ------------------------------------------------------------
+  uint32_t send_seq_ = 0;
+  std::optional<PendingCall> pending_;
+  uint32_t peer_boot_id_ = 0;
+
+  // --- server half ------------------------------------------------------------
+  uint32_t recv_seq_ = 0;
+  bool in_progress_ = false;
+  std::optional<Message> saved_reply_;
+  uint32_t client_boot_id_ = 0;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_RPC_CHANNEL_H_

@@ -1,0 +1,321 @@
+#include "src/rpc/select.h"
+
+#include "src/core/wire.h"
+
+namespace xk {
+
+// ---------------------------------------------------------------------------
+// SelectProtocol
+// ---------------------------------------------------------------------------
+
+SelectProtocol::SelectProtocol(Kernel& kernel, Protocol* lower, std::string name,
+                               RelProtoNum rel_proto)
+    : Protocol(kernel, std::move(name), {lower}),
+      rel_proto_(rel_proto),
+      active_(kernel),
+      passive_(kernel),
+      calls_(kernel),
+      server_sessions_(kernel) {
+  ParticipantSet enable;
+  enable.local.rel_proto = rel_proto_;
+  (void)this->lower(0)->OpenEnable(*this, enable);
+}
+
+Result<SelectProtocol::ChannelPool*> SelectProtocol::PoolFor(IpAddr server) {
+  auto it = pools_.find(server);
+  if (it != pools_.end()) {
+    return &it->second;
+  }
+  // First contact with this server: open the fixed set of channels once and
+  // cache them for every subsequent call ("caching open sessions at all three
+  // levels" -- the paper's first layering pitfall).
+  ChannelPool pool;
+  pool.available = std::make_unique<XSemaphore>(kernel(), kNumChannels);
+  for (int i = 0; i < kNumChannels; ++i) {
+    ParticipantSet parts;
+    parts.peer.host = server;
+    parts.local.channel = static_cast<uint16_t>(i);
+    parts.local.rel_proto = rel_proto_;
+    Result<SessionRef> chan = lower(0)->Open(*this, parts);
+    if (!chan.ok()) {
+      return chan.status();
+    }
+    pool.channels.push_back(*chan);
+    pool.busy.push_back(false);
+  }
+  return &pools_.emplace(server, std::move(pool)).first->second;
+}
+
+void SelectProtocol::ReleaseChannel(ChannelPool& pool, size_t index) {
+  pool.busy[index] = false;
+  pool.available->V();
+}
+
+int SelectProtocol::free_channels(IpAddr server) const {
+  auto it = pools_.find(server);
+  if (it == pools_.end()) {
+    return kNumChannels;
+  }
+  int n = 0;
+  for (bool b : it->second.busy) {
+    n += b ? 0 : 1;
+  }
+  return n;
+}
+
+Result<SessionRef> SelectProtocol::DoOpen(Protocol& hlp, const ParticipantSet& parts) {
+  if (!parts.peer.host.has_value() || !parts.peer.command.has_value()) {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+  const Key key{*parts.peer.host, *parts.peer.command};
+  if (SessionRef cached = active_.Resolve(key)) {
+    cached->set_hlp(&hlp);
+    return cached;
+  }
+  Result<ChannelPool*> pool = PoolFor(*parts.peer.host);
+  if (!pool.ok()) {
+    return pool.status();
+  }
+  kernel().ChargeSessionCreate();
+  auto sess =
+      std::make_shared<SelectSession>(*this, &hlp, *parts.peer.host, *parts.peer.command);
+  active_.Bind(key, sess);
+  return SessionRef(sess);
+}
+
+Status SelectProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
+  const uint16_t command = parts.local.command.value_or(kAnyCommand);
+  if (Protocol* existing = passive_.Peek(command); existing != nullptr && existing != &hlp) {
+    return ErrStatus(StatusCode::kAlreadyExists);
+  }
+  passive_.Bind(command, &hlp);
+  return OkStatus();
+}
+
+Protocol* SelectProtocol::HlpForCommand(uint16_t command) {
+  if (Protocol* exact = passive_.Resolve(command)) {
+    return exact;
+  }
+  return passive_.Peek(kAnyCommand);
+}
+
+Status SelectProtocol::DoDemux(Session* lls, Message& msg) {
+  uint8_t raw[kHeaderSize];
+  if (!msg.PopHeader(raw)) {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+  kernel().ChargeHdrLoad(kHeaderSize);
+  WireReader r(raw);
+  const uint8_t type = r.GetU8();
+  const uint16_t command = r.GetU16();
+  const uint8_t status = r.GetU8();
+  if (lls == nullptr) {
+    return ErrStatus(StatusCode::kInvalidArgument);
+  }
+
+  if (type == kTypeCall) {
+    // Server side: map the command onto a procedure.
+    Protocol* hlp = HlpForCommand(command);
+    if (hlp == nullptr) {
+      ++stats_.no_such_command;
+      uint8_t reply_raw[kHeaderSize];
+      WireWriter w(reply_raw);
+      w.PutU8(kTypeReturn);
+      w.PutU16(command);
+      w.PutU8(kStatusNoSuchCommand);
+      Message reply;
+      kernel().ChargeHdrStore(kHeaderSize);
+      reply.PushHeader(reply_raw);
+      return lls->Push(reply);  // the channel is in_progress: this is its reply
+    }
+    SessionRef server_sess = server_sessions_.Resolve(lls);
+    if (server_sess == nullptr) {
+      kernel().ChargeSessionCreate();
+      server_sess = std::make_shared<SelectServerSession>(*this, hlp, lls->Ref());
+      server_sessions_.Bind(lls, server_sess);
+      ParticipantSet up;
+      up.local.command = command;
+      Status s = hlp->OpenDoneUp(*this, server_sess, up);
+      if (!s.ok()) {
+        server_sessions_.Unbind(lls);
+        return s;
+      }
+    }
+    auto* ss = static_cast<SelectServerSession*>(server_sess.get());
+    ss->set_last_command(command);
+    ss->set_hlp(hlp);
+    ++stats_.served;
+    return server_sess->Pop(msg, lls);
+  }
+
+  if (type == kTypeReturn) {
+    // Client side: match the reply to the call occupying this channel.
+    SessionRef caller = calls_.Resolve(lls);
+    if (caller == nullptr) {
+      return ErrStatus(StatusCode::kNotFound);
+    }
+    ++stats_.returns;
+    return static_cast<SelectSession*>(caller.get())->CompleteCall(lls, status, msg);
+  }
+  return ErrStatus(StatusCode::kInvalidArgument);
+}
+
+void SelectProtocol::SessionError(Session& lls, Status error) {
+  // A channel call failed (e.g., retransmissions exhausted). Release the
+  // channel and propagate to whoever was calling through it.
+  SessionRef caller = calls_.Peek(&lls);
+  if (caller == nullptr) {
+    return;
+  }
+  calls_.Unbind(&lls);
+  auto* sess = static_cast<SelectSession*>(caller.get());
+  auto it = pools_.find(sess->server());
+  if (it != pools_.end()) {
+    for (size_t i = 0; i < it->second.channels.size(); ++i) {
+      if (it->second.channels[i].get() == &lls) {
+        ReleaseChannel(it->second, i);
+        break;
+      }
+    }
+  }
+  if (sess->hlp() != nullptr) {
+    sess->hlp()->SessionError(*sess, error);
+  }
+}
+
+Status SelectProtocol::DoControl(ControlOp op, ControlArgs& args) {
+  switch (op) {
+    case ControlOp::kGetFreeChannels:
+      args.u64 = static_cast<uint64_t>(free_channels(args.ip));
+      return OkStatus();
+    case ControlOp::kGetMaxSendSize:
+      return lower(0)->Control(ControlOp::kGetMaxSendSize, args);
+    default:
+      return ErrStatus(StatusCode::kUnsupported);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SelectSession (client)
+// ---------------------------------------------------------------------------
+
+SelectSession::SelectSession(SelectProtocol& owner, Protocol* hlp, IpAddr server,
+                             uint16_t command)
+    : Session(owner, hlp), sel_(owner), server_(server), command_(command) {}
+
+Status SelectSession::DoPush(Message& msg) {
+  Result<SelectProtocol::ChannelPool*> pool_r = sel_.PoolFor(server_);
+  if (!pool_r.ok()) {
+    return pool_r.status();
+  }
+  SelectProtocol::ChannelPool* pool = *pool_r;
+  last_request_ = msg;
+  forward_hops_ = 0;
+  ++sel_.stats_.calls;
+  if (pool->available->count() == 0) {
+    ++sel_.stats_.blocked_on_channel;
+  }
+  // Blocks (queues the continuation) if every channel is busy.
+  pool->available->P([this, pool, msg]() mutable {
+    size_t index = 0;
+    while (index < pool->busy.size() && pool->busy[index]) {
+      ++index;
+    }
+    pool->busy[index] = true;
+    SessionRef channel = pool->channels[index];
+    sel_.calls_.Bind(channel.get(), Ref());
+
+    uint8_t raw[SelectProtocol::kHeaderSize];
+    WireWriter w(raw);
+    w.PutU8(SelectProtocol::kTypeCall);
+    w.PutU16(command_);
+    w.PutU8(SelectProtocol::kStatusOk);
+    kernel().ChargeHdrStore(SelectProtocol::kHeaderSize);
+    msg.PushHeader(raw);
+    (void)channel->Push(msg);
+  });
+  return OkStatus();
+}
+
+Status SelectSession::CompleteCall(Session* channel, uint8_t status, Message& reply) {
+  // Unbind BEFORE releasing: V() may run a blocked caller inline, and that
+  // caller immediately re-binds this channel to its own call.
+  sel_.calls_.Unbind(channel);
+  // Find the pool owning this channel. Usually it is this session's server's
+  // pool, but a forwarded call's reply arrives on the forward target's pool.
+  for (auto& [host, pool] : sel_.pools_) {
+    bool found = false;
+    for (size_t i = 0; i < pool.channels.size(); ++i) {
+      if (pool.channels[i].get() == channel) {
+        sel_.ReleaseChannel(pool, i);
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      break;
+    }
+  }
+  if (status != SelectProtocol::kStatusOk) {
+    if (hlp() != nullptr) {
+      hlp()->SessionError(*this, ErrStatus(StatusCode::kNotFound));
+    }
+    return OkStatus();
+  }
+  return DeliverUp(reply);
+}
+
+Status SelectSession::DoPop(Message& msg, Session* lls) {
+  (void)lls;
+  return DeliverUp(msg);
+}
+
+Status SelectSession::DoControl(ControlOp op, ControlArgs& args) {
+  switch (op) {
+    case ControlOp::kGetPeerHost:
+      args.ip = server_;
+      return OkStatus();
+    case ControlOp::kGetLastCommand:
+      args.u64 = command_;
+      return OkStatus();
+    case ControlOp::kGetFreeChannels:
+      args.u64 = static_cast<uint64_t>(sel_.free_channels(server_));
+      return OkStatus();
+    default:
+      return ErrStatus(StatusCode::kUnsupported);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SelectServerSession
+// ---------------------------------------------------------------------------
+
+SelectServerSession::SelectServerSession(SelectProtocol& owner, Protocol* hlp,
+                                         SessionRef channel)
+    : Session(owner, hlp), sel_(owner), channel_(std::move(channel)) {}
+
+Status SelectServerSession::DoPush(Message& msg) {
+  uint8_t raw[SelectProtocol::kHeaderSize];
+  WireWriter w(raw);
+  w.PutU8(SelectProtocol::kTypeReturn);
+  w.PutU16(last_command_);
+  w.PutU8(SelectProtocol::kStatusOk);
+  kernel().ChargeHdrStore(SelectProtocol::kHeaderSize);
+  msg.PushHeader(raw);
+  return channel_->Push(msg);
+}
+
+Status SelectServerSession::DoPop(Message& msg, Session* lls) {
+  (void)lls;
+  return DeliverUp(msg);
+}
+
+Status SelectServerSession::DoControl(ControlOp op, ControlArgs& args) {
+  if (op == ControlOp::kGetLastCommand) {
+    args.u64 = last_command_;
+    return OkStatus();
+  }
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+}  // namespace xk

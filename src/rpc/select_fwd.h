@@ -1,0 +1,45 @@
+// SELECT_FWD: the alternative selection layer the paper mentions ("we have
+// built an alternative selection layer that does forwarding").
+//
+// A server may answer a call with a FORWARD response naming another host; the
+// client-side selector transparently re-issues the call there (up to a hop
+// budget) and delivers only the final reply to its caller. Because SELECT is
+// a separate protocol, swapping this in requires no change to CHANNEL,
+// FRAGMENT, or the application anchor -- the point of the decomposition.
+
+#ifndef XK_SRC_RPC_SELECT_FWD_H_
+#define XK_SRC_RPC_SELECT_FWD_H_
+
+#include <map>
+
+#include "src/rpc/select.h"
+
+namespace xk {
+
+class SelectFwdProtocol : public SelectProtocol {
+ public:
+  static constexpr int kMaxHops = 4;
+
+  SelectFwdProtocol(Kernel& kernel, Protocol* lower, std::string name = "selectfwd");
+
+  // Server side: calls for `command` are answered with "forward to `target`".
+  void AddForwardingRule(uint16_t command, IpAddr target);
+
+  uint64_t forwards_sent() const { return forwards_sent_; }
+  uint64_t forwards_followed() const { return forwards_followed_; }
+
+ protected:
+  Status DoDemux(Session* lls, Message& msg) override;
+
+ private:
+  Status SendForward(Session* lls, uint16_t command, IpAddr target);
+  Status FollowForward(Session* lls, uint16_t command, Message& msg);
+
+  std::map<uint16_t, IpAddr> forward_rules_;
+  uint64_t forwards_sent_ = 0;
+  uint64_t forwards_followed_ = 0;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_RPC_SELECT_FWD_H_

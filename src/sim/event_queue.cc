@@ -1,0 +1,76 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace xk {
+
+EventHandle EventQueue::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  auto dead = std::make_shared<bool>(false);
+  heap_.push(Event{at, next_seq_++, std::move(fn), dead});
+  ++live_count_;
+  return EventHandle(std::move(dead));
+}
+
+bool EventQueue::PopNext(Event& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the event is moved out via const_cast,
+    // which is safe because we pop immediately and never re-heapify first.
+    Event& top = const_cast<Event&>(heap_.top());
+    Event ev = std::move(top);
+    heap_.pop();
+    --live_count_;
+    if (*ev.dead) {
+      continue;  // cancelled
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+size_t EventQueue::Run(size_t max_events) {
+  size_t fired = 0;
+  Event ev;
+  while (fired < max_events && PopNext(ev)) {
+    now_ = ev.at;
+    *ev.dead = true;
+    ev.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+size_t EventQueue::RunUntil(SimTime deadline) {
+  size_t fired = 0;
+  while (!heap_.empty()) {
+    // Peek: skip dead events at the top first so deadline checks see a live one.
+    if (*heap_.top().dead) {
+      heap_.pop();
+      --live_count_;
+      continue;
+    }
+    if (heap_.top().at > deadline) {
+      break;
+    }
+    Event ev;
+    if (!PopNext(ev)) {
+      break;
+    }
+    now_ = ev.at;
+    *ev.dead = true;
+    ev.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+void EventQueue::AdvanceTo(SimTime t) {
+  assert(t >= now_);
+  now_ = t;
+}
+
+}  // namespace xk

@@ -1,0 +1,106 @@
+// Deterministic discrete-event core.
+//
+// The EventQueue is the single clock of a simulation: every kernel, link, and
+// timer in one experiment shares one queue. Events scheduled for the same
+// instant fire in schedule order (a monotonically increasing sequence number
+// breaks ties), which makes every run bit-for-bit reproducible.
+
+#ifndef XK_SRC_SIM_EVENT_QUEUE_H_
+#define XK_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace xk {
+
+// Handle used to cancel a pending event. Cancellation marks the event dead;
+// the queue skips dead events when they surface.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  bool pending() const { return state_ != nullptr && !*state_; }
+
+  // Cancels the event if still pending. Returns true if it was pending.
+  bool Cancel() {
+    if (!pending()) {
+      return false;
+    }
+    *state_ = true;
+    return true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;  // *state_ == true means dead
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulated time. Advances only inside Run()/RunUntil().
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (clamped to now()).
+  EventHandle ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` from now.
+  EventHandle ScheduleIn(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue is empty or `max_events` have fired.
+  // Returns the number of events fired.
+  size_t Run(size_t max_events = SIZE_MAX);
+
+  // Runs events with firing time <= deadline. The clock is left at
+  // min(deadline, time of last event) -- callers that want the clock pinned
+  // to the deadline should use AdvanceTo afterwards.
+  size_t RunUntil(SimTime deadline);
+
+  // Moves the clock forward without running anything (asserts no earlier
+  // pending events exist; used by test harnesses between phases).
+  void AdvanceTo(SimTime t);
+
+  // Note: a cancelled event is counted until it drains through Run/RunUntil,
+  // so these are upper bounds immediately after a Cancel().
+  bool empty() const { return live_count_ == 0; }
+  size_t pending_events() const { return live_count_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> dead;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopNext(Event& out);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,90 @@
+#include "src/sim/link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace xk {
+
+namespace {
+EthAddr AddrAt(const std::vector<uint8_t>& bytes, size_t off) {
+  std::array<uint8_t, 6> a = {};
+  if (bytes.size() >= off + 6) {
+    for (size_t i = 0; i < 6; ++i) {
+      a[i] = bytes[off + i];
+    }
+  }
+  return EthAddr(a);
+}
+}  // namespace
+
+EthAddr EthFrame::Dst() const { return AddrAt(bytes, 0); }
+EthAddr EthFrame::Src() const { return AddrAt(bytes, 6); }
+
+EthernetSegment::EthernetSegment(EventQueue& events, WireModel wire, uint64_t fault_seed)
+    : events_(events), wire_(wire), rng_(fault_seed) {}
+
+int EthernetSegment::Attach(EthAddr addr, FrameSink* sink) {
+  stations_.push_back(Station{addr, sink});
+  return static_cast<int>(stations_.size()) - 1;
+}
+
+void EthernetSegment::DeliverAt(SimTime at, const EthFrame& frame, int receiver_id) {
+  FrameSink* sink = stations_[receiver_id].sink;
+  EthFrame copy = frame;
+  events_.ScheduleAt(at, [sink, f = std::move(copy)]() { sink->FrameArrived(f); });
+}
+
+void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) {
+  assert(sender_id >= 0 && static_cast<size_t>(sender_id) < stations_.size());
+  const SimTime start = ready_at > bus_free_at_ ? ready_at : bus_free_at_;
+  const SimTime tx = wire_.TransmitTime(frame.bytes.size());
+  const SimTime end = start + tx;
+  bus_free_at_ = end;
+  bus_busy_time_ += tx;
+  ++frames_sent_;
+  bytes_sent_ += frame.bytes.size();
+
+  const EthAddr dst = frame.Dst();
+  const bool broadcast = dst.IsBroadcast();
+  const SimTime arrival = end + wire_.propagation;
+
+  for (size_t i = 0; i < stations_.size(); ++i) {
+    const int rid = static_cast<int>(i);
+    if (rid == sender_id) {
+      continue;
+    }
+    if (!broadcast && stations_[i].addr != dst) {
+      continue;
+    }
+    const uint64_t index = delivery_index_++;
+    if (drop_rate_ > 0.0 && rng_.Chance(drop_rate_)) {
+      ++frames_dropped_;
+      continue;
+    }
+    LinkFault fault = LinkFault::kDeliver;
+    if (fault_hook_) {
+      fault = fault_hook_(frame, rid, index);
+    }
+    switch (fault) {
+      case LinkFault::kDrop:
+        ++frames_dropped_;
+        break;
+      case LinkFault::kDuplicate:
+        DeliverAt(arrival, frame, rid);
+        DeliverAt(arrival + tx, frame, rid);
+        break;
+      case LinkFault::kDeliver:
+        DeliverAt(arrival, frame, rid);
+        break;
+    }
+  }
+}
+
+void EthernetSegment::ResetStats() {
+  frames_sent_ = 0;
+  bytes_sent_ = 0;
+  frames_dropped_ = 0;
+  bus_busy_time_ = 0;
+}
+
+}  // namespace xk

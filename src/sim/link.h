@@ -1,0 +1,111 @@
+// Shared-bus 10 Mbps Ethernet segment.
+//
+// The link carries flat byte frames between attached stations. Transmissions
+// serialize on the bus (a frame ready while the bus is busy queues behind it,
+// which is what lets back-to-back fragments of a 16 KB message saturate the
+// wire). Delivery filters on the destination address in the frame's first six
+// bytes; broadcast frames go to every station except the sender.
+//
+// Fault injection: tests install a hook that can drop, duplicate, or corrupt
+// individual deliveries, and/or set a uniform drop rate, to drive every
+// retransmission path in the protocols above.
+
+#ifndef XK_SRC_SIM_LINK_H_
+#define XK_SRC_SIM_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace xk {
+
+// A raw Ethernet frame on the wire: header (dst, src, type) + payload, as one
+// flat byte vector. Only the Ethernet protocol interprets the full framing;
+// the link peeks at the destination address for delivery filtering.
+struct EthFrame {
+  std::vector<uint8_t> bytes;
+
+  EthAddr Dst() const;
+  EthAddr Src() const;
+};
+
+// Implemented by network interfaces (device drivers) attached to a segment.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+
+  // Called at frame arrival time. The sink is responsible for charging
+  // interrupt and copy costs to its host CPU.
+  virtual void FrameArrived(const EthFrame& frame) = 0;
+};
+
+// Per-delivery fault decision.
+enum class LinkFault : uint8_t {
+  kDeliver,
+  kDrop,
+  kDuplicate,  // deliver twice (second copy one transmit-time later)
+};
+
+class EthernetSegment {
+ public:
+  EthernetSegment(EventQueue& events, WireModel wire, uint64_t fault_seed = 1);
+
+  // Attaches a station; returns its attachment id.
+  int Attach(EthAddr addr, FrameSink* sink);
+
+  // Queues `frame` for transmission; the frame was handed to the controller
+  // at `ready_at` (the sending CPU's task clock). Transmission starts when
+  // the bus frees up.
+  void Transmit(int sender_id, EthFrame frame, SimTime ready_at);
+
+  // Uniform random drop probability applied to every delivery.
+  void set_drop_rate(double p) { drop_rate_ = p; }
+
+  // Test hook consulted per (frame, receiver) delivery; applied after the
+  // uniform drop rate. `delivery_index` counts deliveries since construction
+  // so tests can target "the 3rd frame".
+  using FaultHook = std::function<LinkFault(const EthFrame& frame, int receiver_id,
+                                            uint64_t delivery_index)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  const WireModel& wire() const { return wire_; }
+
+  // --- statistics ------------------------------------------------------------
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  // Total time the bus spent transmitting (utilization = busy/elapsed).
+  SimTime bus_busy_time() const { return bus_busy_time_; }
+  void ResetStats();
+
+ private:
+  struct Station {
+    EthAddr addr;
+    FrameSink* sink;
+  };
+
+  void DeliverAt(SimTime at, const EthFrame& frame, int receiver_id);
+
+  EventQueue& events_;
+  WireModel wire_;
+  Rng rng_;
+  std::vector<Station> stations_;
+  SimTime bus_free_at_ = 0;
+  double drop_rate_ = 0.0;
+  FaultHook fault_hook_;
+  uint64_t delivery_index_ = 0;
+
+  uint64_t frames_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t frames_dropped_ = 0;
+  SimTime bus_busy_time_ = 0;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_SIM_LINK_H_

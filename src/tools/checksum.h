@@ -1,0 +1,75 @@
+// Internet checksum (RFC 1071), used by IP and optionally by UDP.
+
+#ifndef XK_SRC_TOOLS_CHECKSUM_H_
+#define XK_SRC_TOOLS_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+namespace xk {
+
+// Accumulates 16-bit one's-complement sums across multiple byte ranges
+// (header, pseudo-header, payload) before finalizing.
+class InternetChecksum {
+ public:
+  // Adds `bytes` to the sum. An odd final byte is padded with zero, so only
+  // the last Add of a datagram may have odd length.
+  void Add(std::span<const uint8_t> bytes) {
+    size_t i = 0;
+    if (have_odd_) {
+      // Pair the carried odd byte with the first new byte.
+      if (!bytes.empty()) {
+        sum_ += static_cast<uint32_t>(odd_byte_) << 8 | bytes[0];
+        have_odd_ = false;
+        i = 1;
+      }
+    }
+    for (; i + 1 < bytes.size(); i += 2) {
+      sum_ += static_cast<uint32_t>(bytes[i]) << 8 | bytes[i + 1];
+    }
+    if (i < bytes.size()) {
+      odd_byte_ = bytes[i];
+      have_odd_ = true;
+    }
+  }
+
+  void AddU16(uint16_t v) {
+    uint8_t b[2] = {static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v)};
+    Add(b);
+  }
+
+  void AddU32(uint32_t v) {
+    AddU16(static_cast<uint16_t>(v >> 16));
+    AddU16(static_cast<uint16_t>(v));
+  }
+
+  // One's-complement of the folded sum. 0xFFFF is returned instead of 0 so a
+  // transmitted checksum is never zero (UDP convention).
+  uint16_t Finalize() const {
+    uint32_t s = sum_;
+    if (have_odd_) {
+      s += static_cast<uint32_t>(odd_byte_) << 8;
+    }
+    while (s >> 16) {
+      s = (s & 0xFFFF) + (s >> 16);
+    }
+    uint16_t result = static_cast<uint16_t>(~s);
+    return result == 0 ? 0xFFFF : result;
+  }
+
+ private:
+  uint32_t sum_ = 0;
+  uint8_t odd_byte_ = 0;
+  bool have_odd_ = false;
+};
+
+// One-shot convenience.
+inline uint16_t ComputeChecksum(std::span<const uint8_t> bytes) {
+  InternetChecksum c;
+  c.Add(bytes);
+  return c.Finalize();
+}
+
+}  // namespace xk
+
+#endif  // XK_SRC_TOOLS_CHECKSUM_H_

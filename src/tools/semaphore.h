@@ -1,0 +1,64 @@
+// Shepherd-process synchronization (x-kernel "process" tool).
+//
+// The x-kernel runs a light-weight shepherd process per message; when one
+// blocks (a client awaiting a reply, SELECT awaiting a free channel) it waits
+// on a semaphore, and the V that wakes it pays a process switch. In the
+// discrete-event model a blocked shepherd is a stored continuation: P() with
+// an empty count queues the continuation, and the V() that releases it runs
+// it inline on the signalling host's CPU after charging sem + switch costs --
+// time-accurate for a uniprocessor, where the woken process really does run
+// on the same CPU right after the waker.
+
+#ifndef XK_SRC_TOOLS_SEMAPHORE_H_
+#define XK_SRC_TOOLS_SEMAPHORE_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/core/kernel.h"
+
+namespace xk {
+
+class XSemaphore {
+ public:
+  XSemaphore(Kernel& kernel, int initial_count)
+      : kernel_(kernel), count_(initial_count) {}
+
+  // P (wait): if a unit is available, consume it and run `k` immediately
+  // (charging one semaphore op). Otherwise queue `k` until a V() releases it.
+  void P(std::function<void()> k) {
+    kernel_.ChargeSemOp();
+    if (count_ > 0) {
+      --count_;
+      k();
+      return;
+    }
+    waiters_.push_back(std::move(k));
+  }
+
+  // V (signal): release one unit. If a shepherd is waiting, charge the
+  // process switch and run it now; otherwise bank the unit.
+  void V() {
+    kernel_.ChargeSemOp();
+    if (!waiters_.empty()) {
+      std::function<void()> k = std::move(waiters_.front());
+      waiters_.pop_front();
+      kernel_.ChargeProcessSwitch();
+      k();
+      return;
+    }
+    ++count_;
+  }
+
+  int count() const { return count_; }
+  size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Kernel& kernel_;
+  int count_;
+  std::deque<std::function<void()>> waiters_;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_TOOLS_SEMAPHORE_H_

@@ -1,0 +1,77 @@
+// Tests for the Internet checksum tool.
+
+#include "src/tools/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xk {
+namespace {
+
+TEST(ChecksumTest, KnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, checksum 0x220d.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(ComputeChecksum(data), 0x220d);
+}
+
+TEST(ChecksumTest, OddLength) {
+  const uint8_t data[] = {0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300 -> sum 0x0402 -> ~ = 0xFBFD.
+  EXPECT_EQ(ComputeChecksum(data), 0xFBFD);
+}
+
+TEST(ChecksumTest, VerifyingIncludesChecksumYieldsZeroComplement) {
+  std::vector<uint8_t> data = {0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00,
+                               0x00, 0x40, 0x11, 0x00, 0x00, 10,   0,
+                               0,    1,    10,   0,    0,    2};
+  const uint16_t cks = ComputeChecksum(data);
+  data[10] = static_cast<uint8_t>(cks >> 8);
+  data[11] = static_cast<uint8_t>(cks);
+  // Re-summing with the checksum in place folds to 0xFFFF, so the complement
+  // is 0 -- which Finalize reports as 0xFFFF under the never-zero rule.
+  EXPECT_EQ(ComputeChecksum(data), 0xFFFF);
+}
+
+TEST(ChecksumTest, SplitAddsEqualSingleAdd) {
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 99; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 7));
+  }
+  InternetChecksum split;
+  split.Add(std::span<const uint8_t>(data.data(), 33));
+  split.Add(std::span<const uint8_t>(data.data() + 33, 20));
+  split.Add(std::span<const uint8_t>(data.data() + 53, 46));
+  EXPECT_EQ(split.Finalize(), ComputeChecksum(data));
+}
+
+TEST(ChecksumTest, OddSplitBoundariesCarryCorrectly) {
+  // Splitting at odd offsets must pair bytes across Add calls.
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5, 6, 7};
+  InternetChecksum split;
+  split.Add(std::span<const uint8_t>(data.data(), 1));
+  split.Add(std::span<const uint8_t>(data.data() + 1, 3));
+  split.Add(std::span<const uint8_t>(data.data() + 4, 3));
+  EXPECT_EQ(split.Finalize(), ComputeChecksum(data));
+}
+
+TEST(ChecksumTest, U16AndU32Helpers) {
+  InternetChecksum a;
+  a.AddU32(0x01020304);
+  a.AddU16(0x0506);
+  const uint8_t raw[] = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(a.Finalize(), ComputeChecksum(raw));
+}
+
+TEST(ChecksumTest, NeverReturnsZero) {
+  // All-0xFF data sums to 0xFFFF -> complement 0 -> reported as 0xFFFF.
+  std::vector<uint8_t> data(10, 0xFF);
+  EXPECT_EQ(ComputeChecksum(data), 0xFFFF);
+}
+
+TEST(ChecksumTest, EmptyInput) {
+  EXPECT_EQ(ComputeChecksum({}), 0xFFFF);
+}
+
+}  // namespace
+}  // namespace xk

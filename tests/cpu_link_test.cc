@@ -1,0 +1,176 @@
+// Tests for the CPU and Ethernet link models.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/link.h"
+
+namespace xk {
+namespace {
+
+TEST(CpuTest, ChargesAccumulateWithinTask) {
+  Cpu cpu;
+  EXPECT_EQ(cpu.BeginTask(Usec(100)), Usec(100));
+  cpu.Charge(Usec(10));
+  cpu.Charge(Usec(5));
+  EXPECT_EQ(cpu.now(), Usec(115));
+  EXPECT_EQ(cpu.EndTask(), Usec(115));
+  EXPECT_EQ(cpu.total_busy(), Usec(15));
+}
+
+TEST(CpuTest, BackToBackTasksSerialize) {
+  Cpu cpu;
+  cpu.BeginTask(Usec(0));
+  cpu.Charge(Usec(50));
+  cpu.EndTask();
+  // A task dispatched at t=20 while the CPU is busy until t=50 starts at 50.
+  EXPECT_EQ(cpu.BeginTask(Usec(20)), Usec(50));
+  cpu.Charge(Usec(10));
+  EXPECT_EQ(cpu.EndTask(), Usec(60));
+}
+
+TEST(CpuTest, IdleGapsDoNotCountAsBusy) {
+  Cpu cpu;
+  cpu.BeginTask(Usec(0));
+  cpu.Charge(Usec(10));
+  cpu.EndTask();
+  cpu.BeginTask(Usec(1000));
+  cpu.Charge(Usec(10));
+  cpu.EndTask();
+  EXPECT_EQ(cpu.total_busy(), Usec(20));
+}
+
+class Recorder : public FrameSink {
+ public:
+  struct Arrival {
+    SimTime at;
+    std::vector<uint8_t> bytes;
+  };
+  explicit Recorder(EventQueue& q) : q_(q) {}
+  void FrameArrived(const EthFrame& f) override { arrivals.push_back({q_.now(), f.bytes}); }
+  std::vector<Arrival> arrivals;
+
+ private:
+  EventQueue& q_;
+};
+
+EthFrame MakeFrame(EthAddr dst, EthAddr src, size_t payload) {
+  EthFrame f;
+  auto put = [&](const EthAddr& a) {
+    for (uint8_t b : a.bytes()) {
+      f.bytes.push_back(b);
+    }
+  };
+  put(dst);
+  put(src);
+  f.bytes.push_back(0x08);
+  f.bytes.push_back(0x00);
+  f.bytes.resize(14 + payload, 0xAB);
+  return f;
+}
+
+struct LinkFixture : ::testing::Test {
+  EventQueue q;
+  WireModel wire;
+  EthernetSegment seg{q, WireModel{}, 42};
+  Recorder a{q}, b{q}, c{q};
+  int ia = seg.Attach(EthAddr::FromIndex(1), &a);
+  int ib = seg.Attach(EthAddr::FromIndex(2), &b);
+  int ic = seg.Attach(EthAddr::FromIndex(3), &c);
+};
+
+TEST_F(LinkFixture, UnicastReachesOnlyDestination) {
+  seg.Transmit(ia, MakeFrame(EthAddr::FromIndex(2), EthAddr::FromIndex(1), 100), 0);
+  q.Run();
+  EXPECT_EQ(a.arrivals.size(), 0u);
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(c.arrivals.size(), 0u);
+}
+
+TEST_F(LinkFixture, BroadcastReachesAllButSender) {
+  seg.Transmit(ia, MakeFrame(EthAddr::Broadcast(), EthAddr::FromIndex(1), 10), 0);
+  q.Run();
+  EXPECT_EQ(a.arrivals.size(), 0u);
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(c.arrivals.size(), 1u);
+}
+
+TEST_F(LinkFixture, ArrivalTimeMatchesWireModel) {
+  const size_t payload = 1000;
+  seg.Transmit(ia, MakeFrame(EthAddr::FromIndex(2), EthAddr::FromIndex(1), payload), Usec(50));
+  q.Run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  const SimTime expected = Usec(50) + wire.TransmitTime(14 + payload) + wire.propagation;
+  EXPECT_EQ(b.arrivals[0].at, expected);
+}
+
+TEST_F(LinkFixture, MinFramePaddingAffectsTiming) {
+  // A tiny frame still takes min_frame_bytes on the wire.
+  seg.Transmit(ia, MakeFrame(EthAddr::FromIndex(2), EthAddr::FromIndex(1), 1), 0);
+  q.Run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].at, wire.TransmitTime(64) + wire.propagation);
+}
+
+TEST_F(LinkFixture, BusSerializesBackToBackFrames) {
+  const auto f = MakeFrame(EthAddr::FromIndex(2), EthAddr::FromIndex(1), 1000);
+  seg.Transmit(ia, f, 0);
+  seg.Transmit(ia, f, 0);  // ready at the same instant: queues behind
+  q.Run();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  const SimTime tx = wire.TransmitTime(1014);
+  EXPECT_EQ(b.arrivals[0].at, tx + wire.propagation);
+  EXPECT_EQ(b.arrivals[1].at, 2 * tx + wire.propagation);
+  EXPECT_EQ(seg.bus_busy_time(), 2 * tx);
+}
+
+TEST_F(LinkFixture, DropRateDropsEverythingAtOne) {
+  seg.set_drop_rate(1.0);
+  seg.Transmit(ia, MakeFrame(EthAddr::FromIndex(2), EthAddr::FromIndex(1), 10), 0);
+  q.Run();
+  EXPECT_EQ(b.arrivals.size(), 0u);
+  EXPECT_EQ(seg.frames_dropped(), 1u);
+}
+
+TEST_F(LinkFixture, FaultHookCanTargetSpecificDelivery) {
+  seg.set_fault_hook([](const EthFrame&, int, uint64_t index) {
+    return index == 1 ? LinkFault::kDrop : LinkFault::kDeliver;
+  });
+  const auto f = MakeFrame(EthAddr::FromIndex(2), EthAddr::FromIndex(1), 10);
+  seg.Transmit(ia, f, 0);
+  seg.Transmit(ia, f, 0);
+  seg.Transmit(ia, f, 0);
+  q.Run();
+  EXPECT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(seg.frames_dropped(), 1u);
+}
+
+TEST_F(LinkFixture, FaultHookDuplicateDeliversTwice) {
+  seg.set_fault_hook(
+      [](const EthFrame&, int, uint64_t) { return LinkFault::kDuplicate; });
+  seg.Transmit(ia, MakeFrame(EthAddr::FromIndex(2), EthAddr::FromIndex(1), 10), 0);
+  q.Run();
+  EXPECT_EQ(b.arrivals.size(), 2u);
+}
+
+TEST_F(LinkFixture, StatsCountFramesAndBytes) {
+  seg.Transmit(ia, MakeFrame(EthAddr::FromIndex(2), EthAddr::FromIndex(1), 100), 0);
+  seg.Transmit(ib, MakeFrame(EthAddr::FromIndex(1), EthAddr::FromIndex(2), 200), 0);
+  q.Run();
+  EXPECT_EQ(seg.frames_sent(), 2u);
+  EXPECT_EQ(seg.bytes_sent(), 114u + 214u);
+  seg.ResetStats();
+  EXPECT_EQ(seg.frames_sent(), 0u);
+  EXPECT_EQ(seg.bus_busy_time(), 0);
+}
+
+TEST(WireModelTest, TransmitTimeAt10Mbps) {
+  WireModel w;
+  // 1250 bytes = 10000 bits = 1000 us at 10 Mbps, plus per-frame overhead.
+  EXPECT_EQ(w.TransmitTime(1250), w.per_frame_overhead + Usec(1000));
+}
+
+}  // namespace
+}  // namespace xk

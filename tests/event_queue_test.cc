@@ -1,0 +1,141 @@
+// Tests for the discrete-event core.
+
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xk {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(Usec(30), [&] { order.push_back(3); });
+  q.ScheduleAt(Usec(10), [&] { order.push_back(1); });
+  q.ScheduleAt(Usec(20), [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Usec(30));
+}
+
+TEST(EventQueueTest, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(Usec(10), [&order, i] { order.push_back(i); });
+  }
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleInIsRelative) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.ScheduleAt(Usec(100), [&] {
+    q.ScheduleIn(Usec(50), [&] { fired_at = q.now(); });
+  });
+  q.Run();
+  EXPECT_EQ(fired_at, Usec(150));
+}
+
+TEST(EventQueueTest, PastTimesClampToNow) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.ScheduleAt(Usec(100), [&] {
+    q.ScheduleAt(Usec(10), [&] { fired_at = q.now(); });  // in the past
+  });
+  q.Run();
+  EXPECT_EQ(fired_at, Usec(100));
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.ScheduleAt(Usec(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.Cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.Cancel());  // second cancel is a no-op
+  q.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, HandleReportsFiredEventNotPending) {
+  EventQueue q;
+  EventHandle h = q.ScheduleAt(Usec(5), [] {});
+  q.Run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.Cancel());
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(Usec(10), [&] { order.push_back(1); });
+  q.ScheduleAt(Usec(20), [&] { order.push_back(2); });
+  q.ScheduleAt(Usec(30), [&] { order.push_back(3); });
+  EXPECT_EQ(q.RunUntil(Usec(20)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(q.empty());
+  q.Run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventQueueTest, RunUntilSkipsCancelledHead) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.ScheduleAt(Usec(5), [&] { fired = true; });
+  q.ScheduleAt(Usec(10), [&] {});
+  h.Cancel();
+  EXPECT_EQ(q.RunUntil(Usec(20)), 1u);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, MaxEventsBound) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(Usec(i), [&] { ++count; });
+  }
+  EXPECT_EQ(q.Run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      q.ScheduleIn(Usec(1), chain);
+    }
+  };
+  q.ScheduleAt(0, chain);
+  q.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(q.now(), Usec(99));
+}
+
+TEST(EventQueueTest, AdvanceToMovesClock) {
+  EventQueue q;
+  q.AdvanceTo(Msec(5));
+  EXPECT_EQ(q.now(), Msec(5));
+}
+
+TEST(EventQueueTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      q.ScheduleAt(Usec((i * 7) % 5), [&order, i] { order.push_back(i); });
+    }
+    q.Run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace xk

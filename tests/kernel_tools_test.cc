@@ -1,0 +1,205 @@
+// Unit tests for the Kernel (tasks, timers, cost accounting), the shepherd
+// semaphore, the demux map, and small core value types.
+
+#include <gtest/gtest.h>
+
+#include "src/core/kernel.h"
+#include "src/core/map.h"
+#include "src/core/participant.h"
+#include "src/tools/semaphore.h"
+
+namespace xk {
+namespace {
+
+struct KernelFixture : ::testing::Test {
+  EventQueue events;
+  Kernel kernel{"host", events, HostEnv::kXKernel, IpAddr(10, 0, 0, 1), EthAddr::FromIndex(1)};
+};
+
+TEST_F(KernelFixture, TasksAdvanceTheCpuClock) {
+  SimTime seen = -1;
+  kernel.RunTask(Usec(100), [&] {
+    kernel.Charge(Usec(50));
+    seen = kernel.now();
+  });
+  EXPECT_EQ(seen, Usec(150));
+  EXPECT_EQ(kernel.cpu().busy_until(), Usec(150));
+  EXPECT_EQ(kernel.cpu().total_busy(), Usec(50));
+}
+
+TEST_F(KernelFixture, ScheduledTasksSerializeOnTheCpu) {
+  std::vector<SimTime> starts;
+  kernel.ScheduleTask(Usec(10), [&] {
+    starts.push_back(kernel.now());
+    kernel.Charge(Usec(100));
+  });
+  kernel.ScheduleTask(Usec(20), [&] { starts.push_back(kernel.now()); });
+  events.Run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], Usec(10));
+  EXPECT_EQ(starts[1], Usec(110));  // waited for the CPU, not just the clock
+}
+
+TEST_F(KernelFixture, TimerFiresAfterDelayAndCharges) {
+  bool fired = false;
+  kernel.RunTask(0, [&] {
+    kernel.Charge(Usec(5));
+    kernel.SetTimer(Usec(100), [&] { fired = true; });
+  });
+  const SimTime timer_set_cost = kernel.costs().timer_set;
+  EXPECT_EQ(kernel.cpu().total_busy(), Usec(5) + timer_set_cost);
+  events.RunUntil(Usec(104) + timer_set_cost);
+  EXPECT_FALSE(fired);
+  events.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(KernelFixture, CancelledTimerNeverFiresAndChargesCancel) {
+  bool fired = false;
+  EventHandle h;
+  kernel.RunTask(0, [&] { h = kernel.SetTimer(Usec(50), [&] { fired = true; }); });
+  const SimTime before = kernel.cpu().total_busy();
+  kernel.RunTask(0, [&] { kernel.CancelTimer(h); });
+  EXPECT_EQ(kernel.cpu().total_busy() - before, kernel.costs().timer_cancel);
+  events.Run();
+  EXPECT_FALSE(fired);
+  // Cancelling again charges nothing.
+  const SimTime before2 = kernel.cpu().total_busy();
+  kernel.RunTask(0, [&] { kernel.CancelTimer(h); });
+  EXPECT_EQ(kernel.cpu().total_busy(), before2);
+}
+
+TEST_F(KernelFixture, BootIdsAreUniqueAndBumpOnReboot) {
+  Kernel other("other", events, HostEnv::kXKernel, IpAddr(10, 0, 0, 2), EthAddr::FromIndex(2));
+  EXPECT_NE(kernel.boot_id(), other.boot_id());
+  const uint32_t before = kernel.boot_id();
+  kernel.Reboot();
+  EXPECT_EQ(kernel.boot_id(), before + 1);
+}
+
+TEST_F(KernelFixture, HeaderChargesFollowAllocPolicy) {
+  const CostModel& c = kernel.costs();
+  SimTime adjust_cost = 0;
+  SimTime alloc_cost = 0;
+  kernel.RunTask(0, [&] {
+    const SimTime t0 = kernel.cpu().total_busy();
+    Message::set_default_alloc_policy(HeaderAllocPolicy::kPointerAdjust);
+    kernel.ChargeHdrStore(20);
+    adjust_cost = kernel.cpu().total_busy() - t0;
+    Message::set_default_alloc_policy(HeaderAllocPolicy::kPerLayerAlloc);
+    const SimTime t1 = kernel.cpu().total_busy();
+    kernel.ChargeHdrStore(20);
+    alloc_cost = kernel.cpu().total_busy() - t1;
+    Message::set_default_alloc_policy(HeaderAllocPolicy::kPointerAdjust);
+  });
+  EXPECT_EQ(alloc_cost - adjust_cost, c.hdr_alloc_extra);
+}
+
+TEST_F(KernelFixture, EnvironmentsHaveDistinctCostModels) {
+  Kernel sprite("sprite", events, HostEnv::kNativeSprite, IpAddr(10, 0, 0, 3),
+                EthAddr::FromIndex(3));
+  Kernel sunos("sunos", events, HostEnv::kSunOs, IpAddr(10, 0, 0, 4), EthAddr::FromIndex(4));
+  EXPECT_EQ(kernel.costs().layer_cross_extra, 0);
+  EXPECT_GT(sprite.costs().layer_cross_extra, 0);
+  EXPECT_GT(sunos.costs().layer_cross_extra, sprite.costs().layer_cross_extra);
+  EXPECT_GT(sunos.costs().process_switch, kernel.costs().process_switch);
+}
+
+// --- XSemaphore -----------------------------------------------------------------
+
+TEST_F(KernelFixture, SemaphorePassesWhenCountAvailable) {
+  kernel.RunTask(0, [&] {
+    XSemaphore sem(kernel, 2);
+    int ran = 0;
+    sem.P([&] { ++ran; });
+    sem.P([&] { ++ran; });
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(sem.count(), 0);
+    EXPECT_EQ(sem.waiting(), 0u);
+  });
+}
+
+TEST_F(KernelFixture, SemaphoreQueuesAndReleasesFifo) {
+  kernel.RunTask(0, [&] {
+    XSemaphore sem(kernel, 1);
+    std::vector<int> order;
+    sem.P([&] { order.push_back(0); });
+    sem.P([&] { order.push_back(1); });  // blocks
+    sem.P([&] { order.push_back(2); });  // blocks
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    EXPECT_EQ(sem.waiting(), 2u);
+    sem.V();
+    sem.V();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    sem.V();  // banks the unit
+    EXPECT_EQ(sem.count(), 1);
+  });
+}
+
+TEST_F(KernelFixture, SemaphoreVChargesSwitchOnlyWhenWaking) {
+  kernel.RunTask(0, [&] {
+    XSemaphore sem(kernel, 0);
+    const SimTime t0 = kernel.cpu().total_busy();
+    sem.V();  // no waiter: just the semaphore op
+    EXPECT_EQ(kernel.cpu().total_busy() - t0, kernel.costs().sem_op);
+    sem.P([] {});  // consumes the banked unit
+    sem.P([] {});  // blocks
+    const SimTime t1 = kernel.cpu().total_busy();
+    sem.V();  // wakes the waiter: semaphore op + process switch
+    EXPECT_EQ(kernel.cpu().total_busy() - t1,
+              kernel.costs().sem_op + kernel.costs().process_switch);
+  });
+}
+
+// --- DemuxMap -------------------------------------------------------------------
+
+TEST_F(KernelFixture, DemuxMapChargesResolveAndBind) {
+  kernel.RunTask(0, [&] {
+    DemuxMap<int, int> map(kernel);
+    const SimTime t0 = kernel.cpu().total_busy();
+    map.Bind(1, 42);
+    EXPECT_EQ(kernel.cpu().total_busy() - t0, kernel.costs().map_bind);
+    const SimTime t1 = kernel.cpu().total_busy();
+    EXPECT_EQ(map.Resolve(1), 42);
+    EXPECT_EQ(kernel.cpu().total_busy() - t1, kernel.costs().map_resolve);
+    EXPECT_EQ(map.Resolve(9), 0);  // miss: default value
+    // Peek does not charge.
+    const SimTime t2 = kernel.cpu().total_busy();
+    EXPECT_EQ(map.Peek(1), 42);
+    EXPECT_EQ(kernel.cpu().total_busy(), t2);
+    map.Unbind(1);
+    EXPECT_FALSE(map.Contains(1));
+  });
+}
+
+// --- Participant / Status ---------------------------------------------------------
+
+TEST(ParticipantTest, ToStringShowsOnlySetFields) {
+  Participant p;
+  p.host = IpAddr(10, 0, 1, 2);
+  p.command = 7;
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("host=10.0.1.2"), std::string::npos);
+  EXPECT_NE(s.find("cmd=7"), std::string::npos);
+  EXPECT_EQ(s.find("port="), std::string::npos);
+  ParticipantSet set;
+  set.peer = p;
+  EXPECT_NE(set.ToString().find("peer="), std::string::npos);
+}
+
+TEST(StatusTest, NamesAndPredicates) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimeout), "TIMEOUT");
+  EXPECT_TRUE(OkStatus().ok());
+  EXPECT_FALSE(ErrStatus(StatusCode::kError).ok());
+  EXPECT_EQ(ErrStatus(StatusCode::kTooBig).code(), StatusCode::kTooBig);
+  Result<int> good = 5;
+  Result<int> bad = ErrStatus(StatusCode::kNotFound);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xk
