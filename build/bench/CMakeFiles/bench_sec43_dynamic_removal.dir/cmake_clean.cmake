@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_dynamic_removal.dir/bench_sec43_dynamic_removal.cc.o"
+  "CMakeFiles/bench_sec43_dynamic_removal.dir/bench_sec43_dynamic_removal.cc.o.d"
+  "bench_sec43_dynamic_removal"
+  "bench_sec43_dynamic_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_dynamic_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

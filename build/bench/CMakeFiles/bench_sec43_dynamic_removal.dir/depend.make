@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec43_dynamic_removal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vip.dir/bench_table1_vip.cc.o"
+  "CMakeFiles/bench_table1_vip.dir/bench_table1_vip.cc.o.d"
+  "bench_table1_vip"
+  "bench_table1_vip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_sweep.dir/bench_throughput_sweep.cc.o"
+  "CMakeFiles/bench_throughput_sweep.dir/bench_throughput_sweep.cc.o.d"
+  "bench_throughput_sweep"
+  "bench_throughput_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_udp_crosskernel.dir/bench_udp_crosskernel.cc.o"
+  "CMakeFiles/bench_udp_crosskernel.dir/bench_udp_crosskernel.cc.o.d"
+  "bench_udp_crosskernel"
+  "bench_udp_crosskernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_udp_crosskernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

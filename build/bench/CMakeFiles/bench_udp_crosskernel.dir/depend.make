@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_udp_crosskernel.
+# This may be replaced when dependencies are built.

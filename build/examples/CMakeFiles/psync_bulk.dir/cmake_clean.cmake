@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psync_bulk.dir/psync_bulk.cpp.o"
+  "CMakeFiles/psync_bulk.dir/psync_bulk.cpp.o.d"
+  "psync_bulk"
+  "psync_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psync_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for psync_bulk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vip_locality.dir/vip_locality.cpp.o"
+  "CMakeFiles/vip_locality.dir/vip_locality.cpp.o.d"
+  "vip_locality"
+  "vip_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vip_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_app.dir/app/anchor.cc.o"
+  "CMakeFiles/xk_app.dir/app/anchor.cc.o.d"
+  "CMakeFiles/xk_app.dir/app/stacks.cc.o"
+  "CMakeFiles/xk_app.dir/app/stacks.cc.o.d"
+  "CMakeFiles/xk_app.dir/app/workload.cc.o"
+  "CMakeFiles/xk_app.dir/app/workload.cc.o.d"
+  "libxk_app.a"
+  "libxk_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/kernel.cc" "src/CMakeFiles/xk_core.dir/core/kernel.cc.o" "gcc" "src/CMakeFiles/xk_core.dir/core/kernel.cc.o.d"
+  "/root/repo/src/core/message.cc" "src/CMakeFiles/xk_core.dir/core/message.cc.o" "gcc" "src/CMakeFiles/xk_core.dir/core/message.cc.o.d"
+  "/root/repo/src/core/participant.cc" "src/CMakeFiles/xk_core.dir/core/participant.cc.o" "gcc" "src/CMakeFiles/xk_core.dir/core/participant.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/CMakeFiles/xk_core.dir/core/protocol.cc.o" "gcc" "src/CMakeFiles/xk_core.dir/core/protocol.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/CMakeFiles/xk_core.dir/core/types.cc.o" "gcc" "src/CMakeFiles/xk_core.dir/core/types.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/xk_core.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/xk_core.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/xk_core.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/xk_core.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/CMakeFiles/xk_core.dir/sim/link.cc.o" "gcc" "src/CMakeFiles/xk_core.dir/sim/link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

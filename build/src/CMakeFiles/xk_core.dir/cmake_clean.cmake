@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_core.dir/core/kernel.cc.o"
+  "CMakeFiles/xk_core.dir/core/kernel.cc.o.d"
+  "CMakeFiles/xk_core.dir/core/message.cc.o"
+  "CMakeFiles/xk_core.dir/core/message.cc.o.d"
+  "CMakeFiles/xk_core.dir/core/participant.cc.o"
+  "CMakeFiles/xk_core.dir/core/participant.cc.o.d"
+  "CMakeFiles/xk_core.dir/core/protocol.cc.o"
+  "CMakeFiles/xk_core.dir/core/protocol.cc.o.d"
+  "CMakeFiles/xk_core.dir/core/types.cc.o"
+  "CMakeFiles/xk_core.dir/core/types.cc.o.d"
+  "CMakeFiles/xk_core.dir/sim/cost_model.cc.o"
+  "CMakeFiles/xk_core.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/xk_core.dir/sim/event_queue.cc.o"
+  "CMakeFiles/xk_core.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/xk_core.dir/sim/link.cc.o"
+  "CMakeFiles/xk_core.dir/sim/link.cc.o.d"
+  "libxk_core.a"
+  "libxk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/arp.cc" "src/CMakeFiles/xk_proto.dir/proto/arp.cc.o" "gcc" "src/CMakeFiles/xk_proto.dir/proto/arp.cc.o.d"
+  "/root/repo/src/proto/eth.cc" "src/CMakeFiles/xk_proto.dir/proto/eth.cc.o" "gcc" "src/CMakeFiles/xk_proto.dir/proto/eth.cc.o.d"
+  "/root/repo/src/proto/icmp.cc" "src/CMakeFiles/xk_proto.dir/proto/icmp.cc.o" "gcc" "src/CMakeFiles/xk_proto.dir/proto/icmp.cc.o.d"
+  "/root/repo/src/proto/ip.cc" "src/CMakeFiles/xk_proto.dir/proto/ip.cc.o" "gcc" "src/CMakeFiles/xk_proto.dir/proto/ip.cc.o.d"
+  "/root/repo/src/proto/topology.cc" "src/CMakeFiles/xk_proto.dir/proto/topology.cc.o" "gcc" "src/CMakeFiles/xk_proto.dir/proto/topology.cc.o.d"
+  "/root/repo/src/proto/udp.cc" "src/CMakeFiles/xk_proto.dir/proto/udp.cc.o" "gcc" "src/CMakeFiles/xk_proto.dir/proto/udp.cc.o.d"
+  "/root/repo/src/proto/vip.cc" "src/CMakeFiles/xk_proto.dir/proto/vip.cc.o" "gcc" "src/CMakeFiles/xk_proto.dir/proto/vip.cc.o.d"
+  "/root/repo/src/proto/vip_size.cc" "src/CMakeFiles/xk_proto.dir/proto/vip_size.cc.o" "gcc" "src/CMakeFiles/xk_proto.dir/proto/vip_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xk_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_proto.dir/proto/arp.cc.o"
+  "CMakeFiles/xk_proto.dir/proto/arp.cc.o.d"
+  "CMakeFiles/xk_proto.dir/proto/eth.cc.o"
+  "CMakeFiles/xk_proto.dir/proto/eth.cc.o.d"
+  "CMakeFiles/xk_proto.dir/proto/icmp.cc.o"
+  "CMakeFiles/xk_proto.dir/proto/icmp.cc.o.d"
+  "CMakeFiles/xk_proto.dir/proto/ip.cc.o"
+  "CMakeFiles/xk_proto.dir/proto/ip.cc.o.d"
+  "CMakeFiles/xk_proto.dir/proto/topology.cc.o"
+  "CMakeFiles/xk_proto.dir/proto/topology.cc.o.d"
+  "CMakeFiles/xk_proto.dir/proto/udp.cc.o"
+  "CMakeFiles/xk_proto.dir/proto/udp.cc.o.d"
+  "CMakeFiles/xk_proto.dir/proto/vip.cc.o"
+  "CMakeFiles/xk_proto.dir/proto/vip.cc.o.d"
+  "CMakeFiles/xk_proto.dir/proto/vip_size.cc.o"
+  "CMakeFiles/xk_proto.dir/proto/vip_size.cc.o.d"
+  "libxk_proto.a"
+  "libxk_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

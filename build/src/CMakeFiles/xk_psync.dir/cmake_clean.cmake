@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_psync.dir/psync/psync.cc.o"
+  "CMakeFiles/xk_psync.dir/psync/psync.cc.o.d"
+  "libxk_psync.a"
+  "libxk_psync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_psync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/channel.cc" "src/CMakeFiles/xk_rpc.dir/rpc/channel.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/channel.cc.o.d"
+  "/root/repo/src/rpc/fragment.cc" "src/CMakeFiles/xk_rpc.dir/rpc/fragment.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/fragment.cc.o.d"
+  "/root/repo/src/rpc/rdp.cc" "src/CMakeFiles/xk_rpc.dir/rpc/rdp.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/rdp.cc.o.d"
+  "/root/repo/src/rpc/select.cc" "src/CMakeFiles/xk_rpc.dir/rpc/select.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/select.cc.o.d"
+  "/root/repo/src/rpc/select_fwd.cc" "src/CMakeFiles/xk_rpc.dir/rpc/select_fwd.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/select_fwd.cc.o.d"
+  "/root/repo/src/rpc/sprite_rpc.cc" "src/CMakeFiles/xk_rpc.dir/rpc/sprite_rpc.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/sprite_rpc.cc.o.d"
+  "/root/repo/src/rpc/sun/auth.cc" "src/CMakeFiles/xk_rpc.dir/rpc/sun/auth.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/sun/auth.cc.o.d"
+  "/root/repo/src/rpc/sun/request_reply.cc" "src/CMakeFiles/xk_rpc.dir/rpc/sun/request_reply.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/sun/request_reply.cc.o.d"
+  "/root/repo/src/rpc/sun/sun_select.cc" "src/CMakeFiles/xk_rpc.dir/rpc/sun/sun_select.cc.o" "gcc" "src/CMakeFiles/xk_rpc.dir/rpc/sun/sun_select.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xk_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xk_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

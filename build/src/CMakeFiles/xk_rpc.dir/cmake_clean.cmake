@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_rpc.dir/rpc/channel.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/channel.cc.o.d"
+  "CMakeFiles/xk_rpc.dir/rpc/fragment.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/fragment.cc.o.d"
+  "CMakeFiles/xk_rpc.dir/rpc/rdp.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/rdp.cc.o.d"
+  "CMakeFiles/xk_rpc.dir/rpc/select.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/select.cc.o.d"
+  "CMakeFiles/xk_rpc.dir/rpc/select_fwd.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/select_fwd.cc.o.d"
+  "CMakeFiles/xk_rpc.dir/rpc/sprite_rpc.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/sprite_rpc.cc.o.d"
+  "CMakeFiles/xk_rpc.dir/rpc/sun/auth.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/sun/auth.cc.o.d"
+  "CMakeFiles/xk_rpc.dir/rpc/sun/request_reply.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/sun/request_reply.cc.o.d"
+  "CMakeFiles/xk_rpc.dir/rpc/sun/sun_select.cc.o"
+  "CMakeFiles/xk_rpc.dir/rpc/sun/sun_select.cc.o.d"
+  "libxk_rpc.a"
+  "libxk_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arp_eth_test.cc" "tests/CMakeFiles/xk_tests.dir/arp_eth_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/arp_eth_test.cc.o.d"
+  "/root/repo/tests/calibration_test.cc" "tests/CMakeFiles/xk_tests.dir/calibration_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/calibration_test.cc.o.d"
+  "/root/repo/tests/channel_select_test.cc" "tests/CMakeFiles/xk_tests.dir/channel_select_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/channel_select_test.cc.o.d"
+  "/root/repo/tests/checksum_test.cc" "tests/CMakeFiles/xk_tests.dir/checksum_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/checksum_test.cc.o.d"
+  "/root/repo/tests/cpu_link_test.cc" "tests/CMakeFiles/xk_tests.dir/cpu_link_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/cpu_link_test.cc.o.d"
+  "/root/repo/tests/event_queue_test.cc" "tests/CMakeFiles/xk_tests.dir/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/event_queue_test.cc.o.d"
+  "/root/repo/tests/fragment_test.cc" "tests/CMakeFiles/xk_tests.dir/fragment_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/fragment_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/xk_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/ip_test.cc" "tests/CMakeFiles/xk_tests.dir/ip_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/ip_test.cc.o.d"
+  "/root/repo/tests/kernel_tools_test.cc" "tests/CMakeFiles/xk_tests.dir/kernel_tools_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/kernel_tools_test.cc.o.d"
+  "/root/repo/tests/message_test.cc" "tests/CMakeFiles/xk_tests.dir/message_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/message_test.cc.o.d"
+  "/root/repo/tests/psync_sun_test.cc" "tests/CMakeFiles/xk_tests.dir/psync_sun_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/psync_sun_test.cc.o.d"
+  "/root/repo/tests/sprite_rpc_test.cc" "tests/CMakeFiles/xk_tests.dir/sprite_rpc_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/sprite_rpc_test.cc.o.d"
+  "/root/repo/tests/udp_icmp_test.cc" "tests/CMakeFiles/xk_tests.dir/udp_icmp_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/udp_icmp_test.cc.o.d"
+  "/root/repo/tests/vip_test.cc" "tests/CMakeFiles/xk_tests.dir/vip_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/vip_test.cc.o.d"
+  "/root/repo/tests/wire_test.cc" "tests/CMakeFiles/xk_tests.dir/wire_test.cc.o" "gcc" "tests/CMakeFiles/xk_tests.dir/wire_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xk_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xk_psync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xk_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xk_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xk_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
