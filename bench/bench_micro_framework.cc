@@ -79,6 +79,25 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+void BM_EventQueueScheduleCancelMix(benchmark::State& state) {
+  // The retransmit-timer pattern that dominates CHANNEL/FRAGMENT/RDP: set a
+  // timer per message, cancel most of them when the ack arrives first, let
+  // the rest fire.
+  EventQueue q;
+  std::vector<EventHandle> handles(64);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      handles[i] = q.ScheduleIn(Usec(100 + i), [] {});
+    }
+    for (int i = 0; i < 48; ++i) {
+      handles[i].Cancel();
+    }
+    q.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleCancelMix);
+
 void BM_FullNullRpcSimulated(benchmark::State& state) {
   // Wall-clock cost of simulating one complete null RPC through the full
   // layered stack -- the harness overhead per simulated call.

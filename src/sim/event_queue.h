@@ -4,42 +4,54 @@
 // timer in one experiment shares one queue. Events scheduled for the same
 // instant fire in schedule order (a monotonically increasing sequence number
 // breaks ties), which makes every run bit-for-bit reproducible.
+//
+// Host-side representation (invisible to simulated time): closures live in a
+// slab of reusable slots, cancellation is a generation-counter bump, and the
+// ready order is kept in a 4-ary min-heap of 24-byte POD entries. Scheduling,
+// firing, and cancelling therefore allocate nothing in steady state -- the
+// slab and the heap reach a high-water mark and stay there. This matters
+// because the dominant pattern is a retransmit timer (CHANNEL, FRAGMENT, RDP)
+// that is set per message and cancelled when the reply beats it: a cancel is
+// one generation bump, and the stale heap entry is skipped when it surfaces
+// (or swept out wholesale if the heap becomes mostly dead).
+//
+// Handles are {slot index, generation} pairs into the queue's slab; they must
+// not outlive the EventQueue they came from (in this repository queues always
+// outlive the kernels holding timers on them).
 
 #ifndef XK_SRC_SIM_EVENT_QUEUE_H_
 #define XK_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/core/types.h"
 
 namespace xk {
 
-// Handle used to cancel a pending event. Cancellation marks the event dead;
-// the queue skips dead events when they surface.
+class EventQueue;
+
+// Handle used to cancel a pending event. Copies share fate: cancelling or
+// firing the event makes every copy report !pending().
 class EventHandle {
  public:
   EventHandle() = default;
 
   // True if the event has neither fired nor been cancelled.
-  bool pending() const { return state_ != nullptr && !*state_; }
+  inline bool pending() const;
 
   // Cancels the event if still pending. Returns true if it was pending.
-  bool Cancel() {
-    if (!pending()) {
-      return false;
-    }
-    *state_ = true;
-    return true;
-  }
+  inline bool Cancel();
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
-  std::shared_ptr<bool> state_;  // *state_ == true means dead
+  EventHandle(EventQueue* queue, uint32_t slot, uint32_t gen)
+      : queue_(queue), slot_(slot), gen_(gen) {}
+
+  EventQueue* queue_ = nullptr;
+  uint32_t slot_ = 0;
+  uint32_t gen_ = 0;
 };
 
 class EventQueue {
@@ -72,34 +84,79 @@ class EventQueue {
   // pending events exist; used by test harnesses between phases).
   void AdvanceTo(SimTime t);
 
-  // Note: a cancelled event is counted until it drains through Run/RunUntil,
-  // so these are upper bounds immediately after a Cancel().
+  // Live (scheduled, not yet fired or cancelled) events. Exact: a Cancel()
+  // takes effect immediately.
   bool empty() const { return live_count_ == 0; }
   size_t pending_events() const { return live_count_; }
 
+  // Host-side counter of events fired over this queue's lifetime (benchmark
+  // instrumentation; has no effect on simulated time).
+  uint64_t fired_total() const { return fired_total_; }
+
  private:
-  struct Event {
-    SimTime at;
-    uint64_t seq;
+  friend class EventHandle;
+
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  // One slab slot. `generation` advances every time the slot's event ends
+  // (fires or is cancelled), so stale handles and stale heap entries are
+  // recognized by mismatch. While free, `next_free` links the freelist.
+  struct Slot {
     std::function<void()> fn;
-    std::shared_ptr<bool> dead;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
+    uint32_t generation = 0;
+    uint32_t next_free = kNil;
   };
 
-  bool PopNext(Event& out);
+  // Heap entry: plain data, cheap to sift. The closure stays in the slab.
+  struct Entry {
+    SimTime at;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t gen;
+  };
+
+  static bool Before(const Entry& a, const Entry& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    return a.seq < b.seq;
+  }
+
+  uint32_t AcquireSlot();
+  void RetireSlot(uint32_t index);
+  bool SlotLive(uint32_t index, uint32_t gen) const {
+    return index < slots_.size() && slots_[index].generation == gen;
+  }
+  bool CancelInternal(uint32_t index, uint32_t gen);
+
+  void HeapPush(Entry e);
+  void HeapPopTop();
+  void SiftDown(size_t i);
+  // Drops dead heap entries at the top; returns false if the heap drained.
+  bool SkimDead();
+  void MaybeSweepDead();
+
+  // Pops the next live event, transferring its closure to `fn`.
+  bool PopNext(Entry& out, std::function<void()>& fn);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t fired_total_ = 0;
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNil;
+  std::vector<Entry> heap_;
+  size_t dead_in_heap_ = 0;  // cancelled entries not yet skipped/swept
 };
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->SlotLive(slot_, gen_);
+}
+
+inline bool EventHandle::Cancel() {
+  return queue_ != nullptr && queue_->CancelInternal(slot_, gen_);
+}
 
 }  // namespace xk
 

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <queue>
+#include <random>
 #include <vector>
 
 namespace xk {
@@ -122,6 +125,181 @@ TEST(EventQueueTest, AdvanceToMovesClock) {
   EventQueue q;
   q.AdvanceTo(Msec(5));
   EXPECT_EQ(q.now(), Msec(5));
+}
+
+TEST(EventQueueTest, CancelInsideOwnHandlerIsNoOp) {
+  // By the time a handler runs, its own handle is already retired: a Cancel()
+  // from inside the handler must report false (the kernel uses this to decide
+  // whether to charge timer_cancel).
+  EventQueue q;
+  EventHandle h;
+  bool cancel_result = true;
+  h = q.ScheduleAt(Usec(5), [&] { cancel_result = h.Cancel(); });
+  q.Run();
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(EventQueueTest, CancellationStorm) {
+  // Schedule thousands of timers and cancel almost all of them -- the
+  // retransmit pattern at scale. Only the survivors fire, in order, and the
+  // queue's live accounting stays exact throughout.
+  EventQueue q;
+  constexpr int kEvents = 4096;
+  std::vector<EventHandle> handles;
+  handles.reserve(kEvents);
+  std::vector<int> fired;
+  for (int i = 0; i < kEvents; ++i) {
+    handles.push_back(q.ScheduleAt(Usec(i), [&fired, i] { fired.push_back(i); }));
+  }
+  EXPECT_EQ(q.pending_events(), static_cast<size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 64 != 0) {
+      EXPECT_TRUE(handles[i].Cancel());
+    }
+  }
+  EXPECT_EQ(q.pending_events(), static_cast<size_t>(kEvents / 64));
+  q.Run();
+  ASSERT_EQ(fired.size(), static_cast<size_t>(kEvents / 64));
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(i) * 64);
+  }
+  EXPECT_TRUE(q.empty());
+  // Every cancelled handle stays dead.
+  for (auto& h : handles) {
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.Cancel());
+  }
+}
+
+TEST(EventQueueTest, HandleStaysDeadAfterSlotReuse) {
+  // Once an event fires or is cancelled its slab slot is recycled for new
+  // events. Old handles -- including copies -- must keep reporting dead even
+  // while a new event occupies the same slot.
+  EventQueue q;
+  EventHandle first = q.ScheduleAt(Usec(1), [] {});
+  EventHandle first_copy = first;
+  q.Run();
+  EXPECT_FALSE(first.pending());
+
+  // With one slot free, this reuses it under a bumped generation.
+  bool second_fired = false;
+  EventHandle second = q.ScheduleIn(Usec(1), [&] { second_fired = true; });
+  EXPECT_TRUE(second.pending());
+  EXPECT_FALSE(first.pending());
+  EXPECT_FALSE(first_copy.pending());
+  EXPECT_FALSE(first.Cancel());  // must not kill the new occupant
+  EXPECT_TRUE(second.pending());
+  q.Run();
+  EXPECT_TRUE(second_fired);
+
+  // Same pattern through many reuse cycles.
+  std::vector<EventHandle> stale;
+  for (int i = 0; i < 100; ++i) {
+    EventHandle h = q.ScheduleIn(Usec(1), [] {});
+    for (auto& old : stale) {
+      EXPECT_FALSE(old.Cancel());
+    }
+    EXPECT_TRUE(h.pending());
+    if (i % 2 == 0) {
+      EXPECT_TRUE(h.Cancel());
+    } else {
+      q.Run();
+    }
+    stale.push_back(h);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, DifferentialAgainstReferenceModel) {
+  // Replay a long random schedule/cancel/run trace against a transparent
+  // reference implementation with the seed's priority-queue semantics
+  // ((at, seq) ordering, cancellation by flag). Firing order, firing times,
+  // cancel return values, and live counts must match exactly.
+  struct RefEvent {
+    SimTime at;
+    uint64_t seq;
+    int id;
+    bool operator>(const RefEvent& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<RefEvent>>
+      ref_heap;
+  std::vector<bool> ref_dead;  // id -> cancelled-or-fired
+  SimTime ref_now = 0;
+  uint64_t ref_seq = 0;
+
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired_real;
+  std::vector<int> fired_ref;
+
+  auto ref_live = [&] {
+    size_t n = 0;
+    for (size_t i = 0; i < ref_dead.size(); ++i) {
+      // Count ids scheduled but neither fired nor cancelled.
+      n += ref_dead[i] ? 0 : 1;
+    }
+    return n;
+  };
+  auto ref_run = [&](size_t max_events) {
+    size_t fired = 0;
+    while (fired < max_events && !ref_heap.empty()) {
+      RefEvent ev = ref_heap.top();
+      ref_heap.pop();
+      if (ref_dead[ev.id]) continue;
+      ref_now = ev.at;
+      ref_dead[ev.id] = true;
+      fired_ref.push_back(ev.id);
+      ++fired;
+    }
+    return fired;
+  };
+
+  std::mt19937 rng(20260806);
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 55) {  // schedule, sometimes in the "past" to exercise clamping
+      const SimTime at = ref_now + static_cast<SimTime>(rng() % 500) - 50;
+      const int id = static_cast<int>(ref_dead.size());
+      const SimTime clamped = at < ref_now ? ref_now : at;
+      ref_heap.push(RefEvent{clamped, ref_seq++, id});
+      ref_dead.push_back(false);
+      handles.push_back(
+          q.ScheduleAt(at, [&fired_real, id] { fired_real.push_back(id); }));
+    } else if (op < 85 && !handles.empty()) {  // cancel a random id
+      const size_t victim = rng() % handles.size();
+      const bool ref_was_live = !ref_dead[victim];
+      ref_dead[victim] = true;
+      EXPECT_EQ(handles[victim].Cancel(), ref_was_live) << "step " << step;
+      EXPECT_FALSE(handles[victim].pending());
+    } else {  // run a bounded burst
+      const size_t burst = 1 + rng() % 8;
+      EXPECT_EQ(q.Run(burst), ref_run(burst)) << "step " << step;
+      EXPECT_EQ(q.now(), ref_now) << "step " << step;
+    }
+    EXPECT_EQ(q.pending_events(), ref_live()) << "step " << step;
+  }
+  q.Run();
+  ref_run(SIZE_MAX);
+  EXPECT_EQ(q.now(), ref_now);
+  EXPECT_EQ(fired_real, fired_ref);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CountsFiredEvents) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(Usec(i), [] {});
+  }
+  EventHandle h = q.ScheduleAt(Usec(10), [] {});
+  h.Cancel();
+  q.Run();
+  EXPECT_EQ(q.fired_total(), 5u);  // cancelled events don't count
+  q.ScheduleIn(Usec(1), [] {});
+  q.Run();
+  EXPECT_EQ(q.fired_total(), 6u);  // lifetime counter, keeps accumulating
 }
 
 TEST(EventQueueTest, DeterministicAcrossRuns) {
