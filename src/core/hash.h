@@ -1,0 +1,93 @@
+// Hashing customization point for demux keys.
+//
+// The real x-kernel map tool is a hash table over fixed-size external ids
+// (header fields); every protocol's demux key here is a small value type --
+// an address, a protocol number, or a tuple of them -- so hashing reduces to
+// mixing a few machine words. XkHash<T> is the per-key-type hook: protocols
+// with exotic keys specialize it next to the key definition, and tuple keys
+// compose element hashes automatically.
+
+#ifndef XK_SRC_CORE_HASH_H_
+#define XK_SRC_CORE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <type_traits>
+
+#include "src/core/types.h"
+
+namespace xk {
+
+// splitmix64 finalizer: cheap, and every input bit affects every output bit.
+// Demux keys are dense small integers (protocol numbers, host addresses
+// numbered from 10.0.0.x), so table indices must come from mixed high bits,
+// not the raw value.
+constexpr uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return MixBits(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+// Primary template is undefined: a key type without a specialization (or one
+// of the generic cases below) is a compile error at the DemuxMap that uses it.
+template <typename T, typename Enable = void>
+struct XkHash;
+
+template <typename T>
+struct XkHash<T, std::enable_if_t<std::is_integral_v<T> || std::is_enum_v<T>>> {
+  constexpr uint64_t operator()(T v) const {
+    return MixBits(static_cast<uint64_t>(v));
+  }
+};
+
+template <typename T>
+struct XkHash<T*> {
+  uint64_t operator()(T* p) const {
+    return MixBits(reinterpret_cast<uintptr_t>(p));
+  }
+};
+
+template <>
+struct XkHash<IpAddr> {
+  constexpr uint64_t operator()(IpAddr a) const { return MixBits(a.value()); }
+};
+
+template <>
+struct XkHash<EthAddr> {
+  constexpr uint64_t operator()(const EthAddr& a) const {
+    uint64_t packed = 0;
+    for (uint8_t b : a.bytes()) {
+      packed = (packed << 8) | b;
+    }
+    return MixBits(packed);
+  }
+};
+
+template <typename... Ts>
+struct XkHash<std::tuple<Ts...>> {
+  constexpr uint64_t operator()(const std::tuple<Ts...>& t) const {
+    uint64_t seed = 0;
+    std::apply(
+        [&seed](const Ts&... elems) {
+          ((seed = HashCombine(seed, XkHash<Ts>{}(elems))), ...);
+        },
+        t);
+    return seed;
+  }
+};
+
+// Equality hook, overridable per key type alongside XkHash.
+template <typename T>
+struct XkEq {
+  constexpr bool operator()(const T& a, const T& b) const { return a == b; }
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_CORE_HASH_H_

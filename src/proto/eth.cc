@@ -37,10 +37,13 @@ Status EthProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
     return ErrStatus(StatusCode::kInvalidArgument);
   }
   const EthType type = *parts.local.eth_type;
-  if (Protocol* existing = passive_.Peek(type); existing != nullptr && existing != &hlp) {
-    return ErrStatus(StatusCode::kAlreadyExists);
+  Protocol* existing = nullptr;
+  if (!passive_.TryBind(type, &hlp, &existing)) {
+    if (existing != &hlp) {
+      return ErrStatus(StatusCode::kAlreadyExists);
+    }
+    passive_.Bind(type, &hlp);  // idempotent re-enable recharges, as before
   }
-  passive_.Bind(type, &hlp);
   return OkStatus();
 }
 

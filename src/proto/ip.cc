@@ -186,10 +186,13 @@ Status IpProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
     return ErrStatus(StatusCode::kInvalidArgument);
   }
   const IpProtoNum proto = *parts.local.ip_proto;
-  if (Protocol* existing = passive_.Peek(proto); existing != nullptr && existing != &hlp) {
-    return ErrStatus(StatusCode::kAlreadyExists);
+  Protocol* existing = nullptr;
+  if (!passive_.TryBind(proto, &hlp, &existing)) {
+    if (existing != &hlp) {
+      return ErrStatus(StatusCode::kAlreadyExists);
+    }
+    passive_.Bind(proto, &hlp);  // idempotent re-enable recharges, as before
   }
-  passive_.Bind(proto, &hlp);
   return OkStatus();
 }
 

@@ -66,11 +66,13 @@ Status UdpProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
   if (!parts.local.port.has_value()) {
     return ErrStatus(StatusCode::kInvalidArgument);
   }
-  if (Protocol* existing = passive_.Peek(*parts.local.port);
-      existing != nullptr && existing != &hlp) {
-    return ErrStatus(StatusCode::kAlreadyExists);
+  Protocol* existing = nullptr;
+  if (!passive_.TryBind(*parts.local.port, &hlp, &existing)) {
+    if (existing != &hlp) {
+      return ErrStatus(StatusCode::kAlreadyExists);
+    }
+    passive_.Bind(*parts.local.port, &hlp);  // idempotent re-enable recharges
   }
-  passive_.Bind(*parts.local.port, &hlp);
   return OkStatus();
 }
 

@@ -112,8 +112,7 @@ Status RdpProtocol::DoDemux(Session* lls, Message& msg) {
 
 void RdpProtocol::SessionError(Session& lls, Status error) {
   (void)error;
-  if (SessionRef sender = sends_.Peek(&lls)) {
-    sends_.Unbind(&lls);
+  if (SessionRef sender = sends_.Take(&lls)) {
     ReleaseChannelFor(&lls);
     ++stats_.send_failures;
     auto* sess = static_cast<RdpSession*>(sender.get());

@@ -85,10 +85,13 @@ Result<SessionRef> SelectProtocol::DoOpen(Protocol& hlp, const ParticipantSet& p
 
 Status SelectProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
   const uint16_t command = parts.local.command.value_or(kAnyCommand);
-  if (Protocol* existing = passive_.Peek(command); existing != nullptr && existing != &hlp) {
-    return ErrStatus(StatusCode::kAlreadyExists);
+  Protocol* existing = nullptr;
+  if (!passive_.TryBind(command, &hlp, &existing)) {
+    if (existing != &hlp) {
+      return ErrStatus(StatusCode::kAlreadyExists);
+    }
+    passive_.Bind(command, &hlp);  // idempotent re-enable recharges, as before
   }
-  passive_.Bind(command, &hlp);
   return OkStatus();
 }
 
@@ -163,11 +166,10 @@ Status SelectProtocol::DoDemux(Session* lls, Message& msg) {
 void SelectProtocol::SessionError(Session& lls, Status error) {
   // A channel call failed (e.g., retransmissions exhausted). Release the
   // channel and propagate to whoever was calling through it.
-  SessionRef caller = calls_.Peek(&lls);
+  SessionRef caller = calls_.Take(&lls);
   if (caller == nullptr) {
     return;
   }
-  calls_.Unbind(&lls);
   auto* sess = static_cast<SelectSession*>(caller.get());
   auto it = pools_.find(sess->server());
   if (it != pools_.end()) {

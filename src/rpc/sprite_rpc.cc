@@ -86,10 +86,13 @@ Result<SessionRef> SpriteRpcProtocol::DoOpen(Protocol& hlp, const ParticipantSet
 
 Status SpriteRpcProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
   const uint16_t command = parts.local.command.value_or(kAnyCommand);
-  if (Protocol* existing = passive_.Peek(command); existing != nullptr && existing != &hlp) {
-    return ErrStatus(StatusCode::kAlreadyExists);
+  Protocol* existing = nullptr;
+  if (!passive_.TryBind(command, &hlp, &existing)) {
+    if (existing != &hlp) {
+      return ErrStatus(StatusCode::kAlreadyExists);
+    }
+    passive_.Bind(command, &hlp);  // idempotent re-enable recharges, as before
   }
-  passive_.Bind(command, &hlp);
   return OkStatus();
 }
 

@@ -49,11 +49,13 @@ Status RequestReplyProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& p
   if (!parts.local.rel_proto.has_value()) {
     return ErrStatus(StatusCode::kInvalidArgument);
   }
-  if (Protocol* existing = passive_.Peek(*parts.local.rel_proto);
-      existing != nullptr && existing != &hlp) {
-    return ErrStatus(StatusCode::kAlreadyExists);
+  Protocol* existing = nullptr;
+  if (!passive_.TryBind(*parts.local.rel_proto, &hlp, &existing)) {
+    if (existing != &hlp) {
+      return ErrStatus(StatusCode::kAlreadyExists);
+    }
+    passive_.Bind(*parts.local.rel_proto, &hlp);  // re-enable recharges
   }
-  passive_.Bind(*parts.local.rel_proto, &hlp);
   return OkStatus();
 }
 

@@ -75,10 +75,13 @@ Status SunSelectProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& part
     return ErrStatus(StatusCode::kInvalidArgument);
   }
   const ProgKey key{*parts.local.rel_proto, static_cast<uint16_t>(*parts.local.channel)};
-  if (Protocol* existing = passive_.Peek(key); existing != nullptr && existing != &hlp) {
-    return ErrStatus(StatusCode::kAlreadyExists);
+  Protocol* existing = nullptr;
+  if (!passive_.TryBind(key, &hlp, &existing)) {
+    if (existing != &hlp) {
+      return ErrStatus(StatusCode::kAlreadyExists);
+    }
+    passive_.Bind(key, &hlp);  // idempotent re-enable recharges, as before
   }
-  passive_.Bind(key, &hlp);
   return OkStatus();
 }
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/core/kernel.h"
 #include "src/core/map.h"
 #include "src/core/participant.h"
@@ -169,6 +171,65 @@ TEST_F(KernelFixture, DemuxMapChargesResolveAndBind) {
     EXPECT_EQ(kernel.cpu().total_busy(), t2);
     map.Unbind(1);
     EXPECT_FALSE(map.Contains(1));
+  });
+}
+
+TEST_F(KernelFixture, DemuxMapTryBindSingleProbe) {
+  kernel.RunTask(0, [&] {
+    DemuxMap<int, int> map(kernel);
+    // Miss: installs and charges one map_bind.
+    const SimTime t0 = kernel.cpu().total_busy();
+    int existing = 0;
+    EXPECT_TRUE(map.TryBind(7, 70, &existing));
+    EXPECT_EQ(kernel.cpu().total_busy() - t0, kernel.costs().map_bind);
+    // Hit: leaves the incumbent, reports it, and charges nothing (the same
+    // total the old Peek-then-bail pattern paid).
+    const SimTime t1 = kernel.cpu().total_busy();
+    EXPECT_FALSE(map.TryBind(7, 99, &existing));
+    EXPECT_EQ(existing, 70);
+    EXPECT_EQ(kernel.cpu().total_busy(), t1);
+    EXPECT_EQ(map.Peek(7), 70);
+  });
+}
+
+TEST_F(KernelFixture, DemuxMapTakeRemovesAndReturns) {
+  kernel.RunTask(0, [&] {
+    DemuxMap<int, int> map(kernel);
+    map.Bind(3, 30);
+    const SimTime t0 = kernel.cpu().total_busy();
+    EXPECT_EQ(map.Take(3), 30);
+    EXPECT_EQ(kernel.cpu().total_busy(), t0);  // uncharged, like Peek+Unbind
+    EXPECT_FALSE(map.Contains(3));
+    EXPECT_EQ(map.Take(3), 0);  // miss: default value
+  });
+}
+
+TEST_F(KernelFixture, DemuxMapSurvivesChurnAndRehash) {
+  // Bind/unbind far more keys than the initial capacity, with interleaved
+  // removals so probe chains cross tombstones and the table rehashes several
+  // times. A shadowing std::map checks every answer.
+  kernel.RunTask(0, [&] {
+    DemuxMap<uint32_t, int> map(kernel);
+    std::map<uint32_t, int> shadow;
+    uint32_t rng = 1;
+    for (int step = 0; step < 3000; ++step) {
+      rng = rng * 1664525u + 1013904223u;
+      const uint32_t key = (rng >> 8) % 256;  // dense keys force collisions
+      if (step % 3 == 2) {
+        map.Unbind(key);
+        shadow.erase(key);
+      } else {
+        map.Bind(key, step);
+        shadow[key] = step;
+      }
+      if (step % 97 == 0) {
+        for (uint32_t k = 0; k < 256; ++k) {
+          auto it = shadow.find(k);
+          EXPECT_EQ(map.Peek(k), it == shadow.end() ? 0 : it->second);
+        }
+      }
+      ASSERT_EQ(map.size(), shadow.size());
+    }
   });
 }
 
