@@ -55,7 +55,7 @@ void Message::EnsureOwnedArenaFor(size_t more) {
       auto block = std::make_shared<Block>();
       block->bytes.assign(arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_),
                           arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_ + arena_len_));
-      chunks_.insert(chunks_.begin(), Chunk{std::move(block), 0, arena_len_});
+      chunks_.push_front(Chunk{std::move(block), 0, arena_len_});
     }
     arena_len_ = 0;
   }
@@ -81,14 +81,14 @@ void Message::PushHeader(std::span<const uint8_t> header) {
       auto spill = std::make_shared<Block>();
       spill->bytes.assign(arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_),
                           arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_ + arena_len_));
-      chunks_.insert(chunks_.begin(), Chunk{std::move(spill), 0, arena_len_});
+      chunks_.push_front(Chunk{std::move(spill), 0, arena_len_});
       arena_.reset();
       arena_len_ = 0;
       arena_start_ = 0;
     }
     auto block = std::make_shared<Block>();
     block->bytes.assign(header.begin(), header.end());
-    chunks_.insert(chunks_.begin(), Chunk{std::move(block), 0, header.size()});
+    chunks_.push_front(Chunk{std::move(block), 0, header.size()});
     length_ += header.size();
     return;
   }
@@ -109,10 +109,8 @@ size_t Message::CopyOut(std::span<uint8_t> out) const {
     copied += take;
     want -= take;
   }
-  for (const Chunk& c : chunks_) {
-    if (want == 0) {
-      break;
-    }
+  for (size_t i = 0; i < chunks_.size() && want > 0; ++i) {
+    const Chunk& c = chunks_[i];
     const size_t take = std::min(want, c.len);
     std::memcpy(out.data() + copied, c.block->bytes.data() + c.off, take);
     copied += take;
@@ -151,7 +149,7 @@ bool Message::Discard(size_t n) {
     c.len -= take;
     left -= take;
     if (c.len == 0) {
-      chunks_.erase(chunks_.begin());
+      chunks_.pop_front();
     }
   }
   length_ -= n;
@@ -182,16 +180,14 @@ void Message::Truncate(size_t n) {
   }
   size_t remaining = n - arena_len_;
   size_t keep = 0;
-  for (Chunk& c : chunks_) {
-    if (remaining == 0) {
-      break;
-    }
+  for (size_t i = 0; i < chunks_.size() && remaining > 0; ++i) {
+    Chunk& c = chunks_[i];
     const size_t take = std::min(remaining, c.len);
     c.len = take;
     remaining -= take;
     ++keep;
   }
-  chunks_.resize(keep);
+  chunks_.truncate(keep);
   length_ = n;
 }
 
@@ -226,10 +222,8 @@ Message Message::Slice(size_t offset, size_t len) const {
       skip -= arena_len_;
     }
   }
-  for (const Chunk& c : chunks_) {
-    if (want == 0) {
-      break;
-    }
+  for (size_t i = 0; i < chunks_.size() && want > 0; ++i) {
+    const Chunk& c = chunks_[i];
     if (skip >= c.len) {
       skip -= c.len;
       continue;
@@ -247,7 +241,8 @@ void Message::Append(const Message& m) {
   if (m.arena_len_ > 0) {
     m.AppendArenaAsChunkTo(*this, 0, m.arena_len_);
   }
-  for (const Chunk& c : m.chunks_) {
+  for (size_t i = 0; i < m.chunks_.size(); ++i) {
+    const Chunk& c = m.chunks_[i];
     if (c.len > 0) {
       chunks_.push_back(c);
       length_ += c.len;

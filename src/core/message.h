@@ -122,6 +122,78 @@ class Message {
     size_t len = 0;
   };
 
+  // Chunk sequence with the first two elements stored inline. Almost every
+  // message on the RPC datapath is one payload chunk plus at most one spilled
+  // header chunk, so the common push/pop/slice path never allocates a chunk
+  // array; only reassembled bulk transfers (FRAGMENT joining 16 slices)
+  // overflow into the heap-backed tail.
+  class ChunkVec {
+   public:
+    static constexpr size_t kInline = 2;
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    Chunk& operator[](size_t i) {
+      return i < kInline ? inline_[i] : rest_[i - kInline];
+    }
+    const Chunk& operator[](size_t i) const {
+      return i < kInline ? inline_[i] : rest_[i - kInline];
+    }
+    Chunk& front() { return inline_[0]; }
+
+    void push_back(Chunk c) {
+      if (size_ < kInline) {
+        inline_[size_] = std::move(c);
+      } else {
+        rest_.push_back(std::move(c));
+      }
+      ++size_;
+    }
+
+    void push_front(Chunk c) {
+      if (size_ >= kInline) {
+        rest_.insert(rest_.begin(), std::move(inline_[kInline - 1]));
+      }
+      const size_t shift = size_ < kInline - 1 ? size_ : kInline - 1;
+      for (size_t i = shift; i > 0; --i) {
+        inline_[i] = std::move(inline_[i - 1]);
+      }
+      inline_[0] = std::move(c);
+      ++size_;
+    }
+
+    void pop_front() {
+      const size_t in_inline = size_ < kInline ? size_ : kInline;
+      for (size_t i = 0; i + 1 < in_inline; ++i) {
+        inline_[i] = std::move(inline_[i + 1]);
+      }
+      if (size_ > kInline) {
+        inline_[kInline - 1] = std::move(rest_.front());
+        rest_.erase(rest_.begin());
+      } else {
+        inline_[in_inline - 1] = Chunk{};  // release the block reference
+      }
+      --size_;
+    }
+
+    // Shrinks to the first n elements (n <= size()).
+    void truncate(size_t n) {
+      for (size_t i = n; i < size_ && i < kInline; ++i) {
+        inline_[i] = Chunk{};
+      }
+      rest_.resize(n > kInline ? n - kInline : 0);
+      size_ = n;
+    }
+
+    void clear() { truncate(0); }
+
+   private:
+    Chunk inline_[kInline];
+    std::vector<Chunk> rest_;
+    size_t size_ = 0;
+  };
+
   // Header arena: headers are written at decreasing offsets. `start_` is the
   // offset of the first valid byte for *this* message; `arena_len_` the number
   // of valid arena bytes. The arena tracks its low-water mark so that a
@@ -139,7 +211,7 @@ class Message {
   size_t arena_start_ = 0;        // offset of first valid byte in arena_
   size_t arena_len_ = 0;          // number of valid bytes in arena_
 
-  std::vector<Chunk> chunks_;
+  ChunkVec chunks_;
   size_t length_ = 0;  // arena_len_ + sum(chunk.len)
 };
 

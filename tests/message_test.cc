@@ -317,7 +317,7 @@ TEST_P(MessagePropertyTest, RandomOpsMatchReferenceModel) {
   std::vector<uint8_t> model = initial;
 
   for (int step = 0; step < 200; ++step) {
-    switch (rng.NextBelow(5)) {
+    switch (rng.NextBelow(7)) {
       case 0: {  // push
         auto hdr = Pattern(rng.NextInRange(1, 48), static_cast<uint8_t>(rng.NextU64()));
         m.PushHeader(hdr);
@@ -362,9 +362,34 @@ TEST_P(MessagePropertyTest, RandomOpsMatchReferenceModel) {
       }
       case 4: {  // copy fork: mutate the copy, original must be unaffected
         Message copy = m;
-        copy.PushHeader(Pattern(8, 42));
+        const auto hdr = Pattern(8, 42);
+        copy.PushHeader(hdr);  // shared arena: must clone, not scribble
+        std::vector<uint8_t> expect_copy = model;
+        expect_copy.insert(expect_copy.begin(), hdr.begin(), hdr.end());
+        EXPECT_EQ(copy.Flatten(), expect_copy) << "step " << step;
+        ASSERT_EQ(m.Flatten(), model)
+            << "copy's push leaked into the original at step " << step;
         std::vector<uint8_t> sink(std::min<size_t>(model.size(), 8));
         copy.PopHeader(sink);
+        break;
+      }
+      case 5: {  // discard from the front
+        const size_t n = rng.NextInRange(0, 64);
+        const bool ok = m.Discard(n);
+        if (n <= model.size()) {
+          ASSERT_TRUE(ok);
+          model.erase(model.begin(), model.begin() + static_cast<ptrdiff_t>(n));
+        } else {
+          ASSERT_FALSE(ok);
+        }
+        break;
+      }
+      case 6: {  // truncate (strip trailing padding)
+        const size_t n = rng.NextBelow(static_cast<size_t>(model.size()) + 32);
+        m.Truncate(n);
+        if (n < model.size()) {
+          model.resize(n);
+        }
         break;
       }
     }
