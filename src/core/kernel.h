@@ -92,6 +92,10 @@ class Kernel {
   void ChargeHdrLoad(size_t bytes);
   void ChargeMapResolve() { cpu_.Charge(costs_.map_resolve); }
   void ChargeMapBind() { cpu_.Charge(costs_.map_bind); }
+  // Removing a binding probes and unlinks just like installing one, so it
+  // costs the same map_bind price (the paper's map tool has no cheaper
+  // removal path).
+  void ChargeMapUnbind() { cpu_.Charge(costs_.map_bind); }
   void ChargeSemOp() { cpu_.Charge(costs_.sem_op); }
   void ChargeProcessSwitch() { cpu_.Charge(costs_.process_switch); }
   void ChargeUserKernelCross() { cpu_.Charge(costs_.user_kernel_cross); }

@@ -66,7 +66,10 @@ class DemuxMap {
     return false;
   }
 
+  // Removes `key`, charging one map_unbind so demux teardown (dynamic layer
+  // removal, per-call channel release) is accounted like installation.
   void Unbind(const Key& key) {
+    kernel_.ChargeMapUnbind();
     const size_t i = FindIndex(key);
     if (i == kNpos) {
       return;
@@ -75,9 +78,10 @@ class DemuxMap {
   }
 
   // Removes `key` and returns its value in one probe (default-constructed
-  // Value on miss) -- the Peek-then-Unbind teardown pattern. Uncharged, like
-  // the pair it replaces.
+  // Value on miss) -- the Peek-then-Unbind teardown pattern. Charges one
+  // map_unbind, like Unbind.
   Value Take(const Key& key) {
+    kernel_.ChargeMapUnbind();
     const size_t i = FindIndex(key);
     if (i == kNpos) {
       return Value{};

@@ -169,7 +169,10 @@ TEST_F(KernelFixture, DemuxMapChargesResolveAndBind) {
     const SimTime t2 = kernel.cpu().total_busy();
     EXPECT_EQ(map.Peek(1), 42);
     EXPECT_EQ(kernel.cpu().total_busy(), t2);
+    // Unbind charges like Bind: removal pays the same probe-and-unlink price.
+    const SimTime t3 = kernel.cpu().total_busy();
     map.Unbind(1);
+    EXPECT_EQ(kernel.cpu().total_busy() - t3, kernel.costs().map_bind);
     EXPECT_FALSE(map.Contains(1));
   });
 }
@@ -198,7 +201,8 @@ TEST_F(KernelFixture, DemuxMapTakeRemovesAndReturns) {
     map.Bind(3, 30);
     const SimTime t0 = kernel.cpu().total_busy();
     EXPECT_EQ(map.Take(3), 30);
-    EXPECT_EQ(kernel.cpu().total_busy(), t0);  // uncharged, like Peek+Unbind
+    // Removal probes and unlinks like installation, so it charges the same.
+    EXPECT_EQ(kernel.cpu().total_busy() - t0, kernel.costs().map_bind);
     EXPECT_FALSE(map.Contains(3));
     EXPECT_EQ(map.Take(3), 0);  // miss: default value
   });
