@@ -24,60 +24,12 @@ double MeasureFullStackMs() {
   return full.latency_ms;
 }
 
-double MeasureVipOnlyMs() {
-  // The base below the three RPC layers.
-  auto net = Internet::TwoHosts();
-  auto& ch = net->host("client");
-  auto& sh = net->host("server");
-  RpcStack cstack = BuildPartial(ch, 0);
-  RpcStack sstack = BuildPartial(sh, 0);
-  EchoAnchor* client = nullptr;
-  ch.kernel->RunTask(net->events().now(),
-                     [&] { client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, false); });
-  sh.kernel->RunTask(net->events().now(), [&] {
-    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, true);
-    (void)EnableEcho(sstack, server);
-  });
-  SessionRef sess;
-  ch.kernel->RunTask(net->events().now(), [&] {
-    Result<SessionRef> r = OpenEchoSession(cstack, *client, sh.kernel->ip_addr());
-    if (r.ok()) {
-      sess = *r;
-    }
-  });
-  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
-    client->Send(sess, std::move(args), std::move(done));
-  };
-  return ToMsec(RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64).per_call);
-}
+// The base below the three RPC layers.
+double MeasureVipOnlyMs() { return MeasurePartialLatency(0).ms; }
 
 // The cost the FULL stack minus the CHANNEL-FRAGMENT-VIP stack isolates: the
 // cheapest layer, SELECT -- the paper's "minimum cost per layer".
-double MeasureChannelStackMs() {
-  auto net = Internet::TwoHosts();
-  auto& ch = net->host("client");
-  auto& sh = net->host("server");
-  RpcStack cstack = BuildPartial(ch, 2);
-  RpcStack sstack = BuildPartial(sh, 2);
-  EchoAnchor* client = nullptr;
-  ch.kernel->RunTask(net->events().now(),
-                     [&] { client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, false); });
-  sh.kernel->RunTask(net->events().now(), [&] {
-    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, true);
-    (void)EnableEcho(sstack, server);
-  });
-  SessionRef sess;
-  ch.kernel->RunTask(net->events().now(), [&] {
-    Result<SessionRef> r = OpenEchoSession(cstack, *client, sh.kernel->ip_addr());
-    if (r.ok()) {
-      sess = *r;
-    }
-  });
-  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
-    client->Send(sess, std::move(args), std::move(done));
-  };
-  return ToMsec(RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64).per_call);
-}
+double MeasureChannelStackMs() { return MeasurePartialLatency(2).ms; }
 
 int Run() {
   std::printf("\nAblation: header buffer scheme (pointer adjust vs per-layer alloc)\n");

@@ -17,39 +17,6 @@
 namespace xk {
 namespace {
 
-struct ColdWarm {
-  double first_ms;
-  double steady_ms;
-};
-
-ColdWarm MeasureColdWarm(const RpcBench::Builder& builder) {
-  auto net = std::make_unique<Internet>();
-  const int seg = net->AddSegment();
-  net->AddHost("client", seg, IpAddr(10, 0, 1, 1));
-  net->AddHost("server", seg, IpAddr(10, 0, 1, 2));
-  net->WarmArp();  // address resolution warm; session state cold
-  auto& ch = net->host("client");
-  auto& sh = net->host("server");
-  RpcStack cstack = builder(ch);
-  RpcStack sstack = builder(sh);
-  RpcClient* client = nullptr;
-  ch.kernel->RunTask(net->events().now(),
-                     [&] { client = &ch.kernel->Emplace<RpcClient>(*ch.kernel, cstack.top); });
-  sh.kernel->RunTask(net->events().now(), [&] {
-    auto& server = sh.kernel->Emplace<RpcServer>(*sh.kernel, sstack.top);
-    (void)server.Export(RpcServer::kAny, [](uint16_t, Message&) { return Message(); });
-  });
-
-  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
-    client->Call(sh.kernel->ip_addr(), 1, std::move(args), std::move(done));
-  };
-  // First call: all session state is established on demand.
-  LatencyResult first = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 1);
-  // Steady state: everything cached.
-  LatencyResult steady = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
-  return ColdWarm{ToMsec(first.per_call), ToMsec(steady.per_call)};
-}
-
 int Run() {
   std::printf("\nAblation: session caching (first call vs steady state)\n");
   std::printf("%-30s %12s %14s %14s\n", "Configuration", "first call", "steady state",
@@ -66,7 +33,7 @@ int Run() {
       {"SELECT-CHANNEL-VIPsize", [](HostStack& h) { return BuildLRpcDynamic(h); }},
   };
   for (const Row& row : rows) {
-    ColdWarm cw = MeasureColdWarm(row.builder);
+    ColdWarmResult cw = MeasureColdWarm(row.builder);
     std::printf("%-30s %9.2f ms %11.2f ms %11.2f ms\n", row.name, cw.first_ms, cw.steady_ms,
                 cw.first_ms - cw.steady_ms);
   }

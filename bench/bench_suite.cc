@@ -1,0 +1,339 @@
+// The full benchmark suite in one parallel binary.
+//
+// Enumerates every configuration the per-table binaries measure -- Tables
+// I-III, the Section 4.3 dynamic-removal stack, the Section 1 UDP/IP
+// cross-kernel comparison, the 1k..16k throughput sweep, and both ablations
+// -- and runs them as independent jobs on a host thread pool, one simulated
+// Internet per job. Results are written as JSON (BENCH_RESULTS.json).
+//
+// Parallelism rule: parallel ACROSS instances, deterministic WITHIN an
+// instance. Each job builds its own Internet (its own EventQueue, kernels,
+// and sessions), shares nothing mutable with other jobs, and therefore
+// reports exactly the numbers the serial binaries report -- the jobs even
+// call the same helpers in bench_util.h. Only the host-side wall-clock
+// fields (wall_ms, events_per_sec, parallel_speedup) vary run to run.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace xk {
+namespace {
+
+struct Metric {
+  std::string name;
+  double value = 0;
+};
+
+struct JobResult {
+  std::string group;
+  std::string name;
+  std::vector<Metric> metrics;
+  uint64_t events_fired = 0;
+  double wall_ms = 0;  // host time, measured by the job runner
+};
+
+using JobFn = std::function<JobResult()>;
+
+struct Job {
+  std::string group;
+  std::string name;
+  JobFn run;
+};
+
+// --- job builders --------------------------------------------------------------
+
+JobResult FromConfig(const ConfigResult& r) {
+  JobResult out;
+  out.metrics = {{"latency_ms", r.latency_ms},
+                 {"throughput_kbs", r.throughput_kbs},
+                 {"incr_ms_per_kb", r.incr_ms_per_kb},
+                 {"client_cpu_ms", r.client_cpu_ms},
+                 {"server_cpu_ms", r.server_cpu_ms}};
+  out.events_fired = r.events_fired;
+  return out;
+}
+
+Job MeasureJob(std::string group, std::string name, RpcBench::Builder builder,
+               HostEnv env = HostEnv::kXKernel) {
+  JobFn fn = [name, builder = std::move(builder), env] {
+    return FromConfig(RpcBench::Measure(name, builder, env));
+  };
+  return Job{std::move(group), std::move(name), std::move(fn)};
+}
+
+Job PartialLatencyJob(std::string name, int layers) {
+  JobFn fn = [layers] {
+    PartialLatency p = MeasurePartialLatency(layers);
+    JobResult out;
+    out.metrics = {{"latency_ms", p.ms}};
+    out.events_fired = p.events_fired;
+    return out;
+  };
+  return Job{"table3_layer_costs", std::move(name), std::move(fn)};
+}
+
+Job UdpJob(std::string name, HostEnv env) {
+  JobFn fn = [env] {
+    UdpEcho u = MeasureUdpEcho(env);
+    JobResult out;
+    out.metrics = {{"latency_ms", u.ms}};
+    out.events_fired = u.events_fired;
+    return out;
+  };
+  return Job{"udp_crosskernel", std::move(name), std::move(fn)};
+}
+
+Job SweepJob(std::string name, RpcBench::Builder builder, HostEnv env = HostEnv::kXKernel) {
+  JobFn fn = [builder = std::move(builder), env] {
+    JobResult out;
+    std::vector<double> per_call;
+    for (size_t kb = 1; kb <= 16; ++kb) {
+      RpcBench::Instance in = RpcBench::MakeInstance(builder, env);
+      ThroughputResult t = RpcWorkload::MeasureThroughput(
+          *in.net, *in.ch->kernel, *in.sh->kernel, in.MakeCall(), kb * 1024, 8);
+      per_call.push_back(ToMsec(t.elapsed) / t.completed);
+      out.events_fired += in.net->events().fired_total();
+      out.metrics.push_back({"per_call_ms_" + std::to_string(kb) + "k", per_call.back()});
+    }
+    out.metrics.push_back({"throughput_16k_kbs", 16.0 / (per_call.back() / 1000.0)});
+    out.metrics.push_back({"slope_ms_per_kb", (per_call.back() - per_call.front()) / 15.0});
+    return out;
+  };
+  return Job{"throughput_sweep", std::move(name), std::move(fn)};
+}
+
+Job HeaderAllocJob(std::string name, HeaderAllocPolicy policy) {
+  JobFn fn = [policy] {
+    // The policy is thread_local; the runner resets it before each job.
+    Message::set_default_alloc_policy(policy);
+    JobResult out;
+    PartialLatency base = MeasurePartialLatency(0);
+    PartialLatency chan = MeasurePartialLatency(2);
+    ConfigResult full = RpcBench::Measure(
+        "SELECT-CHANNEL-FRAGMENT-VIP", [](HostStack& h) { return BuildLRpc(h, Delivery::kVip); });
+    out.metrics = {{"vip_base_ms", base.ms},
+                   {"full_stack_ms", full.latency_ms},
+                   {"avg_per_layer_ms", (full.latency_ms - base.ms) / 3.0},
+                   {"min_per_layer_ms", full.latency_ms - chan.ms}};
+    out.events_fired = base.events_fired + chan.events_fired + full.events_fired;
+    return out;
+  };
+  return Job{"ablation_header_alloc", std::move(name), std::move(fn)};
+}
+
+Job ColdWarmJob(std::string name, RpcBench::Builder builder) {
+  JobFn fn = [builder = std::move(builder)] {
+    ColdWarmResult cw = MeasureColdWarm(builder);
+    JobResult out;
+    out.metrics = {{"first_call_ms", cw.first_ms},
+                   {"steady_state_ms", cw.steady_ms},
+                   {"setup_cost_ms", cw.first_ms - cw.steady_ms}};
+    out.events_fired = cw.events_fired;
+    return out;
+  };
+  return Job{"ablation_session_cache", std::move(name), std::move(fn)};
+}
+
+std::vector<Job> BuildJobs() {
+  auto m_eth = [](HostStack& h) { return BuildMRpc(h, Delivery::kEth); };
+  auto m_ip = [](HostStack& h) { return BuildMRpc(h, Delivery::kIp); };
+  auto m_vip = [](HostStack& h) { return BuildMRpc(h, Delivery::kVip); };
+  auto l_vip = [](HostStack& h) { return BuildLRpc(h, Delivery::kVip); };
+  auto l_dyn = [](HostStack& h) { return BuildLRpcDynamic(h); };
+
+  std::vector<Job> jobs;
+  // Table I: Evaluating VIP.
+  jobs.push_back(MeasureJob("table1_vip", "N_RPC", m_eth, HostEnv::kNativeSprite));
+  jobs.push_back(MeasureJob("table1_vip", "M_RPC-ETH", m_eth));
+  jobs.push_back(MeasureJob("table1_vip", "M_RPC-IP", m_ip));
+  jobs.push_back(MeasureJob("table1_vip", "M_RPC-VIP", m_vip));
+  // Table II: Monolithic versus Layered RPC (M_RPC-VIP is shared with Table I).
+  jobs.push_back(MeasureJob("table2_layering", "L_RPC-VIP", l_vip));
+  // Section 4.3: Dynamically Removing Layers.
+  jobs.push_back(MeasureJob("sec43_dynamic", "SELECT-CHANNEL-VIPsize", l_dyn));
+  // Table III: Cost of Individual RPC Layers.
+  jobs.push_back(PartialLatencyJob("VIP", 0));
+  jobs.push_back(PartialLatencyJob("FRAGMENT-VIP", 1));
+  jobs.push_back(PartialLatencyJob("CHANNEL-FRAGMENT-VIP", 2));
+  jobs.push_back(Job{"table3_layer_costs", "FRAGMENT-throughput", [] {
+                       FragmentThroughput f = MeasureFragmentThroughput();
+                       JobResult out;
+                       out.metrics = {{"throughput_kbs", f.kbytes_per_sec}};
+                       out.events_fired = f.events_fired;
+                       return out;
+                     }});
+  // Section 1: UDP/IP user-to-user, x-kernel vs SunOS.
+  jobs.push_back(UdpJob("UDP-xkernel", HostEnv::kXKernel));
+  jobs.push_back(UdpJob("UDP-sunos", HostEnv::kSunOs));
+  // Throughput sweep, 1k..16k for every stack.
+  jobs.push_back(SweepJob("M_RPC-ETH", m_eth));
+  jobs.push_back(SweepJob("M_RPC-IP", m_ip));
+  jobs.push_back(SweepJob("M_RPC-VIP", m_vip));
+  jobs.push_back(SweepJob("L_RPC-VIP", l_vip));
+  jobs.push_back(SweepJob("L_RPC-VIPsize", l_dyn));
+  jobs.push_back(SweepJob("N_RPC", m_eth, HostEnv::kNativeSprite));
+  // Ablations.
+  jobs.push_back(HeaderAllocJob("pointer-adjust", HeaderAllocPolicy::kPointerAdjust));
+  jobs.push_back(HeaderAllocJob("alloc-per-header", HeaderAllocPolicy::kPerLayerAlloc));
+  jobs.push_back(ColdWarmJob("M_RPC-VIP", m_vip));
+  jobs.push_back(ColdWarmJob("L_RPC-VIP", l_vip));
+  jobs.push_back(ColdWarmJob("SELECT-CHANNEL-VIPsize", l_dyn));
+  return jobs;
+}
+
+// --- JSON emission -------------------------------------------------------------
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonNumber(std::string& out, double v, const char* fmt = "%.10g") {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& results,
+                   unsigned threads, double wall_ms) {
+  double serial_ms = 0;
+  uint64_t events_total = 0;
+  for (const JobResult& r : results) {
+    serial_ms += r.wall_ms;
+    events_total += r.events_fired;
+  }
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"suite\": \"xkernel-rpc-bench\",\n";
+  out += "  \"jobs\": " + std::to_string(jobs.size()) + ",\n";
+  out += "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"wall_ms\": ";
+  AppendJsonNumber(out, wall_ms, "%.1f");
+  out += ",\n  \"serial_estimate_ms\": ";
+  AppendJsonNumber(out, serial_ms, "%.1f");
+  out += ",\n  \"parallel_speedup\": ";
+  AppendJsonNumber(out, wall_ms > 0 ? serial_ms / wall_ms : 0, "%.2f");
+  out += ",\n  \"events_fired_total\": " + std::to_string(events_total);
+  out += ",\n  \"events_per_sec\": ";
+  AppendJsonNumber(out, wall_ms > 0 ? static_cast<double>(events_total) / (wall_ms / 1000.0) : 0,
+                   "%.0f");
+  out += ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    out += "    {\"group\": ";
+    AppendJsonString(out, r.group);
+    out += ", \"name\": ";
+    AppendJsonString(out, r.name);
+    out += ", \"wall_ms\": ";
+    AppendJsonNumber(out, r.wall_ms, "%.1f");
+    out += ", \"events_fired\": " + std::to_string(r.events_fired);
+    out += ", \"metrics\": {";
+    for (size_t m = 0; m < r.metrics.size(); ++m) {
+      if (m > 0) {
+        out += ", ";
+      }
+      AppendJsonString(out, r.metrics[m].name);
+      out += ": ";
+      AppendJsonNumber(out, r.metrics[m].value);
+    }
+    out += "}}";
+    out += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+// --- the pool ------------------------------------------------------------------
+
+int Run(unsigned threads, const std::string& out_path) {
+  const std::vector<Job> jobs = BuildJobs();
+  std::vector<JobResult> results(jobs.size());
+  std::atomic<size_t> next{0};
+
+  const auto suite_start = std::chrono::steady_clock::now();
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) {
+        return;
+      }
+      // Reset per-thread simulation state a previous job on this pool thread
+      // may have left behind (the header-alloc ablation switches the policy).
+      Message::set_default_alloc_policy(HeaderAllocPolicy::kPointerAdjust);
+      const auto start = std::chrono::steady_clock::now();
+      JobResult r = jobs[i].run();
+      const auto end = std::chrono::steady_clock::now();
+      r.group = jobs[i].group;
+      r.name = jobs[i].name;
+      r.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+      results[i] = std::move(r);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the main thread pulls jobs too
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  const auto suite_end = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(suite_end - suite_start).count();
+
+  const std::string json = ToJson(jobs, results, threads, wall_ms);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_suite: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  double serial_ms = 0;
+  for (const JobResult& r : results) {
+    serial_ms += r.wall_ms;
+  }
+  std::printf("bench_suite: %zu jobs on %u threads in %.0f ms "
+              "(serial estimate %.0f ms, speedup %.2fx) -> %s\n",
+              jobs.size(), threads, wall_ms, serial_ms,
+              wall_ms > 0 ? serial_ms / wall_ms : 0.0, out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace xk
+
+int main(int argc, char** argv) {
+  unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  std::string out_path = "BENCH_RESULTS.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::max(1, std::atoi(argv[i] + 10)));
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads=N] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  return xk::Run(threads, out_path);
+}

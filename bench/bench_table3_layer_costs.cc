@@ -17,66 +17,6 @@
 namespace xk {
 namespace {
 
-// Measures a null round trip through a partial stack driven by EchoAnchors.
-double MeasurePartialLatencyMs(int layers) {
-  auto net = Internet::TwoHosts();
-  auto& ch = net->host("client");
-  auto& sh = net->host("server");
-  RpcStack cstack = BuildPartial(ch, layers);
-  RpcStack sstack = BuildPartial(sh, layers);
-  EchoAnchor* client = nullptr;
-  ch.kernel->RunTask(net->events().now(), [&] {
-    client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, /*server_role=*/false);
-  });
-  sh.kernel->RunTask(net->events().now(), [&] {
-    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, /*server_role=*/true);
-    (void)EnableEcho(sstack, server);
-  });
-  SessionRef sess;
-  ch.kernel->RunTask(net->events().now(), [&] {
-    Result<SessionRef> r = OpenEchoSession(cstack, *client, sh.kernel->ip_addr());
-    if (r.ok()) {
-      sess = *r;
-    }
-  });
-  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
-    client->Send(sess, std::move(args), std::move(done));
-  };
-  LatencyResult lat = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
-  return ToMsec(lat.per_call);
-}
-
-// FRAGMENT standalone throughput: 16 KB messages, null (0-byte) echoes.
-double MeasureFragmentThroughput() {
-  auto net = Internet::TwoHosts();
-  auto& ch = net->host("client");
-  auto& sh = net->host("server");
-  RpcStack cstack = BuildPartial(ch, 1);
-  RpcStack sstack = BuildPartial(sh, 1);
-  EchoAnchor* client = nullptr;
-  ch.kernel->RunTask(net->events().now(), [&] {
-    client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, false);
-  });
-  sh.kernel->RunTask(net->events().now(), [&] {
-    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, true);
-    server.set_echo_limit(0);  // null replies
-    (void)EnableEcho(sstack, server);
-  });
-  SessionRef sess;
-  ch.kernel->RunTask(net->events().now(), [&] {
-    Result<SessionRef> r = OpenEchoSession(cstack, *client, sh.kernel->ip_addr());
-    if (r.ok()) {
-      sess = *r;
-    }
-  });
-  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
-    client->Send(sess, std::move(args), std::move(done));
-  };
-  ThroughputResult t = RpcWorkload::MeasureThroughput(*net, *ch.kernel, *sh.kernel, call,
-                                                      16 * 1024, 16);
-  return t.kbytes_per_sec;
-}
-
 int Run() {
   std::printf("\nTable III: Cost of Individual RPC Layers\n");
   std::printf("%-34s %10s %20s\n", "Configuration", "Latency", "Incremental Cost");
@@ -88,7 +28,7 @@ int Run() {
                           "SELECT-CHANNEL-FRAGMENT-VIP"};
   double lat[4];
   for (int i = 0; i < 3; ++i) {
-    lat[i] = MeasurePartialLatencyMs(i);
+    lat[i] = MeasurePartialLatency(i).ms;
   }
   {
     // The full stack uses the real RPC anchors.
@@ -105,7 +45,7 @@ int Run() {
     }
   }
 
-  const double frag_tput = MeasureFragmentThroughput();
+  const double frag_tput = MeasureFragmentThroughput().kbytes_per_sec;
   std::printf("\nFRAGMENT standalone throughput: %.0f kbytes/sec   [paper: 865]\n", frag_tput);
   return 0;
 }

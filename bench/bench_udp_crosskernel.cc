@@ -9,55 +9,16 @@
 // crossing.
 
 #include "bench/bench_util.h"
-#include "src/proto/udp.h"
 
 namespace xk {
 namespace {
-
-double MeasureUdpEchoMs(HostEnv env) {
-  auto net = Internet::TwoHosts(env);
-  auto& ch = net->host("client");
-  auto& sh = net->host("server");
-  UdpProtocol* cudp = BuildUdp(ch);
-  UdpProtocol* sudp = BuildUdp(sh);
-
-  EchoAnchor* client = nullptr;
-  ch.kernel->RunTask(net->events().now(), [&] {
-    client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, /*server_role=*/false);
-    // User process: each send/receive crosses the user/kernel boundary.
-    client->set_app_cost(ch.kernel->costs().user_kernel_cross);
-  });
-  sh.kernel->RunTask(net->events().now(), [&] {
-    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, /*server_role=*/true);
-    server.set_app_cost(2 * sh.kernel->costs().user_kernel_cross);  // in + out
-    ParticipantSet enable;
-    enable.local.port = 7;
-    (void)sudp->OpenEnable(server, enable);
-  });
-  SessionRef sess;
-  ch.kernel->RunTask(net->events().now(), [&] {
-    ParticipantSet parts;
-    parts.local.port = 1234;
-    parts.peer.host = sh.kernel->ip_addr();
-    parts.peer.port = 7;
-    Result<SessionRef> r = cudp->Open(*client, parts);
-    if (r.ok()) {
-      sess = *r;
-    }
-  });
-  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
-    client->Send(sess, std::move(args), std::move(done));
-  };
-  LatencyResult lat = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
-  return ToMsec(lat.per_call);
-}
 
 int Run() {
   std::printf("\nSection 1: UDP/IP user-to-user round trip, x-kernel vs SunOS 4.0\n");
   std::printf("%-24s %10s\n", "Environment", "Latency");
   std::printf("%s\n", std::string(40, '-').c_str());
-  const double xk = MeasureUdpEchoMs(HostEnv::kXKernel);
-  const double sunos = MeasureUdpEchoMs(HostEnv::kSunOs);
+  const double xk = MeasureUdpEcho(HostEnv::kXKernel).ms;
+  const double sunos = MeasureUdpEcho(HostEnv::kSunOs).ms;
   std::printf("%-24s %7.2f ms   [paper: 2.00]\n", "x-kernel", xk);
   std::printf("%-24s %7.2f ms   [paper: 5.36]\n", "SunOS 4.0 (4.3BSD)", sunos);
   std::printf("\nRatio: %.2fx   [paper: 2.68x]\n", sunos / xk);

@@ -12,6 +12,7 @@
 #ifndef XK_BENCH_BENCH_UTIL_H_
 #define XK_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "src/app/stacks.h"
 #include "src/app/workload.h"
 #include "src/proto/topology.h"
+#include "src/proto/udp.h"
 
 namespace xk {
 
@@ -32,6 +34,7 @@ struct ConfigResult {
   double incr_ms_per_kb = 0;    // slope between 1 KB and 16 KB
   double client_cpu_ms = 0;     // CPU time per 16 KB call, client side
   double server_cpu_ms = 0;
+  uint64_t events_fired = 0;    // host-side work: events across all instances
 };
 
 struct RpcBench {
@@ -81,6 +84,7 @@ struct RpcBench {
       Instance in = MakeInstance(builder, env);
       LatencyResult lat = RpcWorkload::MeasureLatency(*in.net, *in.ch->kernel, in.MakeCall(), 64);
       result.latency_ms = ToMsec(lat.per_call);
+      result.events_fired += in.net->events().fired_total();
     }
     {
       Instance in = MakeInstance(builder, env);
@@ -89,6 +93,7 @@ struct RpcBench {
       result.throughput_kbs = t16.kbytes_per_sec;
       result.client_cpu_ms = ToMsec(t16.client_cpu);
       result.server_cpu_ms = ToMsec(t16.server_cpu);
+      result.events_fired += in.net->events().fired_total();
     }
     {
       Instance in = MakeInstance(builder, env);
@@ -101,10 +106,168 @@ struct RpcBench {
       const double ms1 = ToMsec(t1.elapsed) / t1.completed;
       const double ms16 = ToMsec(t16.elapsed) / t16.completed;
       result.incr_ms_per_kb = (ms16 - ms1) / 15.0;
+      result.events_fired += in.net->events().fired_total() + in2.net->events().fired_total();
     }
     return result;
   }
 };
+
+// --- shared experiment setups --------------------------------------------------
+//
+// These are used both by the per-table serial binaries and by bench_suite, so
+// the two report identical simulated numbers by construction.
+
+// An echo experiment over a partial RPC stack driven by EchoAnchors
+// (layers: 0 = VIP, 1 = FRAGMENT-VIP, 2 = CHANNEL-FRAGMENT-VIP).
+struct EchoExperiment {
+  std::unique_ptr<Internet> net;
+  HostStack* ch = nullptr;
+  HostStack* sh = nullptr;
+  RpcStack cstack, sstack;
+  EchoAnchor* client = nullptr;
+  SessionRef sess;
+
+  CallFn MakeCall() {
+    return [this](Message args, std::function<void(Result<Message>)> done) {
+      client->Send(sess, std::move(args), std::move(done));
+    };
+  }
+};
+
+inline EchoExperiment MakeEchoExperiment(int layers, bool null_replies = false) {
+  EchoExperiment e;
+  e.net = Internet::TwoHosts();
+  e.ch = &e.net->host("client");
+  e.sh = &e.net->host("server");
+  e.cstack = BuildPartial(*e.ch, layers);
+  e.sstack = BuildPartial(*e.sh, layers);
+  e.ch->kernel->RunTask(e.net->events().now(), [&] {
+    e.client = &e.ch->kernel->Emplace<EchoAnchor>(*e.ch->kernel, /*server_role=*/false);
+  });
+  e.sh->kernel->RunTask(e.net->events().now(), [&] {
+    auto& server = e.sh->kernel->Emplace<EchoAnchor>(*e.sh->kernel, /*server_role=*/true);
+    if (null_replies) {
+      server.set_echo_limit(0);
+    }
+    (void)EnableEcho(e.sstack, server);
+  });
+  e.ch->kernel->RunTask(e.net->events().now(), [&] {
+    Result<SessionRef> r = OpenEchoSession(e.cstack, *e.client, e.sh->kernel->ip_addr());
+    if (r.ok()) {
+      e.sess = *r;
+    }
+  });
+  return e;
+}
+
+struct PartialLatency {
+  double ms = 0;
+  uint64_t events_fired = 0;
+};
+
+// Null round trip through a partial stack (Table III rows 1-3 and the
+// header-alloc ablation's base/channel measurements).
+inline PartialLatency MeasurePartialLatency(int layers) {
+  EchoExperiment e = MakeEchoExperiment(layers);
+  LatencyResult lat = RpcWorkload::MeasureLatency(*e.net, *e.ch->kernel, e.MakeCall(), 64);
+  return PartialLatency{ToMsec(lat.per_call), e.net->events().fired_total()};
+}
+
+struct FragmentThroughput {
+  double kbytes_per_sec = 0;
+  uint64_t events_fired = 0;
+};
+
+// FRAGMENT standalone throughput: 16 KB messages, null (0-byte) echoes.
+inline FragmentThroughput MeasureFragmentThroughput() {
+  EchoExperiment e = MakeEchoExperiment(/*layers=*/1, /*null_replies=*/true);
+  ThroughputResult t = RpcWorkload::MeasureThroughput(*e.net, *e.ch->kernel, *e.sh->kernel,
+                                                      e.MakeCall(), 16 * 1024, 16);
+  return FragmentThroughput{t.kbytes_per_sec, e.net->events().fired_total()};
+}
+
+struct UdpEcho {
+  double ms = 0;
+  uint64_t events_fired = 0;
+};
+
+// Section 1's user-to-user UDP/IP echo: each send and receive pays a
+// user/kernel boundary crossing.
+inline UdpEcho MeasureUdpEcho(HostEnv env) {
+  auto net = Internet::TwoHosts(env);
+  auto& ch = net->host("client");
+  auto& sh = net->host("server");
+  UdpProtocol* cudp = BuildUdp(ch);
+  UdpProtocol* sudp = BuildUdp(sh);
+
+  EchoAnchor* client = nullptr;
+  ch.kernel->RunTask(net->events().now(), [&] {
+    client = &ch.kernel->Emplace<EchoAnchor>(*ch.kernel, /*server_role=*/false);
+    // User process: each send/receive crosses the user/kernel boundary.
+    client->set_app_cost(ch.kernel->costs().user_kernel_cross);
+  });
+  sh.kernel->RunTask(net->events().now(), [&] {
+    auto& server = sh.kernel->Emplace<EchoAnchor>(*sh.kernel, /*server_role=*/true);
+    server.set_app_cost(2 * sh.kernel->costs().user_kernel_cross);  // in + out
+    ParticipantSet enable;
+    enable.local.port = 7;
+    (void)sudp->OpenEnable(server, enable);
+  });
+  SessionRef sess;
+  ch.kernel->RunTask(net->events().now(), [&] {
+    ParticipantSet parts;
+    parts.local.port = 1234;
+    parts.peer.host = sh.kernel->ip_addr();
+    parts.peer.port = 7;
+    Result<SessionRef> r = cudp->Open(*client, parts);
+    if (r.ok()) {
+      sess = *r;
+    }
+  });
+  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
+    client->Send(sess, std::move(args), std::move(done));
+  };
+  LatencyResult lat = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
+  return UdpEcho{ToMsec(lat.per_call), net->events().fired_total()};
+}
+
+struct ColdWarmResult {
+  double first_ms = 0;
+  double steady_ms = 0;
+  uint64_t events_fired = 0;
+};
+
+// Session-caching ablation: the first call on a freshly configured stack
+// (which establishes session state at every level; ARP is pre-warmed) versus
+// the steady-state call that reuses all of it.
+inline ColdWarmResult MeasureColdWarm(const RpcBench::Builder& builder) {
+  auto net = std::make_unique<Internet>();
+  const int seg = net->AddSegment();
+  net->AddHost("client", seg, IpAddr(10, 0, 1, 1));
+  net->AddHost("server", seg, IpAddr(10, 0, 1, 2));
+  net->WarmArp();  // address resolution warm; session state cold
+  auto& ch = net->host("client");
+  auto& sh = net->host("server");
+  RpcStack cstack = builder(ch);
+  RpcStack sstack = builder(sh);
+  RpcClient* client = nullptr;
+  ch.kernel->RunTask(net->events().now(),
+                     [&] { client = &ch.kernel->Emplace<RpcClient>(*ch.kernel, cstack.top); });
+  sh.kernel->RunTask(net->events().now(), [&] {
+    auto& server = sh.kernel->Emplace<RpcServer>(*sh.kernel, sstack.top);
+    (void)server.Export(RpcServer::kAny, [](uint16_t, Message&) { return Message(); });
+  });
+
+  CallFn call = [&](Message args, std::function<void(Result<Message>)> done) {
+    client->Call(sh.kernel->ip_addr(), 1, std::move(args), std::move(done));
+  };
+  // First call: all session state is established on demand.
+  LatencyResult first = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 1);
+  // Steady state: everything cached.
+  LatencyResult steady = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
+  return ColdWarmResult{ToMsec(first.per_call), ToMsec(steady.per_call),
+                        net->events().fired_total()};
+}
 
 // --- table printing ------------------------------------------------------------
 

@@ -1,11 +1,16 @@
 #include "src/core/kernel.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace xk {
 
 namespace {
-uint32_t g_next_boot_id = 1000;
+// Atomic so kernels can be constructed from concurrent simulations (the bench
+// suite builds an independent Internet per worker thread). Allocation order
+// still determines the ids within one simulation, so single-threaded runs see
+// the same sequence as before.
+std::atomic<uint32_t> g_next_boot_id{1000};
 }  // namespace
 
 Kernel::Kernel(std::string host_name, EventQueue& events, HostEnv env, IpAddr ip, EthAddr eth)
@@ -15,7 +20,7 @@ Kernel::Kernel(std::string host_name, EventQueue& events, HostEnv env, IpAddr ip
       costs_(CostModel::For(env)),
       ip_(ip),
       eth_(eth),
-      boot_id_(g_next_boot_id++) {}
+      boot_id_(g_next_boot_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 Kernel::~Kernel() {
   // Tear the graph down top-first so high-level protocols can still reach the

@@ -6,7 +6,10 @@
 namespace xk {
 
 namespace {
-HeaderAllocPolicy g_default_policy = HeaderAllocPolicy::kPointerAdjust;
+// thread_local so concurrent simulations (bench_suite runs one independent
+// Internet per worker thread) can ablate the policy without racing; within a
+// thread the semantics are unchanged.
+thread_local HeaderAllocPolicy g_default_policy = HeaderAllocPolicy::kPointerAdjust;
 }  // namespace
 
 HeaderAllocPolicy Message::default_alloc_policy() { return g_default_policy; }
