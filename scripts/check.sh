@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the regular build + test suite, then an
+# ASan+UBSan-instrumented build of the same tests as a memory-safety smoke.
+#
+#   scripts/check.sh            # tier-1 tests + sanitizer smoke
+#   scripts/check.sh --fast     # tier-1 tests only
+#
+# Sanitizer builds live in build-asan/ so they never pollute the primary
+# build/ tree. TSan (-DXK_SANITIZE=thread) is not part of the default check
+# -- the only multi-threaded binary is bench_suite -- but can be run by hand:
+#   cmake -B build-tsan -S . -DXK_SANITIZE=thread && cmake --build build-tsan -j
+#   ./build-tsan/bench/bench_suite --threads=4 --out=/dev/null
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: build + ctest (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  exit 0
+fi
+
+echo
+echo "== sanitizer smoke: ASan+UBSan build + ctest (build-asan/) =="
+cmake -B build-asan -S . -DXK_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$jobs"
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo
+echo "== sanitizer smoke: bench_suite under ASan+UBSan =="
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ./build-asan/bench/bench_suite --threads=2 --out=/dev/null
+
+echo
+echo "All checks passed."
