@@ -14,9 +14,11 @@
 // fields (wall_ms, events_per_sec, parallel_speedup) vary run to run.
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -263,7 +265,20 @@ std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& r
 
 // --- the pool ------------------------------------------------------------------
 
-int Run(unsigned threads, const std::string& out_path) {
+// "group.name" with anything outside [A-Za-z0-9._-] replaced, so every job
+// maps to a distinct, shell-safe file in the --trace= / --pcap= directories.
+std::string JobFileStem(const Job& job) {
+  std::string s = job.group + "." + job.name;
+  for (char& c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '-' && c != '_') {
+      c = '_';
+    }
+  }
+  return s;
+}
+
+int Run(unsigned threads, const std::string& out_path, const std::string& trace_dir,
+        const std::string& pcap_dir) {
   const std::vector<Job> jobs = BuildJobs();
   std::vector<JobResult> results(jobs.size());
   std::atomic<size_t> next{0};
@@ -278,9 +293,29 @@ int Run(unsigned threads, const std::string& out_path) {
       // Reset per-thread simulation state a previous job on this pool thread
       // may have left behind (the header-alloc ablation switches the policy).
       Message::set_default_alloc_policy(HeaderAllocPolicy::kPointerAdjust);
+      // One observer pair per job: each job's Internet picks up the
+      // thread-default observers at construction, so traces never mix jobs.
+      std::unique_ptr<TraceSink> sink;
+      std::unique_ptr<PacketCapture> capture;
+      if (!trace_dir.empty()) {
+        sink = std::make_unique<TraceSink>();
+        TraceSink::set_thread_default(sink.get());
+      }
+      if (!pcap_dir.empty()) {
+        capture = std::make_unique<PacketCapture>();
+        PacketCapture::set_thread_default(capture.get());
+      }
       const auto start = std::chrono::steady_clock::now();
       JobResult r = jobs[i].run();
       const auto end = std::chrono::steady_clock::now();
+      TraceSink::set_thread_default(nullptr);
+      PacketCapture::set_thread_default(nullptr);
+      if (sink != nullptr) {
+        (void)sink->WriteFile(trace_dir + "/" + JobFileStem(jobs[i]) + ".trace.jsonl");
+      }
+      if (capture != nullptr) {
+        (void)capture->WriteFile(pcap_dir + "/" + JobFileStem(jobs[i]) + ".pcap.jsonl");
+      }
       r.group = jobs[i].group;
       r.name = jobs[i].name;
       r.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
@@ -325,15 +360,29 @@ int Run(unsigned threads, const std::string& out_path) {
 int main(int argc, char** argv) {
   unsigned threads = std::max(1u, std::thread::hardware_concurrency());
   std::string out_path = "BENCH_RESULTS.json";
+  std::string trace_dir;
+  std::string pcap_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::max(1, std::atoi(argv[i] + 10)));
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_dir = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--pcap=", 7) == 0) {
+      pcap_dir = argv[i] + 7;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads=N] [--out=FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n",
+                   argv[0]);
       return 2;
     }
   }
-  return xk::Run(threads, out_path);
+  std::error_code ec;
+  if (!trace_dir.empty()) {
+    std::filesystem::create_directories(trace_dir, ec);
+  }
+  if (!pcap_dir.empty()) {
+    std::filesystem::create_directories(pcap_dir, ec);
+  }
+  return xk::Run(threads, out_path, trace_dir, pcap_dir);
 }

@@ -53,4 +53,7 @@ int Run() {
 }  // namespace
 }  // namespace xk
 
-int main() { return xk::Run(); }
+int main(int argc, char** argv) {
+  xk::BenchObservers observers(argc, argv);
+  return xk::Run();
+}

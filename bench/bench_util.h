@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -24,8 +25,61 @@
 #include "src/app/workload.h"
 #include "src/proto/topology.h"
 #include "src/proto/udp.h"
+#include "src/trace/pcap.h"
+#include "src/trace/trace.h"
 
 namespace xk {
+
+// Optional observability for the serial bench binaries: `--trace=FILE` and
+// `--pcap=FILE` install thread-default observers that every Internet the
+// benchmark builds picks up; the files are written when the benchmark exits.
+// Tracing charges zero simulated cost, so a traced run reports exactly the
+// numbers an untraced run does.
+class BenchObservers {
+ public:
+  BenchObservers(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--trace=", 8) == 0) {
+        trace_path_ = a + 8;
+      } else if (std::strncmp(a, "--pcap=", 7) == 0) {
+        pcap_path_ = a + 7;
+      }
+    }
+    if (!trace_path_.empty()) {
+      sink_ = std::make_unique<TraceSink>();
+      TraceSink::set_thread_default(sink_.get());
+    }
+    if (!pcap_path_.empty()) {
+      capture_ = std::make_unique<PacketCapture>();
+      PacketCapture::set_thread_default(capture_.get());
+    }
+  }
+
+  BenchObservers(const BenchObservers&) = delete;
+  BenchObservers& operator=(const BenchObservers&) = delete;
+
+  ~BenchObservers() {
+    if (sink_ != nullptr) {
+      TraceSink::set_thread_default(nullptr);
+      if (!sink_->WriteFile(trace_path_)) {
+        std::fprintf(stderr, "bench: failed to write trace %s\n", trace_path_.c_str());
+      }
+    }
+    if (capture_ != nullptr) {
+      PacketCapture::set_thread_default(nullptr);
+      if (!capture_->WriteFile(pcap_path_)) {
+        std::fprintf(stderr, "bench: failed to write pcap %s\n", pcap_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string pcap_path_;
+  std::unique_ptr<TraceSink> sink_;
+  std::unique_ptr<PacketCapture> capture_;
+};
 
 struct ConfigResult {
   std::string name;

@@ -38,4 +38,39 @@ UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ./build-asan/bench/bench_suite --threads=2 --out=/dev/null
 
 echo
+echo "== observability smoke: capture -> analyze =="
+obs=$(mktemp -d)
+trap 'rm -rf "$obs"' EXIT
+./build/bench/bench_table3_layer_costs \
+  --trace="$obs/t3.trace.jsonl" --pcap="$obs/t3.pcap.jsonl" >/dev/null
+[[ -s "$obs/t3.trace.jsonl" && -s "$obs/t3.pcap.jsonl" ]]
+./build/src/xktrace "$obs/t3.trace.jsonl" > "$obs/t3.breakdown.txt"
+[[ -s "$obs/t3.breakdown.txt" ]]
+grep -q "per-call" "$obs/t3.breakdown.txt"
+
+echo
+echo "== observability determinism: bench_suite bit-identical at 1/2/4 threads =="
+# Normalize the host-time fields (the only run-to-run variation), then the
+# simulated metrics, traces, and captures must be byte-identical across
+# thread counts.
+normalize() {
+  sed -E 's/"(wall_ms|events_per_sec|parallel_speedup|serial_estimate_ms|threads)": [0-9.]+/"\1": X/' "$1"
+}
+for t in 1 2 4; do
+  ./build/bench/bench_suite --threads="$t" --out="$obs/r$t.json" \
+    --trace="$obs/trace$t" --pcap="$obs/pcap$t" >/dev/null
+  normalize "$obs/r$t.json" > "$obs/r$t.norm.json"
+done
+cmp "$obs/r1.norm.json" "$obs/r2.norm.json"
+cmp "$obs/r1.norm.json" "$obs/r4.norm.json"
+# Zero observer effect: an untraced run reports the same simulated metrics.
+./build/bench/bench_suite --threads=4 --out="$obs/plain.json" >/dev/null
+normalize "$obs/plain.json" > "$obs/plain.norm.json"
+cmp "$obs/r1.norm.json" "$obs/plain.norm.json"
+diff -r "$obs/trace1" "$obs/trace2"
+diff -r "$obs/trace1" "$obs/trace4"
+diff -r "$obs/pcap1" "$obs/pcap2"
+diff -r "$obs/pcap1" "$obs/pcap4"
+
+echo
 echo "All checks passed."

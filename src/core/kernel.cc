@@ -1,17 +1,10 @@
 #include "src/core/kernel.h"
 
-#include <atomic>
 #include <cstdio>
 
-namespace xk {
+#include "src/trace/trace.h"
 
-namespace {
-// Atomic so kernels can be constructed from concurrent simulations (the bench
-// suite builds an independent Internet per worker thread). Allocation order
-// still determines the ids within one simulation, so single-threaded runs see
-// the same sequence as before.
-std::atomic<uint32_t> g_next_boot_id{1000};
-}  // namespace
+namespace xk {
 
 Kernel::Kernel(std::string host_name, EventQueue& events, HostEnv env, IpAddr ip, EthAddr eth)
     : host_name_(std::move(host_name)),
@@ -20,7 +13,11 @@ Kernel::Kernel(std::string host_name, EventQueue& events, HostEnv env, IpAddr ip
       costs_(CostModel::For(env)),
       ip_(ip),
       eth_(eth),
-      boot_id_(g_next_boot_id.fetch_add(1, std::memory_order_relaxed)) {}
+      // Per-queue, not process-global: a simulation's boot ids (which appear
+      // in wire bytes) depend only on its own kernel allocation order, so the
+      // same configuration always produces the same frames regardless of what
+      // other simulations run in the process or in sibling threads.
+      boot_id_(events.AllocateBootId()) {}
 
 Kernel::~Kernel() {
   // Tear the graph down top-first so high-level protocols can still reach the
@@ -90,7 +87,8 @@ void Kernel::ChargeHdrLoad(size_t bytes) {
 }
 
 void Kernel::Tracef(int level, const char* fmt, ...) {
-  if (level > trace_level_) {
+  const bool to_stderr = level <= trace_level_;
+  if (trace_ == nullptr && !to_stderr) {
     return;
   }
   char buf[512];
@@ -98,7 +96,12 @@ void Kernel::Tracef(int level, const char* fmt, ...) {
   va_start(ap, fmt);
   std::vsnprintf(buf, sizeof(buf), fmt, ap);
   va_end(ap);
-  std::fprintf(stderr, "[%10.3f ms] %-8s %s\n", ToMsec(events_.now()), host_name_.c_str(), buf);
+  if (trace_ != nullptr) {
+    trace_->RecordLog(*this, level, buf);
+  }
+  if (to_stderr) {
+    std::fprintf(stderr, "[%10.3f ms] %-8s %s\n", ToMsec(events_.now()), host_name_.c_str(), buf);
+  }
 }
 
 }  // namespace xk

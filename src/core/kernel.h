@@ -24,6 +24,8 @@
 
 namespace xk {
 
+class TraceSink;
+
 class Kernel {
  public:
   Kernel(std::string host_name, EventQueue& events, HostEnv env, IpAddr ip, EthAddr eth);
@@ -83,6 +85,13 @@ class Kernel {
   // Looks up a protocol by name; null if absent.
   Protocol* Find(const std::string& name) const;
 
+  // Visits every protocol in insertion (configuration) order.
+  void ForEachProtocol(const std::function<void(const Protocol&)>& fn) const {
+    for (const auto& p : protocols_) {
+      fn(*p);
+    }
+  }
+
   // --- cost accounting helpers (see CostModel) --------------------------------
   void Charge(SimTime cost) { cpu_.Charge(cost); }
   void ChargeProcCall() { cpu_.Charge(costs_.proc_call); }
@@ -120,6 +129,16 @@ class Kernel {
   void ChargeSessionDestroy() { cpu_.Charge(costs_.session_destroy); }
 
   // --- tracing ----------------------------------------------------------------
+  // The structured sink the entry-point spans and Tracef record into; null
+  // (the default) disables recording. Attaching a sink never perturbs the
+  // simulation -- recording charges zero simulated cost.
+  TraceSink* trace_sink() const { return trace_; }
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  // Legacy printf-style logging, now routed through the trace subsystem: a
+  // Tracef always records a structured log event when a sink is attached, and
+  // still prints to stderr when `level` <= trace_level (the pre-sink
+  // behavior, preserved as the human-readable fallback).
   int trace_level() const { return trace_level_; }
   void set_trace_level(int level) { trace_level_ = level; }
   void Tracef(int level, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
@@ -134,6 +153,7 @@ class Kernel {
   EthAddr eth_;
   uint32_t boot_id_;
   int trace_level_ = 0;
+  TraceSink* trace_ = nullptr;
 
   std::vector<std::unique_ptr<Protocol>> protocols_;
   std::map<std::string, Protocol*> by_name_;

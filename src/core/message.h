@@ -109,7 +109,14 @@ class Message {
   // Byte-wise comparison of contents (for tests).
   bool ContentEquals(const Message& other) const;
 
+  // Trace identity, assigned lazily by a TraceSink the first time the message
+  // crosses an instrumented entry point (0 = never traced). Copies and moves
+  // keep the id, so one logical message reads as one id up and down a stack.
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
+  friend class TraceSink;
+
   // Immutable shared byte storage.
   struct Block {
     std::vector<uint8_t> bytes;
@@ -213,6 +220,8 @@ class Message {
 
   ChunkVec chunks_;
   size_t length_ = 0;  // arena_len_ + sum(chunk.len)
+  // Mutable so a sink can tag a message observed through a const reference.
+  mutable uint64_t trace_id_ = 0;
 };
 
 }  // namespace xk

@@ -1,6 +1,7 @@
 #include "src/core/protocol.h"
 
 #include "src/core/kernel.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -15,11 +16,20 @@ Session::~Session() = default;
 Kernel& Session::kernel() const { return owner_.kernel(); }
 
 Status Session::Push(Message& msg) {
-  kernel().ChargeLayerCross();
-  return DoPush(msg);
+  Kernel& k = kernel();
+  ProtoCounters& c = owner_.counters();
+  ++c.msgs_out;
+  c.bytes_out += msg.length();
+  TraceSpan span(k.trace_sink(), k, TraceOp::kPush, owner_, this, &msg);
+  k.ChargeLayerCross();
+  return span.Finish(DoPush(msg));
 }
 
-Status Session::Pop(Message& msg, Session* lls) { return DoPop(msg, lls); }
+Status Session::Pop(Message& msg, Session* lls) {
+  Kernel& k = kernel();
+  TraceSpan span(k.trace_sink(), k, TraceOp::kPop, owner_, this, &msg);
+  return span.Finish(DoPop(msg, lls));
+}
 
 Status Session::Control(ControlOp op, ControlArgs& args) {
   kernel().ChargeProcCall();
@@ -53,8 +63,12 @@ Protocol::Protocol(Kernel& kernel, std::string name, std::vector<Protocol*> lowe
 Protocol::~Protocol() = default;
 
 Result<SessionRef> Protocol::Open(Protocol& hlp, const ParticipantSet& parts) {
+  ++counters_.opens;
+  TraceSpan span(kernel_.trace_sink(), kernel_, TraceOp::kOpen, *this, nullptr, nullptr);
   kernel_.ChargeProcCall();
-  return DoOpen(hlp, parts);
+  Result<SessionRef> r = DoOpen(hlp, parts);
+  (void)span.Finish(r.ok() ? OkStatus() : r.status());
+  return r;
 }
 
 void Protocol::OpenAsync(Protocol& hlp, const ParticipantSet& parts, OpenCallback done) {
@@ -62,6 +76,7 @@ void Protocol::OpenAsync(Protocol& hlp, const ParticipantSet& parts, OpenCallbac
 }
 
 Status Protocol::OpenEnable(Protocol& hlp, const ParticipantSet& parts) {
+  ++counters_.open_enables;
   kernel_.ChargeProcCall();
   return DoOpenEnable(hlp, parts);
 }
@@ -73,8 +88,15 @@ Status Protocol::OpenDisable(Protocol& hlp, const ParticipantSet& parts) {
 }
 
 Status Protocol::Demux(Session* lls, Message& msg) {
+  ++counters_.msgs_in;
+  counters_.bytes_in += msg.length();
+  TraceSpan span(kernel_.trace_sink(), kernel_, TraceOp::kDemux, *this, lls, &msg);
   kernel_.ChargeLayerCross();
-  return DoDemux(lls, msg);
+  Status s = DoDemux(lls, msg);
+  if (!s.ok()) {
+    ++counters_.demux_drops;
+  }
+  return span.Finish(s);
 }
 
 Status Protocol::OpenDoneUp(Protocol& llp, SessionRef lls, const ParticipantSet& parts) {
@@ -114,6 +136,18 @@ Status Protocol::DoControl(ControlOp op, ControlArgs& args) {
   (void)op;
   (void)args;
   return ErrStatus(StatusCode::kUnsupported);
+}
+
+void Protocol::ExportCounters(const CounterEmit& emit) const {
+  emit("msgs_out", counters_.msgs_out);
+  emit("bytes_out", counters_.bytes_out);
+  emit("msgs_in", counters_.msgs_in);
+  emit("bytes_in", counters_.bytes_in);
+  emit("opens", counters_.opens);
+  emit("open_enables", counters_.open_enables);
+  emit("demux_drops", counters_.demux_drops);
+  emit("map_hits", counters_.map_hits);
+  emit("map_misses", counters_.map_misses);
 }
 
 // ---------------------------------------------------------------------------

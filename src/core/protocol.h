@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/control.h"
@@ -39,12 +40,32 @@ namespace xk {
 class Kernel;
 class Protocol;
 class Session;
+class TraceSink;
 
 using SessionRef = std::shared_ptr<Session>;
 
 // Completion for asynchronous opens (used when an open must wait for address
 // resolution, e.g. VIP consulting ARP; everything else opens synchronously).
 using OpenCallback = std::function<void(Result<SessionRef>)>;
+
+// Generic per-protocol traffic counters, maintained unconditionally at the
+// non-virtual entry points (host bookkeeping only -- never charged to the
+// simulated CPU). Protocol-specific statistics ride along via
+// Protocol::ExportCounters overrides.
+struct ProtoCounters {
+  uint64_t msgs_out = 0;     // messages entering a session's Push
+  uint64_t bytes_out = 0;
+  uint64_t msgs_in = 0;      // messages entering the protocol's Demux
+  uint64_t bytes_in = 0;
+  uint64_t opens = 0;        // active Open calls (including cache hits)
+  uint64_t open_enables = 0;
+  uint64_t demux_drops = 0;  // Demux calls that returned an error
+  uint64_t map_hits = 0;     // charged DemuxMap resolves that found a binding
+  uint64_t map_misses = 0;
+};
+
+// Receives one (name, value) pair per counter during ExportCounters.
+using CounterEmit = std::function<void(std::string_view name, uint64_t value)>;
 
 // ---------------------------------------------------------------------------
 // Session
@@ -86,6 +107,9 @@ class Session : public std::enable_shared_from_this<Session> {
 
   SessionRef Ref() { return shared_from_this(); }
 
+  // Trace identity, assigned lazily by a TraceSink (0 = never traced).
+  uint64_t trace_id() const { return trace_id_; }
+
  protected:
   virtual Status DoPush(Message& msg) = 0;
   virtual Status DoPop(Message& msg, Session* lls) = 0;
@@ -100,8 +124,11 @@ class Session : public std::enable_shared_from_this<Session> {
   Status DeliverUp(Message& msg);
 
  private:
+  friend class TraceSink;
+
   Protocol& owner_;
   Protocol* hlp_;
+  uint64_t trace_id_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -168,6 +195,17 @@ class Protocol {
   Protocol* lower(size_t i = 0) const { return i < lowers_.size() ? lowers_[i] : nullptr; }
   size_t num_lowers() const { return lowers_.size(); }
 
+  // --- observability ----------------------------------------------------------
+
+  // Generic traffic counters (host-side only; see ProtoCounters). Mutated by
+  // the non-virtual entry points and by this protocol's DemuxMaps.
+  ProtoCounters& counters() { return counters_; }
+  const ProtoCounters& counters() const { return counters_; }
+
+  // Emits every counter this protocol maintains, generic ones first.
+  // Overrides call the base, then emit their protocol-specific statistics.
+  virtual void ExportCounters(const CounterEmit& emit) const;
+
  protected:
   virtual Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts);
   virtual Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts);
@@ -178,6 +216,7 @@ class Protocol {
   Kernel& kernel_;
   std::string name_;
   std::vector<Protocol*> lowers_;
+  ProtoCounters counters_;
 };
 
 // Typed convenience wrappers over common control ops.

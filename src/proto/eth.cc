@@ -1,6 +1,7 @@
 #include "src/proto/eth.h"
 
 #include "src/core/wire.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -14,8 +15,8 @@ EthProtocol::EthProtocol(Kernel& kernel, EthernetSegment& segment, std::optional
       segment_(segment),
       addr_(addr.value_or(kernel.eth_addr())),
       attach_id_(segment.Attach(addr_, this)),
-      active_(kernel),
-      passive_(kernel) {}
+      active_(*this),
+      passive_(*this) {}
 
 Result<SessionRef> EthProtocol::DoOpen(Protocol& hlp, const ParticipantSet& parts) {
   if (!parts.peer.eth.has_value() || !parts.local.eth_type.has_value()) {
@@ -65,13 +66,16 @@ void EthProtocol::Transmit(Message& msg) {
 }
 
 void EthProtocol::FrameArrived(const EthFrame& frame) {
-  // Interrupt: dispatch a shepherd process to carry the message up.
+  // Interrupt: dispatch a shepherd process to carry the message up. The kIntr
+  // span wraps the whole shepherd so the interrupt and device-copy charges
+  // (which land before Demux) are attributed to the driver, not lost.
   kernel().RunTask(kernel().events().now(), [this, &frame]() {
+    TraceSpan span(kernel().trace_sink(), kernel(), TraceOp::kIntr, *this, nullptr, nullptr);
     kernel().ChargeIntr();
     kernel().ChargeDevCopy(frame.bytes.size());
     ++frames_in_;
     Message msg = Message::FromBytes(frame.bytes);
-    (void)Demux(nullptr, msg);
+    (void)span.Finish(Demux(nullptr, msg));
   });
 }
 
@@ -113,6 +117,12 @@ Status EthProtocol::DoDemux(Session* lls, Message& msg) {
     sess = created;
   }
   return sess->Pop(msg, nullptr);
+}
+
+void EthProtocol::ExportCounters(const CounterEmit& emit) const {
+  Protocol::ExportCounters(emit);
+  emit("frames_out", frames_out_);
+  emit("frames_in", frames_in_);
 }
 
 Status EthProtocol::DoControl(ControlOp op, ControlArgs& args) {

@@ -43,6 +43,8 @@ class EthProtocol : public Protocol, public FrameSink {
   uint64_t frames_out() const { return frames_out_; }
   uint64_t frames_in() const { return frames_in_; }
 
+  void ExportCounters(const CounterEmit& emit) const override;
+
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;

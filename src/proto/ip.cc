@@ -68,8 +68,8 @@ bool ParseHeader(const uint8_t* raw, IpHeader* h) {
 IpProtocol::IpProtocol(Kernel& kernel, std::vector<IpInterface> interfaces, std::string name)
     : Protocol(kernel, std::move(name), {}),
       interfaces_(std::move(interfaces)),
-      active_(kernel),
-      passive_(kernel) {
+      active_(*this),
+      passive_(*this) {
   // Receive IP datagrams on every interface.
   for (IpInterface& ifc : interfaces_) {
     ParticipantSet enable;

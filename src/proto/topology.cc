@@ -1,11 +1,18 @@
 #include "src/proto/topology.h"
 
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
+
+#include "src/trace/counters.h"
 
 namespace xk {
 
-Internet::Internet(HostEnv default_env, uint64_t seed) : default_env_(default_env), seed_(seed) {}
+Internet::Internet(HostEnv default_env, uint64_t seed)
+    : default_env_(default_env),
+      seed_(seed),
+      trace_(TraceSink::thread_default()),
+      capture_(PacketCapture::thread_default()) {}
 
 Internet::~Internet() {
   // Kernels (and the protocols inside them) may hold sessions referring to
@@ -18,6 +25,9 @@ int Internet::AddSegment(WireModel wire) {
   const int id = static_cast<int>(segments_.size());
   segments_.push_back(
       std::make_unique<EthernetSegment>(events_, wire, seed_ + static_cast<uint64_t>(id)));
+  segments_.back()->set_observer_id(id);
+  segments_.back()->set_trace(trace_);
+  segments_.back()->set_capture(capture_);
   attachments_.emplace_back();
   return id;
 }
@@ -27,6 +37,7 @@ HostStack& Internet::AddHost(const std::string& name, int segment, IpAddr ip,
   const EthAddr mac = EthAddr::FromIndex(next_eth_index_++);
   auto kernel = std::make_unique<Kernel>(name, events_, env.value_or(default_env_), ip, mac);
   Kernel* k = kernel.get();
+  k->set_trace_sink(trace_);
   kernels_.push_back(std::move(kernel));
 
   HostStack stack;
@@ -51,6 +62,7 @@ HostStack& Internet::AddRouter(const std::string& name,
   auto kernel = std::make_unique<Kernel>(name, events_, default_env_, attachments[0].second,
                                          primary_mac);
   Kernel* k = kernel.get();
+  k->set_trace_sink(trace_);
   kernels_.push_back(std::move(kernel));
 
   HostStack stack;
@@ -98,6 +110,66 @@ void Internet::WarmArp() {
 void Internet::SetDefaultGateway(const std::string& host_name, IpAddr gw) {
   HostStack& h = host(host_name);
   h.kernel->RunTask(events_.now(), [&]() { h.ip->SetDefaultGateway(gw); });
+}
+
+void Internet::AttachTrace(TraceSink* trace) {
+  trace_ = trace;
+  for (auto& k : kernels_) {
+    k->set_trace_sink(trace);
+  }
+  for (auto& s : segments_) {
+    s->set_trace(trace);
+  }
+}
+
+void Internet::AttachPcap(PacketCapture* capture) {
+  capture_ = capture;
+  for (auto& s : segments_) {
+    s->set_capture(capture);
+  }
+}
+
+std::string Internet::CountersJson() const {
+  std::string out;
+  out += "{\"schema_version\":1,\"hosts\":[";
+  bool first = true;
+  for (const auto& [name, stack] : hosts_) {
+    (void)name;
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendHostCountersJson(out, *stack.kernel);
+  }
+  out += "],\"links\":[";
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const EthernetSegment& s = *segments_[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"segment\":" + std::to_string(i);
+    out += ",\"frames_sent\":" + std::to_string(s.frames_sent());
+    out += ",\"bytes_sent\":" + std::to_string(s.bytes_sent());
+    out += ",\"frames_dropped\":" + std::to_string(s.frames_dropped());
+    out += ",\"random_drops\":" + std::to_string(s.random_drops());
+    out += ",\"fault_drops\":" + std::to_string(s.fault_drops());
+    out += ",\"fault_duplicates\":" + std::to_string(s.fault_duplicates());
+    out += ",\"fault_corruptions\":" + std::to_string(s.fault_corruptions());
+    out += ",\"bus_busy_ns\":" + std::to_string(s.bus_busy_time());
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool Internet::WriteCountersJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string s = CountersJson();
+  const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 HostStack& Internet::host(const std::string& name) {

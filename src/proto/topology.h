@@ -22,6 +22,8 @@
 #include "src/proto/ip.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/link.h"
+#include "src/trace/pcap.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -74,6 +76,22 @@ class Internet {
   // (10.0.2.1) are on different segments, default routes installed.
   static std::unique_ptr<Internet> TwoSegments(HostEnv env = HostEnv::kXKernel);
 
+  // --- observability ----------------------------------------------------------
+  // Attaches a trace sink / packet capture to every kernel and segment, now
+  // and as later hosts/segments are added (null detaches). The Internet
+  // constructor picks up TraceSink::thread_default() and
+  // PacketCapture::thread_default() automatically, so the usual way to trace
+  // an experiment is to install thread defaults before building it.
+  void AttachTrace(TraceSink* trace);
+  void AttachPcap(PacketCapture* capture);
+  TraceSink* trace() const { return trace_; }
+  PacketCapture* capture() const { return capture_; }
+
+  // Per-protocol counters for every host plus per-link statistics (including
+  // fault-injection outcomes), as one JSON document.
+  std::string CountersJson() const;
+  bool WriteCountersJson(const std::string& path) const;
+
   // --- access -----------------------------------------------------------------
   EventQueue& events() { return events_; }
   EthernetSegment& segment(int id) { return *segments_[id]; }
@@ -92,6 +110,8 @@ class Internet {
   HostEnv default_env_;
   EventQueue events_;
   uint64_t seed_;
+  TraceSink* trace_ = nullptr;
+  PacketCapture* capture_ = nullptr;
   uint32_t next_eth_index_ = 1;
   std::vector<std::unique_ptr<EthernetSegment>> segments_;
   std::vector<std::vector<Attachment>> attachments_;  // per segment

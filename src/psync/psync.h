@@ -59,6 +59,14 @@ class PsyncProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("sent", stats_.sent);
+    emit("copies_sent", stats_.copies_sent);
+    emit("delivered", stats_.delivered);
+    emit("duplicates_dropped", stats_.duplicates_dropped);
+  }
+
  protected:
   Status DoDemux(Session* lls, Message& msg) override;
 

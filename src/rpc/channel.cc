@@ -16,7 +16,7 @@ constexpr uint16_t kFlagPleaseAck = 0x8;  // retransmitted request asks for one
 // ---------------------------------------------------------------------------
 
 ChannelProtocol::ChannelProtocol(Kernel& kernel, Protocol* lower, std::string name)
-    : Protocol(kernel, std::move(name), {lower}), active_(kernel), passive_(kernel) {
+    : Protocol(kernel, std::move(name), {lower}), active_(*this), passive_(*this) {
   ParticipantSet enable;
   enable.local.ip_proto = kIpProtoChannel;
   enable.local.rel_proto = kRelProtoChannel;

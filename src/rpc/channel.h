@@ -64,6 +64,21 @@ class ChannelProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("calls_sent", stats_.calls_sent);
+    emit("replies_received", stats_.replies_received);
+    emit("requests_executed", stats_.requests_executed);
+    emit("retransmissions", stats_.retransmissions);
+    emit("duplicates_suppressed", stats_.duplicates_suppressed);
+    emit("replies_resent", stats_.replies_resent);
+    emit("explicit_acks_sent", stats_.explicit_acks_sent);
+    emit("explicit_acks_received", stats_.explicit_acks_received);
+    emit("call_failures", stats_.call_failures);
+    emit("boot_resets", stats_.boot_resets);
+    emit("stale_drops", stats_.stale_drops);
+  }
+
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;

@@ -21,7 +21,7 @@ uint16_t FullMask(uint16_t num_frags) {
 // ---------------------------------------------------------------------------
 
 FragmentProtocol::FragmentProtocol(Kernel& kernel, Protocol* lower, std::string name)
-    : Protocol(kernel, std::move(name), {lower}), active_(kernel), passive_(kernel) {
+    : Protocol(kernel, std::move(name), {lower}), active_(*this), passive_(*this) {
   // Receive FRAGMENT traffic from below.
   ParticipantSet enable;
   enable.local.ip_proto = kIpProtoFragment;

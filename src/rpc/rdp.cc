@@ -3,7 +3,7 @@
 namespace xk {
 
 RdpProtocol::RdpProtocol(Kernel& kernel, Protocol* lower, std::string name)
-    : Protocol(kernel, std::move(name), {lower}), active_(kernel), sends_(kernel) {
+    : Protocol(kernel, std::move(name), {lower}), active_(*this), sends_(*this) {
   ParticipantSet enable;
   enable.local.rel_proto = kRelProtoRdp;
   (void)this->lower(0)->OpenEnable(*this, enable);

@@ -36,6 +36,13 @@ class RdpProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("datagrams_sent", stats_.datagrams_sent);
+    emit("datagrams_delivered", stats_.datagrams_delivered);
+    emit("send_failures", stats_.send_failures);
+  }
+
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;

@@ -12,10 +12,10 @@ SelectProtocol::SelectProtocol(Kernel& kernel, Protocol* lower, std::string name
                                RelProtoNum rel_proto)
     : Protocol(kernel, std::move(name), {lower}),
       rel_proto_(rel_proto),
-      active_(kernel),
-      passive_(kernel),
-      calls_(kernel),
-      server_sessions_(kernel) {
+      active_(*this),
+      passive_(*this),
+      calls_(*this),
+      server_sessions_(*this) {
   ParticipantSet enable;
   enable.local.rel_proto = rel_proto_;
   (void)this->lower(0)->OpenEnable(*this, enable);

@@ -65,6 +65,15 @@ class SelectProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("calls", stats_.calls);
+    emit("returns", stats_.returns);
+    emit("served", stats_.served);
+    emit("no_such_command", stats_.no_such_command);
+    emit("blocked_on_channel", stats_.blocked_on_channel);
+  }
+
   int free_channels(IpAddr server) const;
 
  protected:

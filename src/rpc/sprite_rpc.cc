@@ -39,7 +39,7 @@ Message SpriteRpcProtocol::Collect::Join(Kernel& kernel) const {
 // ---------------------------------------------------------------------------
 
 SpriteRpcProtocol::SpriteRpcProtocol(Kernel& kernel, Protocol* lower, std::string name)
-    : Protocol(kernel, std::move(name), {lower}), active_(kernel), passive_(kernel) {
+    : Protocol(kernel, std::move(name), {lower}), active_(*this), passive_(*this) {
   ParticipantSet enable;
   enable.local.ip_proto = kIpProtoSpriteRpc;
   (void)this->lower(0)->OpenEnable(*this, enable);

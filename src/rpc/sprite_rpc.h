@@ -74,6 +74,22 @@ class SpriteRpcProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("calls_sent", stats_.calls_sent);
+    emit("replies_received", stats_.replies_received);
+    emit("requests_executed", stats_.requests_executed);
+    emit("fragments_sent", stats_.fragments_sent);
+    emit("retransmissions", stats_.retransmissions);
+    emit("selective_resends", stats_.selective_resends);
+    emit("duplicates_suppressed", stats_.duplicates_suppressed);
+    emit("replies_resent", stats_.replies_resent);
+    emit("explicit_acks_sent", stats_.explicit_acks_sent);
+    emit("call_failures", stats_.call_failures);
+    emit("boot_resets", stats_.boot_resets);
+    emit("blocked_on_channel", stats_.blocked_on_channel);
+  }
+
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;

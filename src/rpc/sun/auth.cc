@@ -12,7 +12,7 @@ namespace xk {
 
 AuthProtocolBase::AuthProtocolBase(Kernel& kernel, Protocol* lower, std::string name,
                                    RelProtoNum rel_proto)
-    : Protocol(kernel, std::move(name), {lower}), rel_proto_(rel_proto), active_(kernel) {
+    : Protocol(kernel, std::move(name), {lower}), rel_proto_(rel_proto), active_(*this) {
   ParticipantSet enable;
   enable.local.rel_proto = rel_proto_;
   (void)this->lower(0)->OpenEnable(*this, enable);

@@ -45,6 +45,14 @@ class AuthProtocolBase : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("attached", stats_.attached);
+    emit("verified", stats_.verified);
+    emit("rejected", stats_.rejected);
+    emit("reject_notices", stats_.reject_notices);
+  }
+
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;

@@ -14,7 +14,7 @@ constexpr uint8_t kTypeReply = 2;
 // ---------------------------------------------------------------------------
 
 RequestReplyProtocol::RequestReplyProtocol(Kernel& kernel, Protocol* lower, std::string name)
-    : Protocol(kernel, std::move(name), {lower}), active_(kernel), passive_(kernel) {
+    : Protocol(kernel, std::move(name), {lower}), active_(*this), passive_(*this) {
   ParticipantSet enable;
   enable.local.ip_proto = kIpProtoSunRpc;
   enable.local.rel_proto = kRelProtoRequestReply;  // when FRAGMENT is below

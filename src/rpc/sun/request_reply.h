@@ -43,6 +43,16 @@ class RequestReplyProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("calls_sent", stats_.calls_sent);
+    emit("replies_received", stats_.replies_received);
+    emit("requests_executed", stats_.requests_executed);
+    emit("retransmissions", stats_.retransmissions);
+    emit("call_failures", stats_.call_failures);
+    emit("stale_replies", stats_.stale_replies);
+  }
+
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;

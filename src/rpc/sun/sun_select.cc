@@ -31,9 +31,9 @@ ParticipantSet SunProgService(uint32_t prog, uint16_t vers) {
 
 SunSelectProtocol::SunSelectProtocol(Kernel& kernel, Protocol* lower, std::string name)
     : Protocol(kernel, std::move(name), {lower}),
-      active_(kernel),
-      passive_(kernel),
-      server_sessions_(kernel) {
+      active_(*this),
+      passive_(*this),
+      server_sessions_(*this) {
   ParticipantSet enable;
   enable.local.rel_proto = kRelProtoSunSelect;
   (void)this->lower(0)->OpenEnable(*this, enable);

@@ -44,6 +44,14 @@ class SunSelectProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("calls", stats_.calls);
+    emit("returns", stats_.returns);
+    emit("served", stats_.served);
+    emit("prog_unavail", stats_.prog_unavail);
+  }
+
  protected:
   // Open: peer.host + prog/vers/proc packed into peer.command (proc) and
   // peer.rel_proto (prog<<16|vers) -- see SunProcAddress below for the

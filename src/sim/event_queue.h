@@ -93,6 +93,12 @@ class EventQueue {
   // instrumentation; has no effect on simulated time).
   uint64_t fired_total() const { return fired_total_; }
 
+  // Boot ids for kernels constructed over this queue. Per-queue (not
+  // process-global) so a simulation's wire bytes depend only on its own
+  // allocation order -- concurrent simulations in other threads can't
+  // perturb them.
+  uint32_t AllocateBootId() { return next_boot_id_++; }
+
  private:
   friend class EventHandle;
 
@@ -143,6 +149,7 @@ class EventQueue {
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
   uint64_t fired_total_ = 0;
+  uint32_t next_boot_id_ = 1000;
 
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNil;

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <utility>
 
+#include "src/trace/pcap.h"
+#include "src/trace/trace.h"
+
 namespace xk {
 
 namespace {
@@ -48,6 +51,10 @@ void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) 
   const bool broadcast = dst.IsBroadcast();
   const SimTime arrival = end + wire_.propagation;
 
+  if (trace_ != nullptr) {
+    trace_->RecordWire(observer_id_, start, end, arrival, frame.bytes.size());
+  }
+
   for (size_t i = 0; i < stations_.size(); ++i) {
     const int rid = static_cast<int>(i);
     if (rid == sender_id) {
@@ -57,25 +64,45 @@ void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) 
       continue;
     }
     const uint64_t index = delivery_index_++;
+    CaptureVerdict verdict = CaptureVerdict::kDelivered;
     if (drop_rate_ > 0.0 && rng_.Chance(drop_rate_)) {
       ++frames_dropped_;
-      continue;
+      ++random_drops_;
+      verdict = CaptureVerdict::kDropped;
+    } else {
+      LinkFault fault = LinkFault::kDeliver;
+      if (fault_hook_) {
+        fault = fault_hook_(frame, rid, index);
+      }
+      switch (fault) {
+        case LinkFault::kDrop:
+          ++frames_dropped_;
+          ++fault_drops_;
+          verdict = CaptureVerdict::kDropped;
+          break;
+        case LinkFault::kDuplicate:
+          ++fault_duplicates_;
+          verdict = CaptureVerdict::kDuplicated;
+          DeliverAt(arrival, frame, rid);
+          DeliverAt(arrival + tx, frame, rid);
+          break;
+        case LinkFault::kCorrupt: {
+          ++fault_corruptions_;
+          verdict = CaptureVerdict::kCorrupted;
+          EthFrame bad = frame;
+          if (!bad.bytes.empty()) {
+            bad.bytes.back() ^= 0xFF;
+          }
+          DeliverAt(arrival, bad, rid);
+          break;
+        }
+        case LinkFault::kDeliver:
+          DeliverAt(arrival, frame, rid);
+          break;
+      }
     }
-    LinkFault fault = LinkFault::kDeliver;
-    if (fault_hook_) {
-      fault = fault_hook_(frame, rid, index);
-    }
-    switch (fault) {
-      case LinkFault::kDrop:
-        ++frames_dropped_;
-        break;
-      case LinkFault::kDuplicate:
-        DeliverAt(arrival, frame, rid);
-        DeliverAt(arrival + tx, frame, rid);
-        break;
-      case LinkFault::kDeliver:
-        DeliverAt(arrival, frame, rid);
-        break;
+    if (capture_ != nullptr) {
+      capture_->Record(observer_id_, rid, start, arrival, frame.bytes, verdict);
     }
   }
 }
@@ -84,6 +111,10 @@ void EthernetSegment::ResetStats() {
   frames_sent_ = 0;
   bytes_sent_ = 0;
   frames_dropped_ = 0;
+  random_drops_ = 0;
+  fault_drops_ = 0;
+  fault_duplicates_ = 0;
+  fault_corruptions_ = 0;
   bus_busy_time_ = 0;
 }
 

@@ -24,6 +24,9 @@
 
 namespace xk {
 
+class PacketCapture;
+class TraceSink;
+
 // A raw Ethernet frame on the wire: header (dst, src, type) + payload, as one
 // flat byte vector. Only the Ethernet protocol interprets the full framing;
 // the link peeks at the destination address for delivery filtering.
@@ -49,6 +52,7 @@ enum class LinkFault : uint8_t {
   kDeliver,
   kDrop,
   kDuplicate,  // deliver twice (second copy one transmit-time later)
+  kCorrupt,    // deliver with the last byte's bits flipped
 };
 
 class EthernetSegment {
@@ -75,10 +79,24 @@ class EthernetSegment {
 
   const WireModel& wire() const { return wire_; }
 
+  // --- observability ----------------------------------------------------------
+  // Optional observers (owned by the caller; null detaches). Recording never
+  // charges simulated cost or advances the simulated clock.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+  void set_capture(PacketCapture* capture) { capture_ = capture; }
+  // Segment id stamped into wire/capture records (set by the topology).
+  void set_observer_id(int id) { observer_id_ = id; }
+
   // --- statistics ------------------------------------------------------------
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t frames_dropped() const { return frames_dropped_; }
+  // Fault-injection outcomes, by cause. frames_dropped() counts both drop
+  // kinds; duplicates/corruptions count deliveries that were altered.
+  uint64_t random_drops() const { return random_drops_; }
+  uint64_t fault_drops() const { return fault_drops_; }
+  uint64_t fault_duplicates() const { return fault_duplicates_; }
+  uint64_t fault_corruptions() const { return fault_corruptions_; }
   // Total time the bus spent transmitting (utilization = busy/elapsed).
   SimTime bus_busy_time() const { return bus_busy_time_; }
   void ResetStats();
@@ -100,9 +118,17 @@ class EthernetSegment {
   FaultHook fault_hook_;
   uint64_t delivery_index_ = 0;
 
+  TraceSink* trace_ = nullptr;
+  PacketCapture* capture_ = nullptr;
+  int observer_id_ = 0;
+
   uint64_t frames_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t frames_dropped_ = 0;
+  uint64_t random_drops_ = 0;
+  uint64_t fault_drops_ = 0;
+  uint64_t fault_duplicates_ = 0;
+  uint64_t fault_corruptions_ = 0;
   SimTime bus_busy_time_ = 0;
 };
 

@@ -1,0 +1,366 @@
+// Reader + analyzer for the trace JSONL emitted by TraceSink (src/trace).
+//
+// Header-only and std-only so both the xktrace CLI and the tests can consume
+// traces without linking anything beyond the standard library. The parser
+// handles exactly the shape TraceSink writes: one flat JSON object per line
+// whose values are either quoted strings or decimal integers.
+
+#ifndef XK_SRC_TOOLS_TRACE_READER_H_
+#define XK_SRC_TOOLS_TRACE_READER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace xk::tracetool {
+
+// One layer-crossing span: a Push/Pop/Demux/Open/Intr on `proto` at `host`.
+struct SpanRec {
+  std::string host;
+  std::string proto;
+  std::string op;
+  std::string status;
+  uint64_t sess = 0;   // session trace id (0 = none)
+  uint64_t msg = 0;    // message trace id (0 = none)
+  uint64_t len = 0;    // message length at entry
+  int64_t t0 = 0;      // sim ns at entry
+  int64_t t1 = 0;      // sim ns at exit
+  int64_t incl = 0;    // charged cost inside the span, children included
+  int64_t excl = 0;    // charged cost minus child spans
+  uint64_t depth = 0;  // nesting depth at entry (0 = outermost)
+};
+
+// One frame transmission on a segment.
+struct WireRec {
+  int64_t seg = 0;
+  int64_t t0 = 0;      // tx start
+  int64_t t1 = 0;      // tx end (bus released)
+  int64_t arrive = 0;  // delivery time at receivers
+  uint64_t len = 0;    // frame bytes
+};
+
+// One structured log record (from Kernel::Tracef).
+struct LogRec {
+  std::string host;
+  std::string text;
+  int64_t t = 0;
+  int64_t level = 0;
+};
+
+struct TraceFile {
+  std::vector<SpanRec> spans;
+  std::vector<WireRec> wires;
+  std::vector<LogRec> logs;
+  uint64_t dropped = 0;  // records the sink discarded at capacity
+};
+
+namespace detail {
+
+inline bool ParseQuoted(const std::string& s, size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') {
+    return false;
+  }
+  ++i;
+  out.clear();
+  while (i < s.size()) {
+    const char c = s[i++];
+    if (c == '"') {
+      return true;
+    }
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (i >= s.size()) {
+      return false;
+    }
+    const char e = s[i++];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 > s.size()) {
+          return false;
+        }
+        unsigned v = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = s[i++];
+          v <<= 4;
+          if (h >= '0' && h <= '9') {
+            v |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            v |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            v |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        out += static_cast<char>(v);  // the writer only emits \u00xx
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+// A flat object's fields, split by value type.
+struct FlatObj {
+  std::vector<std::pair<std::string, std::string>> strs;
+  std::vector<std::pair<std::string, int64_t>> ints;
+
+  const std::string* str(const char* key) const {
+    for (const auto& [k, v] : strs) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+  int64_t num(const char* key) const {
+    for (const auto& [k, v] : ints) {
+      if (k == key) {
+        return v;
+      }
+    }
+    return 0;
+  }
+};
+
+inline bool ParseFlatObject(const std::string& line, FlatObj& obj) {
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+    ++i;
+  }
+  if (i >= line.size() || line[i] != '{') {
+    return false;
+  }
+  ++i;
+  std::string key;
+  std::string sval;
+  while (i < line.size()) {
+    if (line[i] == '}') {
+      return true;
+    }
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (!ParseQuoted(line, i, key)) {
+      return false;
+    }
+    if (i >= line.size() || line[i] != ':') {
+      return false;
+    }
+    ++i;
+    if (i < line.size() && line[i] == '"') {
+      if (!ParseQuoted(line, i, sval)) {
+        return false;
+      }
+      obj.strs.emplace_back(key, sval);
+    } else {
+      bool neg = false;
+      if (i < line.size() && line[i] == '-') {
+        neg = true;
+        ++i;
+      }
+      if (i >= line.size() || line[i] < '0' || line[i] > '9') {
+        return false;
+      }
+      int64_t v = 0;
+      while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        v = v * 10 + (line[i] - '0');
+        ++i;
+      }
+      obj.ints.emplace_back(key, neg ? -v : v);
+    }
+  }
+  return false;
+}
+
+inline std::string StrOr(const FlatObj& o, const char* key) {
+  const std::string* s = o.str(key);
+  return s != nullptr ? *s : std::string();
+}
+
+}  // namespace detail
+
+// Parses a whole JSONL trace. Unknown record kinds and malformed lines are
+// skipped so newer writers stay readable.
+inline TraceFile Parse(const std::string& text) {
+  TraceFile tf;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      nl = text.size();
+    }
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) {
+      continue;
+    }
+    detail::FlatObj o;
+    if (!detail::ParseFlatObject(line, o)) {
+      continue;
+    }
+    const std::string kind = detail::StrOr(o, "k");
+    if (kind == "span") {
+      SpanRec r;
+      r.host = detail::StrOr(o, "host");
+      r.proto = detail::StrOr(o, "proto");
+      r.op = detail::StrOr(o, "op");
+      r.status = detail::StrOr(o, "status");
+      r.sess = static_cast<uint64_t>(o.num("sess"));
+      r.msg = static_cast<uint64_t>(o.num("msg"));
+      r.len = static_cast<uint64_t>(o.num("len"));
+      r.t0 = o.num("t0");
+      r.t1 = o.num("t1");
+      r.incl = o.num("incl");
+      r.excl = o.num("excl");
+      r.depth = static_cast<uint64_t>(o.num("depth"));
+      tf.spans.push_back(std::move(r));
+    } else if (kind == "wire") {
+      WireRec r;
+      r.seg = o.num("seg");
+      r.t0 = o.num("t0");
+      r.t1 = o.num("t1");
+      r.arrive = o.num("arrive");
+      r.len = static_cast<uint64_t>(o.num("len"));
+      tf.wires.push_back(r);
+    } else if (kind == "log") {
+      LogRec r;
+      r.host = detail::StrOr(o, "host");
+      r.text = detail::StrOr(o, "text");
+      r.t = o.num("t");
+      r.level = o.num("level");
+      tf.logs.push_back(std::move(r));
+    } else if (kind == "meta") {
+      tf.dropped += static_cast<uint64_t>(o.num("dropped"));
+    }
+  }
+  return tf;
+}
+
+// Reads and parses a trace file; empty TraceFile on I/O error.
+inline TraceFile Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return {};
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return Parse(text);
+}
+
+// Aggregated exclusive cost of one (host, protocol, op) layer crossing.
+struct LayerStat {
+  std::string host;
+  std::string proto;
+  std::string op;
+  uint64_t count = 0;
+  int64_t excl_total = 0;  // ns
+};
+
+// Per-layer breakdown plus a per-call latency estimate built from the trace.
+//
+// The estimate is timestamp-based: the elapsed simulated time from the first
+// observed record to the last, divided by the call count. For a serial
+// latency workload this is exactly what the benchmark reports, because the
+// clock advances only through the charged costs and wire delays the trace
+// records. The cpu/wire/propagation totals decompose where that time went --
+// their sum can exceed the elapsed time when CPU work overlaps an in-flight
+// frame (e.g. CHANNEL arming its retransmit timer while the request is on
+// the wire).
+//
+// Calls are inferred as the minimum push-span count over (host, protocol)
+// pairs -- every layer pushes at least once per call, and retransmitting
+// layers push more, so the minimum is the call count.
+struct Breakdown {
+  std::vector<LayerStat> layers;  // sorted by (host, proto, op)
+  uint64_t calls = 1;
+  int64_t cpu_total = 0;   // ns, sum of span exclusive costs
+  int64_t wire_total = 0;  // ns, sum of frame transmission times
+  int64_t prop_total = 0;  // ns, sum of propagation delays
+  int64_t t_min = 0;       // ns, earliest record timestamp
+  int64_t t_max = 0;       // ns, latest record timestamp
+  int64_t elapsed() const { return t_max - t_min; }
+
+  double PerCallUsec() const {
+    return static_cast<double>(elapsed()) /
+           (1000.0 * static_cast<double>(calls == 0 ? 1 : calls));
+  }
+};
+
+inline Breakdown Analyze(const TraceFile& tf, uint64_t forced_calls = 0) {
+  Breakdown b;
+  std::map<std::tuple<std::string, std::string, std::string>, LayerStat> layers;
+  std::map<std::pair<std::string, std::string>, uint64_t> pushes;
+  bool have_t = false;
+  auto see = [&](int64_t t0, int64_t t1) {
+    if (!have_t) {
+      b.t_min = t0;
+      b.t_max = t1;
+      have_t = true;
+      return;
+    }
+    b.t_min = std::min(b.t_min, t0);
+    b.t_max = std::max(b.t_max, t1);
+  };
+  for (const SpanRec& s : tf.spans) {
+    LayerStat& st = layers[{s.host, s.proto, s.op}];
+    if (st.count == 0) {
+      st.host = s.host;
+      st.proto = s.proto;
+      st.op = s.op;
+    }
+    ++st.count;
+    st.excl_total += s.excl;
+    b.cpu_total += s.excl;
+    see(s.t0, s.t1);
+    if (s.op == "push") {
+      ++pushes[{s.host, s.proto}];
+    }
+  }
+  for (const WireRec& w : tf.wires) {
+    b.wire_total += w.t1 - w.t0;
+    b.prop_total += w.arrive - w.t1;
+    see(w.t0, w.arrive);
+  }
+  b.layers.reserve(layers.size());
+  for (auto& [key, st] : layers) {
+    b.layers.push_back(std::move(st));
+  }
+  if (forced_calls > 0) {
+    b.calls = forced_calls;
+  } else {
+    uint64_t min_pushes = 0;
+    for (const auto& [key, n] : pushes) {
+      if (n > 0 && (min_pushes == 0 || n < min_pushes)) {
+        min_pushes = n;
+      }
+    }
+    b.calls = min_pushes > 0 ? min_pushes : 1;
+  }
+  return b;
+}
+
+}  // namespace xk::tracetool
+
+#endif  // XK_SRC_TOOLS_TRACE_READER_H_

@@ -1,0 +1,32 @@
+#include "src/trace/counters.h"
+
+#include "src/core/kernel.h"
+#include "src/core/protocol.h"
+#include "src/trace/json_util.h"
+
+namespace xk {
+
+void AppendHostCountersJson(std::string& out, const Kernel& kernel) {
+  out += "{\"host\":";
+  JsonAppendEscaped(out, kernel.host_name());
+  out += ",\"protocols\":[";
+  bool first_proto = true;
+  kernel.ForEachProtocol([&](const Protocol& p) {
+    if (!first_proto) {
+      out += ',';
+    }
+    first_proto = false;
+    out += "{\"protocol\":";
+    JsonAppendEscaped(out, p.name());
+    out += ",\"counters\":{";
+    bool first_field = true;
+    p.ExportCounters([&](std::string_view name, uint64_t value) {
+      JsonAppendField(out, name, value, first_field);
+      first_field = false;
+    });
+    out += "}}";
+  });
+  out += "]}";
+}
+
+}  // namespace xk

@@ -1,0 +1,21 @@
+// Per-protocol counters export. Every Protocol maintains generic traffic
+// counters at the non-virtual entry points (ProtoCounters in protocol.h) and
+// may override ExportCounters() to add its protocol-specific statistics;
+// these helpers walk a kernel's protocol graph and emit everything as JSON.
+// Internet::CountersJson() adds the per-link fault counters on top.
+
+#ifndef XK_SRC_TRACE_COUNTERS_H_
+#define XK_SRC_TRACE_COUNTERS_H_
+
+#include <string>
+
+namespace xk {
+
+class Kernel;
+
+// Appends `{"host":"client","protocols":[{"protocol":"eth","counters":{...}},...]}`.
+void AppendHostCountersJson(std::string& out, const Kernel& kernel);
+
+}  // namespace xk
+
+#endif  // XK_SRC_TRACE_COUNTERS_H_
