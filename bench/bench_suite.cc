@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <regex>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -99,7 +100,7 @@ Job SweepJob(std::string name, RpcBench::Builder builder, HostEnv env = HostEnv:
       ThroughputResult t = RpcWorkload::MeasureThroughput(
           *in.net, *in.ch->kernel, *in.sh->kernel, in.MakeCall(), kb * 1024, 8);
       per_call.push_back(ToMsec(t.elapsed) / t.completed);
-      out.events_fired += in.net->events().fired_total();
+      out.events_fired += in.net->events_fired();
       out.metrics.push_back({"per_call_ms_" + std::to_string(kb) + "k", per_call.back()});
     }
     out.metrics.push_back({"throughput_16k_kbs", 16.0 / (per_call.back() / 1000.0)});
@@ -126,6 +127,32 @@ Job HeaderAllocJob(std::string name, HeaderAllocPolicy policy) {
     return out;
   };
   return Job{"ablation_header_alloc", std::move(name), std::move(fn)};
+}
+
+// The many-host workload (16 pairs, 16 segments, one simulation). This is
+// the job the --engine-threads flag is aimed at; its simulated metrics are
+// identical at every engine width.
+constexpr int kManyHostPairs = 32;
+constexpr size_t kManyHostBytes = 4096;
+constexpr int kManyHostIters = 50;
+
+JobResult ManyHostResult(const ManyPairsBench& b) {
+  JobResult out;
+  out.metrics = {{"agg_kbytes_per_sec", b.agg_kbytes_per_sec},
+                 {"elapsed_sim_ms", b.elapsed_ms},
+                 {"completed", static_cast<double>(b.completed)},
+                 {"failed", static_cast<double>(b.failed)},
+                 {"sum_done_at_ns", static_cast<double>(b.sum_done_at)}};
+  out.events_fired = b.events_fired;
+  return out;
+}
+
+Job ManyHostJob() {
+  JobFn fn = [] {
+    return ManyHostResult(
+        MeasureManyPairsBench(kManyHostPairs, kManyHostBytes, kManyHostIters));
+  };
+  return Job{"manyhost", "L_RPC-VIP-32pairs", std::move(fn)};
 }
 
 Job ColdWarmJob(std::string name, RpcBench::Builder builder) {
@@ -185,6 +212,8 @@ std::vector<Job> BuildJobs() {
   jobs.push_back(ColdWarmJob("M_RPC-VIP", m_vip));
   jobs.push_back(ColdWarmJob("L_RPC-VIP", l_vip));
   jobs.push_back(ColdWarmJob("SELECT-CHANNEL-VIPsize", l_dyn));
+  // The many-host parallel-engine workload.
+  jobs.push_back(ManyHostJob());
   return jobs;
 }
 
@@ -213,8 +242,18 @@ void AppendJsonNumber(std::string& out, double v, const char* fmt = "%.10g") {
   out += buf;
 }
 
+// Wall-clock numbers from the opt-in --engine-speedup phase. Emitted into the
+// JSON only when the phase ran, so plain runs stay byte-identical across
+// engine widths (wall-clock varies run to run and would break the
+// determinism diff in scripts/check.sh).
+struct EngineSpeedup {
+  int threads = 0;  // 0 = phase did not run
+  double serial_ms = 0;
+  double parallel_ms = 0;
+};
+
 std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& results,
-                   unsigned threads, double wall_ms) {
+                   unsigned threads, double wall_ms, const EngineSpeedup& engine) {
   double serial_ms = 0;
   uint64_t events_total = 0;
   for (const JobResult& r : results) {
@@ -237,6 +276,16 @@ std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& r
   out += ",\n  \"events_per_sec\": ";
   AppendJsonNumber(out, wall_ms > 0 ? static_cast<double>(events_total) / (wall_ms / 1000.0) : 0,
                    "%.0f");
+  if (engine.threads > 0) {
+    out += ",\n  \"engine_threads\": " + std::to_string(engine.threads);
+    out += ",\n  \"engine_serial_ms\": ";
+    AppendJsonNumber(out, engine.serial_ms, "%.1f");
+    out += ",\n  \"engine_parallel_ms\": ";
+    AppendJsonNumber(out, engine.parallel_ms, "%.1f");
+    out += ",\n  \"engine_speedup\": ";
+    AppendJsonNumber(out, engine.parallel_ms > 0 ? engine.serial_ms / engine.parallel_ms : 0,
+                     "%.2f");
+  }
   out += ",\n  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const JobResult& r = results[i];
@@ -277,9 +326,50 @@ std::string JobFileStem(const Job& job) {
   return s;
 }
 
-int Run(unsigned threads, const std::string& out_path, const std::string& trace_dir,
-        const std::string& pcap_dir) {
-  const std::vector<Job> jobs = BuildJobs();
+struct Options {
+  unsigned threads = 1;
+  std::string out_path = "BENCH_RESULTS.json";
+  std::string trace_dir;
+  std::string pcap_dir;
+  std::string filter;      // ECMAScript regex matched against "group.name"
+  int engine_threads = 1;  // simulation-engine width for every job
+  int speedup_threads = 0; // >1 runs the wall-clock speedup phase
+  bool list = false;
+};
+
+std::vector<Job> SelectJobs(const std::string& filter) {
+  std::vector<Job> jobs = BuildJobs();
+  if (filter.empty()) {
+    return jobs;
+  }
+  const std::regex re(filter);
+  std::vector<Job> kept;
+  for (Job& job : jobs) {
+    if (std::regex_search(job.group + "." + job.name, re)) {
+      kept.push_back(std::move(job));
+    }
+  }
+  return kept;
+}
+
+int Run(const Options& opt) {
+  const unsigned threads = opt.threads;
+  std::vector<Job> jobs;
+  try {
+    jobs = SelectJobs(opt.filter);
+  } catch (const std::regex_error& e) {
+    std::fprintf(stderr, "bench_suite: bad --filter regex: %s\n", e.what());
+    return 2;
+  }
+  if (opt.list) {
+    for (const Job& job : jobs) {
+      std::printf("%s.%s\n", job.group.c_str(), job.name.c_str());
+    }
+    return 0;
+  }
+  const std::string& out_path = opt.out_path;
+  const std::string& trace_dir = opt.trace_dir;
+  const std::string& pcap_dir = opt.pcap_dir;
   std::vector<JobResult> results(jobs.size());
   std::atomic<size_t> next{0};
 
@@ -291,8 +381,11 @@ int Run(unsigned threads, const std::string& out_path, const std::string& trace_
         return;
       }
       // Reset per-thread simulation state a previous job on this pool thread
-      // may have left behind (the header-alloc ablation switches the policy).
+      // may have left behind (the header-alloc ablation switches the policy),
+      // and apply the requested engine width. Both are thread_local, so every
+      // pool thread has to set them -- they do not inherit from main.
       Message::set_default_alloc_policy(HeaderAllocPolicy::kPointerAdjust);
+      set_default_engine_threads(opt.engine_threads);
       // One observer pair per job: each job's Internet picks up the
       // thread-default observers at construction, so traces never mix jobs.
       std::unique_ptr<TraceSink> sink;
@@ -330,11 +423,48 @@ int Run(unsigned threads, const std::string& out_path, const std::string& trace_
   for (std::thread& t : pool) {
     t.join();
   }
+  set_default_engine_threads(1);
   const auto suite_end = std::chrono::steady_clock::now();
   const double wall_ms =
       std::chrono::duration<double, std::milli>(suite_end - suite_start).count();
 
-  const std::string json = ToJson(jobs, results, threads, wall_ms);
+  // Opt-in wall-clock speedup phase: run the many-host workload serially and
+  // at --engine-speedup width on the main thread, time both, and insist the
+  // simulated results are identical. This is the engine's acceptance gate.
+  EngineSpeedup engine;
+  if (opt.speedup_threads > 1) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ManyPairsBench serial =
+        MeasureManyPairsBench(kManyHostPairs, kManyHostBytes, kManyHostIters, 1);
+    const auto t1 = std::chrono::steady_clock::now();
+    const ManyPairsBench par = MeasureManyPairsBench(kManyHostPairs, kManyHostBytes,
+                                                     kManyHostIters, opt.speedup_threads);
+    const auto t2 = std::chrono::steady_clock::now();
+    engine.threads = opt.speedup_threads;
+    engine.serial_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    engine.parallel_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    if (serial.agg_kbytes_per_sec != par.agg_kbytes_per_sec ||
+        serial.completed != par.completed || serial.failed != par.failed ||
+        serial.sum_done_at != par.sum_done_at || serial.events_fired != par.events_fired) {
+      std::fprintf(stderr,
+                   "bench_suite: engine determinism check FAILED: serial "
+                   "(%.10g kb/s, %d ok, %d fail, sum %lld, %llu events) vs "
+                   "%d threads (%.10g kb/s, %d ok, %d fail, sum %lld, %llu events)\n",
+                   serial.agg_kbytes_per_sec, serial.completed, serial.failed,
+                   static_cast<long long>(serial.sum_done_at),
+                   static_cast<unsigned long long>(serial.events_fired), opt.speedup_threads,
+                   par.agg_kbytes_per_sec, par.completed, par.failed,
+                   static_cast<long long>(par.sum_done_at),
+                   static_cast<unsigned long long>(par.events_fired));
+      return 1;
+    }
+    std::printf("bench_suite: engine speedup %.2fx at %d threads "
+                "(serial %.0f ms, parallel %.0f ms), results identical\n",
+                engine.parallel_ms > 0 ? engine.serial_ms / engine.parallel_ms : 0.0,
+                engine.threads, engine.serial_ms, engine.parallel_ms);
+  }
+
+  const std::string json = ToJson(jobs, results, threads, wall_ms, engine);
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_suite: cannot open %s for writing\n", out_path.c_str());
@@ -358,31 +488,42 @@ int Run(unsigned threads, const std::string& out_path, const std::string& trace_
 }  // namespace xk
 
 int main(int argc, char** argv) {
-  unsigned threads = std::max(1u, std::thread::hardware_concurrency());
-  std::string out_path = "BENCH_RESULTS.json";
-  std::string trace_dir;
-  std::string pcap_dir;
+  xk::Options opt;
+  opt.threads = std::max(1u, std::thread::hardware_concurrency());
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = static_cast<unsigned>(std::max(1, std::atoi(argv[i] + 10)));
+      opt.threads = static_cast<unsigned>(std::max(1, std::atoi(argv[i] + 10)));
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out_path = argv[i] + 6;
+      opt.out_path = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      trace_dir = argv[i] + 8;
+      opt.trace_dir = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--pcap=", 7) == 0) {
-      pcap_dir = argv[i] + 7;
+      opt.pcap_dir = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
+      opt.filter = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--engine-threads=", 17) == 0) {
+      opt.engine_threads = std::max(1, std::atoi(argv[i] + 17));
+    } else if (std::strncmp(argv[i], "--engine-speedup=", 17) == 0) {
+      opt.speedup_threads = std::max(2, std::atoi(argv[i] + 17));
+    } else if (std::strcmp(argv[i], "--engine-speedup") == 0) {
+      opt.speedup_threads = 4;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      opt.list = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n"
+                   "          [--list] [--filter=REGEX] [--engine-threads=N]\n"
+                   "          [--engine-speedup[=N]]\n",
                    argv[0]);
       return 2;
     }
   }
   std::error_code ec;
-  if (!trace_dir.empty()) {
-    std::filesystem::create_directories(trace_dir, ec);
+  if (!opt.trace_dir.empty()) {
+    std::filesystem::create_directories(opt.trace_dir, ec);
   }
-  if (!pcap_dir.empty()) {
-    std::filesystem::create_directories(pcap_dir, ec);
+  if (!opt.pcap_dir.empty()) {
+    std::filesystem::create_directories(opt.pcap_dir, ec);
   }
-  return xk::Run(threads, out_path, trace_dir, pcap_dir);
+  return xk::Run(opt);
 }

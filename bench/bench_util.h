@@ -25,6 +25,7 @@
 #include "src/app/workload.h"
 #include "src/proto/topology.h"
 #include "src/proto/udp.h"
+#include "src/sim/parallel.h"
 #include "src/trace/pcap.h"
 #include "src/trace/trace.h"
 
@@ -34,7 +35,9 @@ namespace xk {
 // `--pcap=FILE` install thread-default observers that every Internet the
 // benchmark builds picks up; the files are written when the benchmark exits.
 // Tracing charges zero simulated cost, so a traced run reports exactly the
-// numbers an untraced run does.
+// numbers an untraced run does. `--engine-threads=N` sets the thread-default
+// engine width the same way: every Internet runs on the parallel engine,
+// whose results are bit-identical to the serial engine's.
 class BenchObservers {
  public:
   BenchObservers(int argc, char** argv) {
@@ -44,6 +47,8 @@ class BenchObservers {
         trace_path_ = a + 8;
       } else if (std::strncmp(a, "--pcap=", 7) == 0) {
         pcap_path_ = a + 7;
+      } else if (std::strncmp(a, "--engine-threads=", 17) == 0) {
+        set_default_engine_threads(std::atoi(a + 17));
       }
     }
     if (!trace_path_.empty()) {
@@ -60,6 +65,7 @@ class BenchObservers {
   BenchObservers& operator=(const BenchObservers&) = delete;
 
   ~BenchObservers() {
+    set_default_engine_threads(1);
     if (sink_ != nullptr) {
       TraceSink::set_thread_default(nullptr);
       if (!sink_->WriteFile(trace_path_)) {
@@ -138,7 +144,7 @@ struct RpcBench {
       Instance in = MakeInstance(builder, env);
       LatencyResult lat = RpcWorkload::MeasureLatency(*in.net, *in.ch->kernel, in.MakeCall(), 64);
       result.latency_ms = ToMsec(lat.per_call);
-      result.events_fired += in.net->events().fired_total();
+      result.events_fired += in.net->events_fired();
     }
     {
       Instance in = MakeInstance(builder, env);
@@ -147,7 +153,7 @@ struct RpcBench {
       result.throughput_kbs = t16.kbytes_per_sec;
       result.client_cpu_ms = ToMsec(t16.client_cpu);
       result.server_cpu_ms = ToMsec(t16.server_cpu);
-      result.events_fired += in.net->events().fired_total();
+      result.events_fired += in.net->events_fired();
     }
     {
       Instance in = MakeInstance(builder, env);
@@ -160,7 +166,7 @@ struct RpcBench {
       const double ms1 = ToMsec(t1.elapsed) / t1.completed;
       const double ms16 = ToMsec(t16.elapsed) / t16.completed;
       result.incr_ms_per_kb = (ms16 - ms1) / 15.0;
-      result.events_fired += in.net->events().fired_total() + in2.net->events().fired_total();
+      result.events_fired += in.net->events_fired() + in2.net->events_fired();
     }
     return result;
   }
@@ -224,7 +230,7 @@ struct PartialLatency {
 inline PartialLatency MeasurePartialLatency(int layers) {
   EchoExperiment e = MakeEchoExperiment(layers);
   LatencyResult lat = RpcWorkload::MeasureLatency(*e.net, *e.ch->kernel, e.MakeCall(), 64);
-  return PartialLatency{ToMsec(lat.per_call), e.net->events().fired_total()};
+  return PartialLatency{ToMsec(lat.per_call), e.net->events_fired()};
 }
 
 struct FragmentThroughput {
@@ -237,7 +243,7 @@ inline FragmentThroughput MeasureFragmentThroughput() {
   EchoExperiment e = MakeEchoExperiment(/*layers=*/1, /*null_replies=*/true);
   ThroughputResult t = RpcWorkload::MeasureThroughput(*e.net, *e.ch->kernel, *e.sh->kernel,
                                                       e.MakeCall(), 16 * 1024, 16);
-  return FragmentThroughput{t.kbytes_per_sec, e.net->events().fired_total()};
+  return FragmentThroughput{t.kbytes_per_sec, e.net->events_fired()};
 }
 
 struct UdpEcho {
@@ -282,7 +288,7 @@ inline UdpEcho MeasureUdpEcho(HostEnv env) {
     client->Send(sess, std::move(args), std::move(done));
   };
   LatencyResult lat = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
-  return UdpEcho{ToMsec(lat.per_call), net->events().fired_total()};
+  return UdpEcho{ToMsec(lat.per_call), net->events_fired()};
 }
 
 struct ColdWarmResult {
@@ -320,7 +326,76 @@ inline ColdWarmResult MeasureColdWarm(const RpcBench::Builder& builder) {
   // Steady state: everything cached.
   LatencyResult steady = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
   return ColdWarmResult{ToMsec(first.per_call), ToMsec(steady.per_call),
-                        net->events().fired_total()};
+                        net->events_fired()};
+}
+
+struct ManyPairsBench {
+  double agg_kbytes_per_sec = 0;
+  double elapsed_ms = 0;  // simulated time, first issue to last completion
+  int completed = 0;
+  int failed = 0;
+  SimTime sum_done_at = 0;  // determinism probe: sum of per-pair finish times
+  uint64_t events_fired = 0;
+};
+
+// The many-host workload: `pairs` independent client/server pairs, each on
+// its own segment, all driving `iters` sequential `bytes`-byte L_RPC calls
+// concurrently in ONE simulation. The segments use a long propagation delay
+// (a campus internetwork rather than one machine-room Ethernet), which is
+// what gives the parallel engine its lookahead; simulated results are
+// engine-invariant, so this doubles as the speedup benchmark and the
+// determinism stress test. `engine_threads` 0 = thread default.
+inline ManyPairsBench MeasureManyPairsBench(int pairs, size_t bytes, int iters,
+                                            int engine_threads = 0) {
+  auto net = std::make_unique<Internet>(HostEnv::kXKernel, 1, engine_threads);
+  // A long propagation delay (campus-backbone scale rather than one Ethernet)
+  // stretches the conservative lookahead so each epoch carries enough events
+  // to amortize the engine's barrier; the workload is otherwise the standard
+  // layered L_RPC stack.
+  WireModel wire;
+  wire.propagation = Usec(2000);
+  struct Pair {
+    HostStack* ch = nullptr;
+    HostStack* sh = nullptr;
+    RpcStack cstack, sstack;
+    RpcClient* client = nullptr;
+  };
+  std::vector<Pair> ps(static_cast<size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    const int seg = net->AddSegment(wire);
+    const uint8_t b = static_cast<uint8_t>(p + 1);
+    ps[p].ch = &net->AddHost("c" + std::to_string(p), seg, IpAddr(10, 0, b, 1));
+    ps[p].sh = &net->AddHost("s" + std::to_string(p), seg, IpAddr(10, 0, b, 2));
+  }
+  net->WarmArp();
+  std::vector<Kernel*> clients;
+  std::vector<CallFn> calls;
+  for (Pair& pr : ps) {
+    pr.cstack = BuildLRpc(*pr.ch, Delivery::kVip);
+    pr.sstack = BuildLRpc(*pr.sh, Delivery::kVip);
+    pr.ch->kernel->RunTask(net->events().now(), [&] {
+      pr.client = &pr.ch->kernel->Emplace<RpcClient>(*pr.ch->kernel, pr.cstack.top);
+    });
+    pr.sh->kernel->RunTask(net->events().now(), [&] {
+      auto& server = pr.sh->kernel->Emplace<RpcServer>(*pr.sh->kernel, pr.sstack.top);
+      (void)server.Export(RpcServer::kAny, [](uint16_t, Message&) { return Message(); });
+    });
+    clients.push_back(pr.ch->kernel);
+    const IpAddr server_ip = pr.sh->kernel->ip_addr();
+    RpcClient* client = pr.client;
+    calls.push_back([client, server_ip](Message args, std::function<void(Result<Message>)> done) {
+      client->Call(server_ip, 1, std::move(args), std::move(done));
+    });
+  }
+  ManyPairsResult r = RpcWorkload::MeasureManyPairs(*net, clients, calls, bytes, iters);
+  ManyPairsBench out;
+  out.agg_kbytes_per_sec = r.agg_kbytes_per_sec;
+  out.elapsed_ms = ToMsec(r.elapsed);
+  out.completed = r.completed;
+  out.failed = r.failed;
+  out.sum_done_at = r.sum_done_at;
+  out.events_fired = net->events_fired();
+  return out;
 }
 
 // --- table printing ------------------------------------------------------------

@@ -1,15 +1,14 @@
 #!/usr/bin/env bash
 # Full pre-merge check: the regular build + test suite, then an
-# ASan+UBSan-instrumented build of the same tests as a memory-safety smoke.
+# ASan+UBSan-instrumented build of the same tests as a memory-safety smoke,
+# observability determinism diffs, the parallel-engine bit-identity and
+# speedup gates, and a TSan pass over the engine.
 #
-#   scripts/check.sh            # tier-1 tests + sanitizer smoke
+#   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # tier-1 tests only
 #
-# Sanitizer builds live in build-asan/ so they never pollute the primary
-# build/ tree. TSan (-DXK_SANITIZE=thread) is not part of the default check
-# -- the only multi-threaded binary is bench_suite -- but can be run by hand:
-#   cmake -B build-tsan -S . -DXK_SANITIZE=thread && cmake --build build-tsan -j
-#   ./build-tsan/bench/bench_suite --threads=4 --out=/dev/null
+# Sanitizer builds live in build-asan/ and build-tsan/ so they never pollute
+# the primary build/ tree.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -71,6 +70,46 @@ diff -r "$obs/trace1" "$obs/trace2"
 diff -r "$obs/trace1" "$obs/trace4"
 diff -r "$obs/pcap1" "$obs/pcap2"
 diff -r "$obs/pcap1" "$obs/pcap4"
+
+echo
+echo "== parallel engine: bit-identical at --engine-threads=1 vs 4 =="
+# Same suite, same artifacts, now varying the *simulation* engine width. The
+# conservative engine must reproduce the serial engine byte for byte --
+# metrics, events fired, traces, and captures.
+for t in 1 4; do
+  ./build/bench/bench_suite --engine-threads="$t" --out="$obs/g$t.json" \
+    --trace="$obs/gtrace$t" --pcap="$obs/gpcap$t" >/dev/null
+  normalize "$obs/g$t.json" > "$obs/g$t.norm.json"
+done
+cmp "$obs/g1.norm.json" "$obs/g4.norm.json"
+diff -r "$obs/gtrace1" "$obs/gtrace4"
+diff -r "$obs/gpcap1" "$obs/gpcap4"
+
+echo
+echo "== parallel engine: wall-clock speedup on the many-host workload =="
+# --engine-speedup times the many-host workload serially and at 4 engine
+# threads and fails if the simulated results differ at all. The >= 1.8x
+# wall-clock bar only applies where the hardware can parallelize.
+./build/bench/bench_suite --filter='^manyhost' --engine-speedup=4 \
+  --out="$obs/speedup.json" >/dev/null
+speedup=$(sed -nE 's/.*"engine_speedup": ([0-9.]+).*/\1/p' "$obs/speedup.json")
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 4 ]; then
+  awk -v s="$speedup" 'BEGIN { exit !(s >= 1.8) }' \
+    || { echo "FAIL: engine speedup ${speedup}x < 1.8x on $cores cores"; exit 1; }
+  echo "engine speedup ${speedup}x at 4 threads (>= 1.8x required, $cores cores)"
+else
+  echo "engine speedup ${speedup}x recorded; 1.8x bar skipped ($cores core(s) < 4)"
+fi
+
+echo
+echo "== TSan: parallel engine data-race check (build-tsan/) =="
+cmake -B build-tsan -S . -DXK_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target bench_suite xk_tests
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_suite \
+  --filter='^manyhost' --engine-threads=4 --out=/dev/null
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/xk_tests \
+  --gtest_filter='ParallelEngine*'
 
 echo
 echo "All checks passed."

@@ -1,5 +1,8 @@
 #include "src/app/workload.h"
 
+#include <cassert>
+#include <memory>
+
 namespace xk {
 
 LatencyResult RpcWorkload::MeasureLatency(Internet& net, Kernel& client_kernel,
@@ -70,6 +73,79 @@ ThroughputResult RpcWorkload::MeasureThroughput(Internet& net, Kernel& client_ke
     result.kbytes_per_sec = total_bytes / 1024.0 / (ToMsec(result.elapsed) / 1000.0);
     result.client_cpu = (client_kernel.cpu().total_busy() - client_cpu0) / result.completed;
     result.server_cpu = (server_kernel.cpu().total_busy() - server_cpu0) / result.completed;
+  }
+  return result;
+}
+
+ManyPairsResult RpcWorkload::MeasureManyPairs(Internet& net,
+                                              const std::vector<Kernel*>& clients,
+                                              const std::vector<CallFn>& calls, size_t bytes,
+                                              int iters) {
+  assert(clients.size() == calls.size());
+  ManyPairsResult result;
+  const size_t pairs = clients.size();
+
+  // All per-call state is per pair: in a parallel run each pair's callbacks
+  // execute on its own client's logical process, so pairs must not share
+  // mutable state.
+  struct PairState {
+    int remaining = 0;
+    int completed = 0;
+    int failed = 0;
+    SimTime start = 0;
+    SimTime done_at = 0;
+    std::function<void()> issue;
+  };
+  std::vector<std::unique_ptr<PairState>> states;
+  states.reserve(pairs);
+
+  for (size_t p = 0; p < pairs; ++p) {
+    states.push_back(std::make_unique<PairState>());
+    PairState* st = states.back().get();
+    st->remaining = iters;
+    Kernel* client = clients[p];
+    const CallFn* call = &calls[p];
+    st->issue = [st, client, call, bytes]() {
+      (*call)(Message(bytes), [st, client](Result<Message> r) {
+        if (r.ok()) {
+          ++st->completed;
+        } else {
+          ++st->failed;
+        }
+        if (--st->remaining > 0) {
+          st->issue();
+        } else {
+          st->done_at = client->now();
+        }
+      });
+    };
+    client->ScheduleTask(0, [st, client]() {
+      st->start = client->now();
+      st->issue();
+    });
+  }
+
+  net.RunAll();
+
+  SimTime first_start = kSimTimeNever;
+  SimTime last_done = 0;
+  for (const auto& st : states) {
+    if (st->start < first_start) {
+      first_start = st->start;
+    }
+    if (st->done_at > last_done) {
+      last_done = st->done_at;
+    }
+    result.completed += st->completed;
+    result.failed += st->failed;
+    result.sum_done_at += st->done_at;
+  }
+  if (!states.empty() && last_done > first_start) {
+    result.elapsed = last_done - first_start;
+  }
+  if (result.elapsed > 0 && result.completed > 0) {
+    const double total_bytes = static_cast<double>(bytes) * result.completed;
+    result.agg_kbytes_per_sec = total_bytes / 1024.0 / (ToMsec(result.elapsed) / 1000.0);
   }
   return result;
 }

@@ -7,6 +7,7 @@
 #define XK_SRC_APP_WORKLOAD_H_
 
 #include <functional>
+#include <vector>
 
 #include "src/core/kernel.h"
 #include "src/core/message.h"
@@ -32,6 +33,14 @@ struct ThroughputResult {
   SimTime server_cpu = 0;
 };
 
+struct ManyPairsResult {
+  SimTime elapsed = 0;  // first issue to last completion, across all pairs
+  int completed = 0;
+  int failed = 0;
+  double agg_kbytes_per_sec = 0.0;  // all pairs' payload bytes / elapsed
+  SimTime sum_done_at = 0;          // sum of per-pair completion times (determinism probe)
+};
+
 class RpcWorkload {
  public:
   // Runs `iters` sequential null calls through `call`, driving `net` to
@@ -47,6 +56,15 @@ class RpcWorkload {
   static ThroughputResult MeasureThroughput(Internet& net, Kernel& client_kernel,
                                             Kernel& server_kernel, const CallFn& call,
                                             size_t bytes, int iters = 20);
+
+  // Drives `calls[i]` from `clients[i]` concurrently -- every pair issues
+  // `iters` sequential `bytes`-byte calls, all started at the same instant,
+  // in ONE RunAll. With pairs on independent segments this is the workload
+  // the parallel engine speeds up; its results (simulated metrics) are
+  // engine-invariant.
+  static ManyPairsResult MeasureManyPairs(Internet& net, const std::vector<Kernel*>& clients,
+                                          const std::vector<CallFn>& calls, size_t bytes,
+                                          int iters = 20);
 };
 
 }  // namespace xk

@@ -16,6 +16,7 @@
 #ifndef XK_SRC_CORE_MAP_H_
 #define XK_SRC_CORE_MAP_H_
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 #include <vector>
@@ -101,6 +102,40 @@ class DemuxMap {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  // --- introspection (tests and debugging, not part of the map-tool API) ---
+
+  size_t capacity() const { return buckets_.size(); }
+  size_t tombstones() const { return tombstones_; }
+
+  // Buckets a lookup of `key` visits (>= 1 on a non-empty table). Counts the
+  // terminating bucket too, so a first-probe hit is 1.
+  size_t ProbeLength(const Key& key) const {
+    if (buckets_.empty()) {
+      return 0;
+    }
+    const size_t mask = buckets_.size() - 1;
+    size_t n = 0;
+    for (size_t i = ProbeStart(key);; i = (i + 1) & mask) {
+      ++n;
+      const Bucket& b = buckets_[i];
+      if (b.state == kEmpty || (b.state == kFull && Eq{}(b.key, key))) {
+        return n;
+      }
+    }
+  }
+
+  // Longest probe chain over every bound key: the worst-case demux cost the
+  // table currently offers. Tombstone buildup shows up here first.
+  size_t MaxProbeLength() const {
+    size_t worst = 0;
+    for (const Bucket& b : buckets_) {
+      if (b.state == kFull) {
+        worst = std::max(worst, ProbeLength(b.key));
+      }
+    }
+    return worst;
+  }
 
   void clear() {
     buckets_.clear();

@@ -4,22 +4,38 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "src/sim/parallel.h"
 #include "src/trace/counters.h"
 
 namespace xk {
 
-Internet::Internet(HostEnv default_env, uint64_t seed)
+Internet::Internet(HostEnv default_env, uint64_t seed, int engine_threads)
     : default_env_(default_env),
       seed_(seed),
+      engine_threads_(engine_threads > 0 ? engine_threads : default_engine_threads()),
       trace_(TraceSink::thread_default()),
-      capture_(PacketCapture::thread_default()) {}
+      capture_(PacketCapture::thread_default()) {
+  if (engine_threads_ > 1) {
+    engine_ = std::make_unique<ParallelEngine>(engine_threads_);
+    engine_->set_control_queue(&events_);
+    engine_->set_trace_master(trace_);
+  }
+}
 
 Internet::~Internet() {
   // Kernels (and the protocols inside them) may hold sessions referring to
-  // segments; destroy kernels first.
+  // segments; destroy kernels first. The engine owns the per-host event
+  // queues, so it must outlive the kernels built on them (engine_ is a
+  // member, destroyed after this body).
   kernels_.clear();
   segments_.clear();
 }
+
+uint64_t Internet::events_fired() const {
+  return engine_ != nullptr ? engine_->fired_total() : events_.fired_total();
+}
+
+size_t Internet::RunAll() { return engine_ != nullptr ? engine_->Run() : events_.Run(); }
 
 int Internet::AddSegment(WireModel wire) {
   const int id = static_cast<int>(segments_.size());
@@ -28,6 +44,9 @@ int Internet::AddSegment(WireModel wire) {
   segments_.back()->set_observer_id(id);
   segments_.back()->set_trace(trace_);
   segments_.back()->set_capture(capture_);
+  if (engine_ != nullptr) {
+    engine_->AdoptSegment(*segments_.back());
+  }
   attachments_.emplace_back();
   return id;
 }
@@ -35,10 +54,20 @@ int Internet::AddSegment(WireModel wire) {
 HostStack& Internet::AddHost(const std::string& name, int segment, IpAddr ip,
                              std::optional<HostEnv> env) {
   const EthAddr mac = EthAddr::FromIndex(next_eth_index_++);
-  auto kernel = std::make_unique<Kernel>(name, events_, env.value_or(default_env_), ip, mac);
+  EventQueue& host_events = engine_ != nullptr ? engine_->NewLpQueue() : events_;
+  if (engine_ != nullptr) {
+    // Reproduce the boot ids a single shared queue would have handed out.
+    host_events.set_next_boot_id(1000 + static_cast<uint32_t>(kernels_.size()));
+    host_events.AdvanceTo(events_.now());
+  }
+  auto kernel =
+      std::make_unique<Kernel>(name, host_events, env.value_or(default_env_), ip, mac);
   Kernel* k = kernel.get();
   k->set_trace_sink(trace_);
   kernels_.push_back(std::move(kernel));
+  if (engine_ != nullptr) {
+    engine_->BindKernel(*k);
+  }
 
   HostStack stack;
   stack.kernel = k;
@@ -59,11 +88,19 @@ HostStack& Internet::AddRouter(const std::string& name,
                                std::vector<std::pair<int, IpAddr>> attachments) {
   assert(!attachments.empty());
   const EthAddr primary_mac = EthAddr::FromIndex(next_eth_index_);
-  auto kernel = std::make_unique<Kernel>(name, events_, default_env_, attachments[0].second,
-                                         primary_mac);
+  EventQueue& host_events = engine_ != nullptr ? engine_->NewLpQueue() : events_;
+  if (engine_ != nullptr) {
+    host_events.set_next_boot_id(1000 + static_cast<uint32_t>(kernels_.size()));
+    host_events.AdvanceTo(events_.now());
+  }
+  auto kernel = std::make_unique<Kernel>(name, host_events, default_env_,
+                                         attachments[0].second, primary_mac);
   Kernel* k = kernel.get();
   k->set_trace_sink(trace_);
   kernels_.push_back(std::move(kernel));
+  if (engine_ != nullptr) {
+    engine_->BindKernel(*k);
+  }
 
   HostStack stack;
   stack.kernel = k;
@@ -119,6 +156,9 @@ void Internet::AttachTrace(TraceSink* trace) {
   }
   for (auto& s : segments_) {
     s->set_trace(trace);
+  }
+  if (engine_ != nullptr) {
+    engine_->set_trace_master(trace);
   }
 }
 

@@ -27,6 +27,8 @@
 
 namespace xk {
 
+class ParallelEngine;
+
 // The substrate protocols of one node. Higher layers (VIP, RPC, ...) are
 // added by the stack builders in src/app.
 struct HostStack {
@@ -38,7 +40,13 @@ struct HostStack {
 
 class Internet {
  public:
-  explicit Internet(HostEnv default_env = HostEnv::kXKernel, uint64_t seed = 1);
+  // `engine_threads` > 1 runs the simulation on the conservative parallel
+  // engine (src/sim/parallel.h) with one logical process per host; results
+  // are bit-identical to the serial engine. 0 picks up the thread default
+  // (set_default_engine_threads); 1 (the default default) is the serial
+  // single-queue engine with no parallel machinery at all.
+  explicit Internet(HostEnv default_env = HostEnv::kXKernel, uint64_t seed = 1,
+                    int engine_threads = 0);
   ~Internet();
 
   Internet(const Internet&) = delete;
@@ -93,12 +101,21 @@ class Internet {
   bool WriteCountersJson(const std::string& path) const;
 
   // --- access -----------------------------------------------------------------
+  // The Internet's own queue: the single event queue in serial mode, the
+  // control/clock queue (advanced to global time between runs) in parallel
+  // mode. Schedule work through kernels, not directly on this queue.
   EventQueue& events() { return events_; }
   EthernetSegment& segment(int id) { return *segments_[id]; }
   HostStack& host(const std::string& name);
 
+  // Events fired across the whole simulation (all hosts' queues).
+  uint64_t events_fired() const;
+
+  // The engine width this Internet was built with (1 = serial).
+  int engine_threads() const { return engine_threads_; }
+
   // Runs the simulation to quiescence; returns events fired.
-  size_t RunAll() { return events_.Run(); }
+  size_t RunAll();
 
  private:
   struct Attachment {
@@ -110,6 +127,8 @@ class Internet {
   HostEnv default_env_;
   EventQueue events_;
   uint64_t seed_;
+  int engine_threads_ = 1;
+  std::unique_ptr<ParallelEngine> engine_;  // null in serial mode
   TraceSink* trace_ = nullptr;
   PacketCapture* capture_ = nullptr;
   uint32_t next_eth_index_ = 1;

@@ -20,9 +20,61 @@ EventHandle EventQueue::ScheduleAt(SimTime at, std::function<void()> fn) {
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
   const uint32_t gen = s.generation;
-  HeapPush(Entry{at, next_seq_++, slot, gen});
+  if (at >= defer_horizon_) {
+    // Parked for the engine: the barrier commits it in canonical order so
+    // heap sequence numbers agree with the serial schedule order.
+    s.deferred = true;
+  } else {
+    HeapPush(Entry{at, next_seq_++, slot, gen});
+  }
   ++live_count_;
+  if (listener_ != nullptr) {
+    listener_->OnSchedule(at, slot, gen);
+  }
   return EventHandle(this, slot, gen);
+}
+
+void EventQueue::CommitDeferred(uint32_t slot, uint32_t gen, SimTime at) {
+  if (!SlotLive(slot, gen)) {
+    return;  // cancelled while parked
+  }
+  Slot& s = slots_[slot];
+  assert(s.deferred);
+  s.deferred = false;
+  HeapPush(Entry{at, next_seq_++, slot, gen});
+}
+
+bool EventQueue::NextEventTime(SimTime* at) {
+  if (!SkimDead()) {
+    return false;
+  }
+  *at = heap_.front().at;
+  return true;
+}
+
+size_t EventQueue::RunEpochWindow(SimTime end_exclusive, size_t max_events) {
+  size_t fired = 0;
+  std::function<void()> fn;
+  while (fired < max_events && SkimDead()) {
+    if (heap_.front().at >= end_exclusive) {
+      break;
+    }
+    Entry e;
+    if (!PopNext(e, fn)) {
+      break;
+    }
+    now_ = e.at;
+    ++fired;
+    if (listener_ != nullptr) {
+      listener_->OnFireBegin(e.at, e.slot, e.gen);
+    }
+    fn();
+    if (listener_ != nullptr) {
+      listener_->OnFireEnd();
+    }
+  }
+  fired_total_ += fired;
+  return fired;
 }
 
 size_t EventQueue::Run(size_t max_events) {
@@ -85,10 +137,14 @@ bool EventQueue::CancelInternal(uint32_t index, uint32_t gen) {
   if (!SlotLive(index, gen)) {
     return false;
   }
+  const bool was_deferred = slots_[index].deferred;
+  slots_[index].deferred = false;
   RetireSlot(index);
   --live_count_;
-  ++dead_in_heap_;  // its Entry is still queued; skipped or swept later
-  MaybeSweepDead();
+  if (!was_deferred) {
+    ++dead_in_heap_;  // its Entry is still queued; skipped or swept later
+    MaybeSweepDead();
+  }
   return true;
 }
 

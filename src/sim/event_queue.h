@@ -18,6 +18,13 @@
 // Handles are {slot index, generation} pairs into the queue's slab; they must
 // not outlive the EventQueue they came from (in this repository queues always
 // outlive the kernels holding timers on them).
+//
+// Parallel engine support (src/sim/parallel.h): a queue can carry a Listener
+// that observes schedules and firings, a defer horizon that parks
+// far-future events outside the heap until the engine commits them in its
+// canonical order, and an epoch-window run loop. All of it is dormant in
+// serial use -- the hot paths gain only a null-pointer check and an
+// always-false comparison against kNoHorizon.
 
 #ifndef XK_SRC_SIM_EVENT_QUEUE_H_
 #define XK_SRC_SIM_EVENT_QUEUE_H_
@@ -56,6 +63,18 @@ class EventHandle {
 
 class EventQueue {
  public:
+  // Observer used by the parallel engine. OnSchedule fires for every
+  // ScheduleAt (committed or deferred); OnFireBegin/OnFireEnd bracket each
+  // event fired by RunEpochWindow (the serial Run/RunUntil loops never
+  // consult the listener).
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void OnSchedule(SimTime at, uint32_t slot, uint32_t gen) = 0;
+    virtual void OnFireBegin(SimTime at, uint32_t slot, uint32_t gen) = 0;
+    virtual void OnFireEnd() = 0;
+  };
+
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -99,8 +118,35 @@ class EventQueue {
   // perturb them.
   uint32_t AllocateBootId() { return next_boot_id_++; }
 
+  // --- parallel-engine hooks (see src/sim/parallel.h) ------------------------
+  // None of these are used by serial simulations.
+
+  void set_listener(Listener* listener) { listener_ = listener; }
+
+  // Schedules at or after the horizon are parked outside the heap (slot
+  // acquired, closure stored) until CommitDeferred; the engine commits them
+  // at an epoch barrier so heap insertion order matches its canonical order.
+  static constexpr SimTime kNoHorizon = kSimTimeNever;
+  void set_defer_horizon(SimTime horizon) { defer_horizon_ = horizon; }
+
+  // Moves a parked event into the heap. No-op if it was cancelled meanwhile.
+  void CommitDeferred(uint32_t slot, uint32_t gen, SimTime at);
+
+  // Earliest pending committed event time; false if the heap is drained.
+  bool NextEventTime(SimTime* at);
+
+  // Runs up to `max_events` events with firing time < end_exclusive,
+  // reporting each to the listener. The clock is left at the last fired
+  // event. Returns the number of events fired.
+  size_t RunEpochWindow(SimTime end_exclusive, size_t max_events = SIZE_MAX);
+
+  // Seeds the boot-id counter so per-host queues reproduce the allocation
+  // order a shared queue would have used (kernel creation order).
+  void set_next_boot_id(uint32_t id) { next_boot_id_ = id; }
+
  private:
   friend class EventHandle;
+  friend class ParallelEngine;  // liveness checks against its canonical order
 
   static constexpr uint32_t kNil = UINT32_MAX;
 
@@ -111,6 +157,7 @@ class EventQueue {
     std::function<void()> fn;
     uint32_t generation = 0;
     uint32_t next_free = kNil;
+    bool deferred = false;  // parked past the defer horizon, not in the heap
   };
 
   // Heap entry: plain data, cheap to sift. The closure stays in the slab.
@@ -150,6 +197,8 @@ class EventQueue {
   size_t live_count_ = 0;
   uint64_t fired_total_ = 0;
   uint32_t next_boot_id_ = 1000;
+  SimTime defer_horizon_ = kNoHorizon;
+  Listener* listener_ = nullptr;
 
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNil;

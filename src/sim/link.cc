@@ -31,13 +31,26 @@ int EthernetSegment::Attach(EthAddr addr, FrameSink* sink) {
   return static_cast<int>(stations_.size()) - 1;
 }
 
-void EthernetSegment::DeliverAt(SimTime at, const EthFrame& frame, int receiver_id) {
+void EthernetSegment::DeliverAt(SimTime at, std::shared_ptr<const EthFrame> frame,
+                                int receiver_id, FrameDeliverer* deliverer) {
   FrameSink* sink = stations_[receiver_id].sink;
-  EthFrame copy = frame;
-  events_.ScheduleAt(at, [sink, f = std::move(copy)]() { sink->FrameArrived(f); });
+  if (deliverer != nullptr) {
+    deliverer->Deliver(*this, at, sink, receiver_id, std::move(frame));
+    return;
+  }
+  events_.ScheduleAt(at, [sink, f = std::move(frame)]() { sink->FrameArrived(*f); });
 }
 
 void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) {
+  if (transmit_sink_ != nullptr) {
+    transmit_sink_->OnTransmit(*this, sender_id, std::move(frame), ready_at);
+    return;
+  }
+  ProcessTransmit(sender_id, std::move(frame), ready_at, nullptr);
+}
+
+void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime ready_at,
+                                      FrameDeliverer* deliverer) {
   assert(sender_id >= 0 && static_cast<size_t>(sender_id) < stations_.size());
   const SimTime start = ready_at > bus_free_at_ ? ready_at : bus_free_at_;
   const SimTime tx = wire_.TransmitTime(frame.bytes.size());
@@ -47,12 +60,14 @@ void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) 
   ++frames_sent_;
   bytes_sent_ += frame.bytes.size();
 
-  const EthAddr dst = frame.Dst();
+  // Receivers share one immutable buffer; only a corrupted delivery copies.
+  const auto shared = std::make_shared<const EthFrame>(std::move(frame));
+  const EthAddr dst = shared->Dst();
   const bool broadcast = dst.IsBroadcast();
   const SimTime arrival = end + wire_.propagation;
 
   if (trace_ != nullptr) {
-    trace_->RecordWire(observer_id_, start, end, arrival, frame.bytes.size());
+    trace_->RecordWire(observer_id_, start, end, arrival, shared->bytes.size());
   }
 
   for (size_t i = 0; i < stations_.size(); ++i) {
@@ -72,7 +87,7 @@ void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) 
     } else {
       LinkFault fault = LinkFault::kDeliver;
       if (fault_hook_) {
-        fault = fault_hook_(frame, rid, index);
+        fault = fault_hook_(*shared, rid, index);
       }
       switch (fault) {
         case LinkFault::kDrop:
@@ -83,26 +98,26 @@ void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) 
         case LinkFault::kDuplicate:
           ++fault_duplicates_;
           verdict = CaptureVerdict::kDuplicated;
-          DeliverAt(arrival, frame, rid);
-          DeliverAt(arrival + tx, frame, rid);
+          DeliverAt(arrival, shared, rid, deliverer);
+          DeliverAt(arrival + tx, shared, rid, deliverer);
           break;
         case LinkFault::kCorrupt: {
           ++fault_corruptions_;
           verdict = CaptureVerdict::kCorrupted;
-          EthFrame bad = frame;
+          EthFrame bad = *shared;
           if (!bad.bytes.empty()) {
             bad.bytes.back() ^= 0xFF;
           }
-          DeliverAt(arrival, bad, rid);
+          DeliverAt(arrival, std::make_shared<const EthFrame>(std::move(bad)), rid, deliverer);
           break;
         }
         case LinkFault::kDeliver:
-          DeliverAt(arrival, frame, rid);
+          DeliverAt(arrival, shared, rid, deliverer);
           break;
       }
     }
     if (capture_ != nullptr) {
-      capture_->Record(observer_id_, rid, start, arrival, frame.bytes, verdict);
+      capture_->Record(observer_id_, rid, start, arrival, shared->bytes, verdict);
     }
   }
 }

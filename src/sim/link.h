@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/core/types.h"
@@ -24,6 +25,8 @@
 
 namespace xk {
 
+class EthernetSegment;
+class Kernel;
 class PacketCapture;
 class TraceSink;
 
@@ -43,8 +46,36 @@ class FrameSink {
   virtual ~FrameSink() = default;
 
   // Called at frame arrival time. The sink is responsible for charging
-  // interrupt and copy costs to its host CPU.
+  // interrupt and copy costs to its host CPU. The frame is only borrowed for
+  // the duration of the call.
   virtual void FrameArrived(const EthFrame& frame) = 0;
+
+  // The kernel whose host this sink belongs to, if any. The parallel engine
+  // uses it to route deliveries to the receiver's logical process; plain
+  // test sinks may leave it null (they only run under the serial engine).
+  virtual Kernel* sink_kernel() { return nullptr; }
+};
+
+// Intercepts EthernetSegment::Transmit before any segment state is touched.
+// The parallel engine installs one so that transmits issued by concurrently
+// running hosts are buffered and applied serially, in canonical order, at the
+// next epoch barrier.
+class TransmitSink {
+ public:
+  virtual ~TransmitSink() = default;
+  virtual void OnTransmit(EthernetSegment& segment, int sender_id, EthFrame frame,
+                          SimTime ready_at) = 0;
+};
+
+// How ProcessTransmit hands a (frame, receiver) delivery to the simulator:
+// the serial path schedules it on the segment's own event queue; the parallel
+// engine inserts it into the receiving host's queue instead. The frame buffer
+// is shared across all receivers of one transmission.
+class FrameDeliverer {
+ public:
+  virtual ~FrameDeliverer() = default;
+  virtual void Deliver(EthernetSegment& segment, SimTime at, FrameSink* sink, int receiver_id,
+                       std::shared_ptr<const EthFrame> frame) = 0;
 };
 
 // Per-delivery fault decision.
@@ -66,6 +97,20 @@ class EthernetSegment {
   // at `ready_at` (the sending CPU's task clock). Transmission starts when
   // the bus frees up.
   void Transmit(int sender_id, EthFrame frame, SimTime ready_at);
+
+  // The body of Transmit: bus arbitration, fault injection, statistics, and
+  // observer records, handing each delivery to `deliverer` (null = schedule
+  // on the segment's own event queue). The parallel engine calls this at
+  // epoch barriers, in canonical transmit order.
+  void ProcessTransmit(int sender_id, EthFrame frame, SimTime ready_at,
+                       FrameDeliverer* deliverer);
+
+  // Diverts Transmit() to `sink` before any segment state is touched (null
+  // restores direct processing). Installed by the parallel engine.
+  void set_transmit_sink(TransmitSink* sink) { transmit_sink_ = sink; }
+
+  // Station `id`'s attached sink (parallel-engine delivery routing).
+  FrameSink* station_sink(int id) const { return stations_[id].sink; }
 
   // Uniform random drop probability applied to every delivery.
   void set_drop_rate(double p) { drop_rate_ = p; }
@@ -107,7 +152,8 @@ class EthernetSegment {
     FrameSink* sink;
   };
 
-  void DeliverAt(SimTime at, const EthFrame& frame, int receiver_id);
+  void DeliverAt(SimTime at, std::shared_ptr<const EthFrame> frame, int receiver_id,
+                 FrameDeliverer* deliverer);
 
   EventQueue& events_;
   WireModel wire_;
@@ -117,6 +163,7 @@ class EthernetSegment {
   double drop_rate_ = 0.0;
   FaultHook fault_hook_;
   uint64_t delivery_index_ = 0;
+  TransmitSink* transmit_sink_ = nullptr;
 
   TraceSink* trace_ = nullptr;
   PacketCapture* capture_ = nullptr;

@@ -1,0 +1,528 @@
+#include "src/sim/parallel.h"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/core/kernel.h"
+#include "src/core/message.h"
+
+namespace xk {
+
+namespace {
+thread_local int g_default_engine_threads = 1;
+}  // namespace
+
+int default_engine_threads() { return g_default_engine_threads; }
+
+void set_default_engine_threads(int threads) {
+  g_default_engine_threads = threads > 1 ? threads : 1;
+}
+
+// ---------------------------------------------------------------------------
+// EpochPool: a fork/join pool tuned for many short epochs. The caller
+// participates in each job; idle workers spin briefly on the job generation
+// before falling back to a condition variable, so back-to-back epochs don't
+// pay a futex round trip. All cross-thread handoff goes through acquire/
+// release atomics (publish body/args, then bump the generation).
+// ---------------------------------------------------------------------------
+class EpochPool {
+ public:
+  explicit EpochPool(int participants) {
+    const int workers = participants > 1 ? participants - 1 : 0;
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { WorkerMain(); });
+    }
+  }
+
+  ~EpochPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+
+  EpochPool(const EpochPool&) = delete;
+  EpochPool& operator=(const EpochPool&) = delete;
+
+  // Runs body(0..n-1) across the workers and the calling thread; returns when
+  // every item has finished. Jobs are fully joined: every worker passes
+  // through every job generation and reports back, so a straggler can never
+  // touch the next job's work counter.
+  void Run(const std::function<void(size_t)>& body, size_t n) {
+    if (n == 0) {
+      return;
+    }
+    if (workers_.empty() || n == 1) {
+      for (size_t i = 0; i < n; ++i) {
+        body(i);
+      }
+      return;
+    }
+    body_ = &body;
+    n_ = n;
+    policy_ = Message::default_alloc_policy();
+    next_.store(0, std::memory_order_relaxed);
+    finished_.store(0, std::memory_order_relaxed);
+    job_gen_.fetch_add(1, std::memory_order_release);
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+    Drain(body, n);
+    size_t spins = 0;
+    while (finished_.load(std::memory_order_acquire) < workers_.size()) {
+      if (++spins % 256 == 0) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  void Drain(const std::function<void(size_t)>& body, size_t n) {
+    for (;;) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      body(i);
+    }
+  }
+
+  void WorkerMain() {
+    uint64_t seen = 0;
+    for (;;) {
+      uint64_t gen;
+      size_t spins = 0;
+      for (;;) {
+        gen = job_gen_.load(std::memory_order_acquire);
+        if (gen != seen || stop_.load(std::memory_order_acquire)) {
+          break;
+        }
+        if (++spins < 4096) {
+          continue;
+        }
+        sleepers_.fetch_add(1, std::memory_order_release);
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, [&] {
+            return job_gen_.load(std::memory_order_acquire) != seen ||
+                   stop_.load(std::memory_order_acquire);
+          });
+        }
+        sleepers_.fetch_sub(1, std::memory_order_release);
+      }
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      seen = gen;
+      Message::set_default_alloc_policy(policy_);
+      Drain(*body_, n_);
+      finished_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<uint64_t> job_gen_{0};
+  std::atomic<size_t> next_{0};
+  std::atomic<size_t> finished_{0};
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+  // Published before the job_gen_ release bump, read after the acquire load.
+  const std::function<void(size_t)>* body_ = nullptr;
+  size_t n_ = 0;
+  HeaderAllocPolicy policy_ = HeaderAllocPolicy::kPointerAdjust;
+};
+
+// ---------------------------------------------------------------------------
+// Logical process: one host's queue plus the per-epoch capture of what its
+// events emitted, in execution order. The Lp is its queue's Listener for the
+// whole engine lifetime; outside RunEpochWindow (setup between runs, barrier
+// insertions) OnSchedule registers directly in the canonical heap, inside an
+// event it appends to the emission list for replay.
+// ---------------------------------------------------------------------------
+struct ParallelEngine::FiredEvent {
+  SimTime at;
+  uint32_t slot;
+  uint32_t gen;
+  uint32_t item_begin;
+  uint32_t item_end;
+};
+
+struct ParallelEngine::Lp final : EventQueue::Listener {
+  struct PendingTransmit {
+    EthernetSegment* segment;
+    int sender_id;
+    EthFrame frame;
+    SimTime ready_at;
+  };
+
+  struct Item {
+    enum class Kind : uint8_t { kRecord, kSchedule, kTransmit };
+    Kind kind;
+    // kSchedule
+    SimTime at = 0;
+    uint32_t slot = 0;
+    uint32_t gen = 0;
+    // kTransmit: index into `transmits`
+    uint32_t tx = 0;
+    // kRecord
+    TraceSink::Record rec;
+  };
+
+  ParallelEngine* engine = nullptr;
+  uint32_t index = 0;
+  std::unique_ptr<EventQueue> queue;
+  Kernel* kernel = nullptr;
+
+  // Trace shard (created per master sink; persists across runs so ids stay
+  // stable) and the master's translation of its name table.
+  std::unique_ptr<TraceSink> shard;
+  TraceSink::ShardNameMap name_map;
+
+  // Epoch capture, reset at each barrier.
+  std::vector<FiredEvent> events;
+  std::vector<Item> items;
+  std::vector<PendingTransmit> transmits;
+  size_t cursor = 0;  // replay position in `events`
+  bool in_event = false;
+
+  void OnSchedule(SimTime at, uint32_t slot, uint32_t gen) override {
+    if (!in_event) {
+      engine->RegisterCanon(index, at, slot, gen);
+      return;
+    }
+    FlushShardRecords();
+    Item item;
+    item.kind = Item::Kind::kSchedule;
+    item.at = at;
+    item.slot = slot;
+    item.gen = gen;
+    items.push_back(std::move(item));
+  }
+
+  void OnFireBegin(SimTime at, uint32_t slot, uint32_t gen) override {
+    events.push_back(FiredEvent{at, slot, gen, static_cast<uint32_t>(items.size()),
+                                static_cast<uint32_t>(items.size())});
+    in_event = true;
+  }
+
+  void OnFireEnd() override {
+    FlushShardRecords();
+    events.back().item_end = static_cast<uint32_t>(items.size());
+    in_event = false;
+  }
+
+  // Moves records the shard buffered since the last flush onto the emission
+  // list, preserving their position relative to schedules and transmits.
+  void FlushShardRecords() {
+    if (shard == nullptr || shard->num_records() == 0) {
+      return;
+    }
+    for (TraceSink::Record& r : shard->DrainRecords()) {
+      Item item;
+      item.kind = Item::Kind::kRecord;
+      item.rec = std::move(r);
+      items.push_back(std::move(item));
+    }
+  }
+
+  void ClearEpoch() {
+    events.clear();
+    items.clear();
+    transmits.clear();
+    cursor = 0;
+  }
+};
+
+thread_local ParallelEngine::Lp* ParallelEngine::current_lp_ = nullptr;
+
+ParallelEngine::ParallelEngine(int threads) : threads_(threads > 1 ? threads : 1) {}
+
+ParallelEngine::~ParallelEngine() = default;
+
+EventQueue& ParallelEngine::NewLpQueue() {
+  auto lp = std::make_unique<Lp>();
+  lp->engine = this;
+  lp->index = static_cast<uint32_t>(lps_.size());
+  lp->queue = std::make_unique<EventQueue>();
+  lp->queue->set_listener(lp.get());
+  lps_.push_back(std::move(lp));
+  return *lps_.back()->queue;
+}
+
+void ParallelEngine::BindKernel(Kernel& kernel) {
+  for (auto& lp : lps_) {
+    if (lp->queue.get() == &kernel.events()) {
+      lp->kernel = &kernel;
+      kernel_lp_[&kernel] = lp.get();
+      return;
+    }
+  }
+  assert(false && "kernel not built on an engine LP queue");
+}
+
+void ParallelEngine::AdoptSegment(EthernetSegment& segment) {
+  segments_.push_back(&segment);
+  segment.set_transmit_sink(this);
+}
+
+void ParallelEngine::RegisterCanon(uint32_t lp, SimTime at, uint32_t slot, uint32_t gen) {
+  canon_.push(CanonNode{at, next_canon_seq_++, lp, slot, gen});
+}
+
+void ParallelEngine::OnTransmit(EthernetSegment& segment, int sender_id, EthFrame frame,
+                                SimTime ready_at) {
+  Lp* lp = current_lp_;
+  if (lp == nullptr) {
+    // Setup phase (no epoch running): apply immediately, in call order --
+    // which is the serial engine's order for setup-time traffic.
+    segment.ProcessTransmit(sender_id, std::move(frame), ready_at, this);
+    return;
+  }
+  lp->FlushShardRecords();
+  lp->transmits.push_back(
+      Lp::PendingTransmit{&segment, sender_id, std::move(frame), ready_at});
+  Lp::Item item;
+  item.kind = Lp::Item::Kind::kTransmit;
+  item.tx = static_cast<uint32_t>(lp->transmits.size() - 1);
+  lp->items.push_back(std::move(item));
+}
+
+void ParallelEngine::Deliver(EthernetSegment& segment, SimTime at, FrameSink* sink,
+                             int receiver_id, std::shared_ptr<const EthFrame> frame) {
+  (void)segment;
+  (void)receiver_id;
+  Kernel* kernel = sink->sink_kernel();
+  assert(kernel != nullptr && "parallel runs need sinks that name their kernel");
+  Lp* lp = kernel_lp_.at(kernel);
+  // Lookahead guarantee: an in-epoch transmit cannot take effect inside the
+  // same epoch. (Setup and fallback replay run with barrier_floor_ == 0.)
+  assert(at >= barrier_floor_);
+  lp->queue->ScheduleAt(at, [sink, f = std::move(frame)]() { sink->FrameArrived(*f); });
+}
+
+SimTime ParallelEngine::ComputeLookahead() const {
+  // The soonest a frame handed to any segment can reach another host: it must
+  // first serialize (minimum-size frame) and then propagate. kSimTimeNever if
+  // there are no segments -- the LPs are fully independent.
+  SimTime lookahead = kSimTimeNever;
+  for (const EthernetSegment* seg : segments_) {
+    const SimTime l = seg->wire().TransmitTime(0) + seg->wire().propagation;
+    if (l < lookahead) {
+      lookahead = l;
+    }
+  }
+  return lookahead;
+}
+
+void ParallelEngine::BeginRun() {
+  if (master_trace_ != observers_bound_) {
+    // New (or first) master sink: rebuild the shards against it.
+    observers_bound_ = master_trace_;
+    for (auto& lp : lps_) {
+      lp->shard.reset();
+      lp->name_map = TraceSink::ShardNameMap{};
+    }
+    if (master_trace_ != nullptr) {
+      for (auto& lp : lps_) {
+        lp->shard = std::make_unique<TraceSink>(SIZE_MAX);
+        lp->shard->set_id_tag(master_trace_->AllocateIdTag());
+      }
+    }
+  }
+  for (auto& lp : lps_) {
+    if (lp->kernel != nullptr) {
+      lp->kernel->set_trace_sink(lp->shard.get());
+    }
+  }
+  if (pool_ == nullptr) {
+    const int participants =
+        static_cast<int>(lps_.size()) < threads_ ? static_cast<int>(lps_.size()) : threads_;
+    pool_ = std::make_unique<EpochPool>(participants);
+  }
+}
+
+void ParallelEngine::EndRun() {
+  for (auto& lp : lps_) {
+    if (lp->kernel != nullptr) {
+      lp->kernel->set_trace_sink(master_trace_);
+    }
+    if (lp->queue->now() < global_now_) {
+      lp->queue->AdvanceTo(global_now_);
+    }
+  }
+  // Setup code between runs reads the Internet's own clock (kernel RunTask
+  // timestamps); keep it in step with the serial engine's single clock.
+  if (control_ != nullptr && control_->now() < global_now_) {
+    control_->AdvanceTo(global_now_);
+  }
+}
+
+size_t ParallelEngine::Run() {
+  BeginRun();
+  const SimTime lookahead = ComputeLookahead();
+  const size_t fired = lookahead > 0 ? RunEpochs(lookahead) : RunSerialFallback();
+  EndRun();
+  return fired;
+}
+
+size_t ParallelEngine::RunEpochs(SimTime lookahead) {
+  size_t fired = 0;
+  std::vector<SimTime> next_at(lps_.size(), kSimTimeNever);
+  for (;;) {
+    SimTime epoch = kSimTimeNever;
+    for (size_t i = 0; i < lps_.size(); ++i) {
+      SimTime t;
+      next_at[i] = lps_[i]->queue->NextEventTime(&t) ? t : kSimTimeNever;
+      if (next_at[i] < epoch) {
+        epoch = next_at[i];
+      }
+    }
+    if (epoch == kSimTimeNever) {
+      break;
+    }
+    const SimTime end =
+        epoch > kSimTimeNever - lookahead ? kSimTimeNever : epoch + lookahead;
+    active_.clear();
+    for (size_t i = 0; i < lps_.size(); ++i) {
+      if (next_at[i] < end) {
+        active_.push_back(lps_[i].get());
+      }
+    }
+    for (Lp* lp : active_) {
+      lp->queue->set_defer_horizon(end);
+    }
+    epoch_fired_.assign(active_.size(), 0);
+    if (active_.size() == 1) {
+      current_lp_ = active_[0];
+      epoch_fired_[0] = active_[0]->queue->RunEpochWindow(end);
+      current_lp_ = nullptr;
+    } else {
+      std::vector<Lp*>& active = active_;
+      std::vector<size_t>& counts = epoch_fired_;
+      pool_->Run(
+          [&active, &counts, end](size_t i) {
+            current_lp_ = active[i];
+            counts[i] = active[i]->queue->RunEpochWindow(end);
+            current_lp_ = nullptr;
+          },
+          active_.size());
+    }
+    for (size_t i = 0; i < active_.size(); ++i) {
+      fired += epoch_fired_[i];
+      active_[i]->queue->set_defer_horizon(EventQueue::kNoHorizon);
+    }
+    barrier_floor_ = end == kSimTimeNever ? 0 : end;
+    ReplayBarrier(end);
+    barrier_floor_ = 0;
+  }
+  return fired;
+}
+
+void ParallelEngine::ReplayBarrier(SimTime end) {
+  // Consume this epoch's canonical prefix. Every node with at < end either
+  // matches the owning LP's next fired event (replay it) or was cancelled
+  // (skip it); barrier insertions land at >= end, so the prefix is closed.
+  while (!canon_.empty() && canon_.top().at < end) {
+    const CanonNode n = canon_.top();
+    canon_.pop();
+    Lp& lp = *lps_[n.lp];
+    if (lp.cursor < lp.events.size()) {
+      const FiredEvent& fe = lp.events[lp.cursor];
+      if (fe.at == n.at && fe.slot == n.slot && fe.gen == n.gen) {
+        ++lp.cursor;
+        if (n.at > global_now_) {
+          global_now_ = n.at;
+        }
+        ApplyFired(lp, fe, end);
+        continue;
+      }
+    }
+    assert(!lp.queue->SlotLive(n.slot, n.gen) && "canonical order diverged from LP order");
+  }
+  for (auto& lp : lps_) {
+    assert(lp->cursor == lp->events.size() && "fired event missing from canonical order");
+    lp->ClearEpoch();
+  }
+}
+
+void ParallelEngine::ApplyFired(Lp& lp, const FiredEvent& fe, SimTime commit_from) {
+  for (uint32_t i = fe.item_begin; i < fe.item_end; ++i) {
+    Lp::Item& item = lp.items[i];
+    switch (item.kind) {
+      case Lp::Item::Kind::kRecord:
+        if (master_trace_ != nullptr) {
+          master_trace_->AbsorbRecord(*lp.shard, lp.name_map, std::move(item.rec));
+        }
+        break;
+      case Lp::Item::Kind::kSchedule:
+        // The canonical sequence this schedule would have received from the
+        // serial engine's single counter.
+        RegisterCanon(lp.index, item.at, item.slot, item.gen);
+        if (item.at >= commit_from) {
+          // Parked past the epoch: push into the LP heap now, so its local
+          // sequence order agrees with the canonical order.
+          lp.queue->CommitDeferred(item.slot, item.gen, item.at);
+        }
+        break;
+      case Lp::Item::Kind::kTransmit: {
+        Lp::PendingTransmit& t = lp.transmits[item.tx];
+        t.segment->ProcessTransmit(t.sender_id, std::move(t.frame), t.ready_at, this);
+        break;
+      }
+    }
+  }
+}
+
+size_t ParallelEngine::RunSerialFallback() {
+  // Degenerate lookahead (a wire model with zero transmit time and zero
+  // propagation): run one event at a time in canonical order, applying its
+  // emissions immediately. Serial speed, identical results, no deadlock.
+  size_t fired = 0;
+  while (!canon_.empty()) {
+    const CanonNode n = canon_.top();
+    Lp& lp = *lps_[n.lp];
+    if (!lp.queue->SlotLive(n.slot, n.gen)) {
+      canon_.pop();  // cancelled
+      continue;
+    }
+    canon_.pop();
+    current_lp_ = &lp;
+    const size_t ran = lp.queue->RunEpochWindow(n.at + 1, 1);
+    current_lp_ = nullptr;
+    if (ran != 1) {
+      assert(false && "canonical head not at the LP heap front");
+      break;
+    }
+    ++fired;
+    if (n.at > global_now_) {
+      global_now_ = n.at;
+    }
+    assert(lp.events.size() == 1 && lp.events[0].slot == n.slot && lp.events[0].gen == n.gen);
+    ApplyFired(lp, lp.events[0], EventQueue::kNoHorizon);
+    lp.ClearEpoch();
+  }
+  return fired;
+}
+
+uint64_t ParallelEngine::fired_total() const {
+  uint64_t total = 0;
+  for (const auto& lp : lps_) {
+    total += lp->queue->fired_total();
+  }
+  return total;
+}
+
+}  // namespace xk

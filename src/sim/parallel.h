@@ -1,0 +1,142 @@
+// Conservative parallel discrete-event engine (Chandy/Misra-style lookahead,
+// as surveyed in Fujimoto's "Parallel Discrete Event Simulation").
+//
+// An Internet built with --engine-threads=N > 1 gives every host its own
+// EventQueue (one logical process per kernel) and runs them on a thread pool
+// in lockstep epochs. The epoch length is the link lookahead: the minimum
+// over all segments of (minimum frame transmit time + propagation delay),
+// which is the soonest a frame sent at the start of an epoch can take effect
+// on another host. Within an epoch each LP drains its own queue with no
+// locks; the only cross-LP effects -- frame deliveries, including duplicates
+// from fault injection -- are intercepted at EthernetSegment::Transmit and
+// applied serially at the epoch barrier.
+//
+// Bit-identity with the serial engine is by construction, not by luck. Every
+// schedule is registered in a canonical min-heap ordered by (time, canonical
+// sequence), where canonical sequence numbers are assigned in exactly the
+// order the serial engine's single queue would have assigned them: setup
+// schedules at call time, run-time schedules during a serial *replay* of the
+// fired-event metadata at each barrier. The replay walks events in canonical
+// order and applies each event's emission list (trace records, schedules,
+// transmits) in execution order, so segment state (bus arbitration, fault
+// RNG draws, statistics), wire/pcap records, merged trace streams, and the
+// heap insertion order of future events all reproduce the serial engine
+// exactly, at any thread count.
+//
+// Degenerate lookahead (<= 0, e.g. a WireModel with zero transmit time and
+// zero propagation) falls back to running one event at a time in canonical
+// order -- serial speed, but identical results and no deadlock.
+
+#ifndef XK_SRC_SIM_PARALLEL_H_
+#define XK_SRC_SIM_PARALLEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/link.h"
+#include "src/trace/trace.h"
+
+namespace xk {
+
+class Kernel;
+class EpochPool;
+
+// Thread-default engine width, picked up by Internet at construction
+// (mirrors TraceSink::thread_default()). 1 = the serial engine.
+int default_engine_threads();
+void set_default_engine_threads(int threads);
+
+class ParallelEngine : public TransmitSink, public FrameDeliverer {
+ public:
+  explicit ParallelEngine(int threads);
+  ~ParallelEngine() override;
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  // --- topology registration (called by Internet while building) -------------
+  // Creates the next logical process and returns its event queue.
+  EventQueue& NewLpQueue();
+  // Associates `kernel` (constructed on a queue from NewLpQueue) with its LP.
+  void BindKernel(Kernel& kernel);
+  // Takes over `segment`'s transmits; deliveries are routed to receiver LPs.
+  void AdoptSegment(EthernetSegment& segment);
+  // The Internet's own queue: advanced to global time at quiescence so
+  // setup-phase tasks between runs see the same clock the serial engine has.
+  void set_control_queue(EventQueue* queue) { control_ = queue; }
+  // The merged (master) trace sink; shards are (re)created per master.
+  void set_trace_master(TraceSink* master) { master_trace_ = master; }
+
+  // Runs all logical processes to quiescence. Returns events fired.
+  size_t Run();
+
+  // Events fired across all LPs over the engine's lifetime.
+  uint64_t fired_total() const;
+
+  int threads() const { return threads_; }
+
+  // TransmitSink: buffers an in-epoch transmit on the issuing LP's emission
+  // list (setup-phase transmits are applied immediately, in call order).
+  void OnTransmit(EthernetSegment& segment, int sender_id, EthFrame frame,
+                  SimTime ready_at) override;
+
+  // FrameDeliverer: inserts a delivery into the receiving host's queue.
+  void Deliver(EthernetSegment& segment, SimTime at, FrameSink* sink, int receiver_id,
+               std::shared_ptr<const EthFrame> frame) override;
+
+ private:
+  struct Lp;
+  struct FiredEvent;
+
+  // A scheduled event in canonical (serial) order: `seq` values are assigned
+  // in exactly the order the serial engine's single queue would have.
+  struct CanonNode {
+    SimTime at;
+    uint64_t seq;
+    uint32_t lp;
+    uint32_t slot;
+    uint32_t gen;
+  };
+  struct CanonAfter {
+    bool operator()(const CanonNode& a, const CanonNode& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void RegisterCanon(uint32_t lp, SimTime at, uint32_t slot, uint32_t gen);
+  SimTime ComputeLookahead() const;
+  void BeginRun();
+  void EndRun();
+  size_t RunEpochs(SimTime lookahead);
+  size_t RunSerialFallback();
+  void ReplayBarrier(SimTime end);
+  void ApplyFired(Lp& lp, const FiredEvent& fe, SimTime commit_from);
+
+  static thread_local Lp* current_lp_;
+
+  const int threads_;
+  std::vector<std::unique_ptr<Lp>> lps_;
+  std::unordered_map<const Kernel*, Lp*> kernel_lp_;
+  std::vector<EthernetSegment*> segments_;
+  EventQueue* control_ = nullptr;
+  TraceSink* master_trace_ = nullptr;
+  TraceSink* observers_bound_ = nullptr;  // master the shards were built for
+
+  std::priority_queue<CanonNode, std::vector<CanonNode>, CanonAfter> canon_;
+  uint64_t next_canon_seq_ = 0;
+  SimTime global_now_ = 0;     // max fired event time across all LPs
+  SimTime barrier_floor_ = 0;  // lookahead check: deliveries must land >= this
+
+  std::unique_ptr<EpochPool> pool_;
+  std::vector<Lp*> active_;          // LPs with events inside the epoch window
+  std::vector<size_t> epoch_fired_;  // per-active fire counts (no atomics)
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_SIM_PARALLEL_H_

@@ -1,0 +1,69 @@
+// DemuxMap tombstone hygiene: a long-lived map under heavy bind/unbind churn
+// at a fixed live size (the per-call CHANNEL binding pattern) must not let
+// tombstones degrade probes or balloon the table. The map counts tombstones
+// toward its load factor and rehashes in place, so both the table size and
+// the worst probe chain stay bounded no matter how many keys pass through.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/core/map.h"
+#include "src/sim/event_queue.h"
+
+namespace xk {
+namespace {
+
+struct ChurnFixture : ::testing::Test {
+  EventQueue events;
+  Kernel kernel{"churn", events, HostEnv::kXKernel, IpAddr(10, 0, 1, 1),
+                EthAddr::FromIndex(1)};
+  DemuxMap<uint64_t, uint64_t> map{kernel};
+};
+
+TEST_F(ChurnFixture, FixedSizeChurnKeepsTableAndProbesBounded) {
+  // Steady state: 8 live keys, while 40,000 distinct keys come and go.
+  constexpr uint64_t kLive = 8;
+  for (uint64_t k = 0; k < kLive; ++k) {
+    map.Bind(k, k);
+  }
+  const size_t steady_capacity = map.capacity();
+  size_t max_capacity = steady_capacity;
+  size_t worst_probe = 0;
+  for (uint64_t k = kLive; k < 40000; ++k) {
+    map.Bind(k, k);                      // 9th binding...
+    EXPECT_EQ(map.Take(k - kLive), k - kLive);  // ...oldest evicted: back to 8
+    max_capacity = std::max(max_capacity, map.capacity());
+    worst_probe = std::max(worst_probe, map.MaxProbeLength());
+    ASSERT_EQ(map.size(), kLive);
+  }
+  // The table never grew past one doubling of its steady-state size even
+  // though 5000x more keys than buckets passed through it...
+  EXPECT_LE(max_capacity, 2 * steady_capacity);
+  // ...tombstones were reclaimed by in-place rehashes rather than left to
+  // poison probe chains...
+  EXPECT_LT(map.tombstones(), map.capacity());
+  // ...and the worst lookup anyone ever saw stayed within the 70% load
+  // ceiling (11 of 16 buckets full-or-tombstone), not a crawl that scales
+  // with the 40,000 keys that passed through.
+  EXPECT_LE(worst_probe, 11u);
+
+  // The survivors are still all resolvable.
+  for (uint64_t k = 40000 - kLive; k < 40000; ++k) {
+    EXPECT_EQ(map.Peek(k), k);
+  }
+}
+
+TEST_F(ChurnFixture, ProbeLengthReportsActualChainLengths) {
+  EXPECT_EQ(map.ProbeLength(7), 0u);  // empty table: no buckets visited
+  map.Bind(1, 10);
+  EXPECT_GE(map.ProbeLength(1), 1u);
+  EXPECT_LE(map.ProbeLength(1), map.MaxProbeLength());
+  EXPECT_EQ(map.MaxProbeLength(), 1u);  // one key, landed on its home bucket
+  map.Unbind(1);
+  EXPECT_EQ(map.MaxProbeLength(), 0u);
+  EXPECT_EQ(map.tombstones(), 1u);
+}
+
+}  // namespace
+}  // namespace xk

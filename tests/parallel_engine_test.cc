@@ -1,0 +1,289 @@
+// Parallel-engine tests: the conservative per-host engine must produce
+// byte-identical observable output (traces, captures, counters, results) to
+// the serial engine at any thread count, and must handle the epoch-boundary
+// edge cases -- a delivery landing exactly on an epoch boundary, a
+// duplicate-fault second copy crossing into the next epoch, and a degenerate
+// zero-lookahead wire (serial fallback, no deadlock).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/app/workload.h"
+#include "src/sim/parallel.h"
+#include "tests/rpc_util.h"
+
+namespace xk {
+namespace {
+
+// Every observable artifact of one run, for differential comparison.
+struct RunArtifacts {
+  std::string trace_jsonl;
+  std::string pcap_jsonl;
+  std::string counters_json;
+  uint64_t events_fired = 0;
+  SimTime per_call = 0;
+  int completed = 0;
+  int failed = 0;
+};
+
+// Builds a two-host L_RPC stack at `engine_threads`, runs a few calls of
+// mixed sizes, and collects everything an engine run can emit.
+RunArtifacts RunTwoHostScenario(int engine_threads, double drop_rate = 0.0) {
+  TraceSink sink;
+  PacketCapture capture;
+  TraceSink::set_thread_default(&sink);
+  PacketCapture::set_thread_default(&capture);
+  set_default_engine_threads(engine_threads);
+
+  RunArtifacts out;
+  {
+    RpcFixture fix;
+    EXPECT_EQ(fix.net->engine_threads(), engine_threads);
+    fix.net->segment(0).set_drop_rate(drop_rate);
+    fix.Build([](HostStack& h) { return BuildLRpc(h, Delivery::kVip); });
+    for (int i = 0; i < 4; ++i) {
+      Result<Message> r =
+          fix.CallSync(1, Message::FromBytes(PatternBytes(i % 2 == 0 ? 64 : 4096, uint8_t(i))));
+      if (r.ok()) {
+        ++out.completed;
+      } else {
+        ++out.failed;
+      }
+    }
+    CallFn call = [&fix](Message args, std::function<void(Result<Message>)> done) {
+      fix.client->Call(fix.server_addr(), 1, std::move(args), std::move(done));
+    };
+    LatencyResult lat = RpcWorkload::MeasureLatency(*fix.net, *fix.ch->kernel, call, 10);
+    out.per_call = lat.per_call;
+    out.completed += lat.completed;
+    out.failed += lat.failed;
+    out.events_fired = fix.net->events_fired();
+    out.counters_json = fix.net->CountersJson();
+  }
+
+  set_default_engine_threads(1);
+  TraceSink::set_thread_default(nullptr);
+  PacketCapture::set_thread_default(nullptr);
+  out.trace_jsonl = sink.ToJsonl();
+  out.pcap_jsonl = capture.ToJsonl();
+  if (getenv("XK_DUMP_TRACES") != nullptr) {
+    (void)sink.WriteFile("/tmp/trace_" + std::to_string(engine_threads) + ".jsonl");
+    (void)capture.WriteFile("/tmp/pcap_" + std::to_string(engine_threads) + ".jsonl");
+  }
+  return out;
+}
+
+void ExpectIdentical(const RunArtifacts& serial, const RunArtifacts& par, int threads) {
+  SCOPED_TRACE("engine_threads=" + std::to_string(threads));
+  EXPECT_EQ(serial.per_call, par.per_call);
+  EXPECT_EQ(serial.completed, par.completed);
+  EXPECT_EQ(serial.failed, par.failed);
+  EXPECT_EQ(serial.events_fired, par.events_fired);
+  EXPECT_EQ(serial.counters_json, par.counters_json);
+  EXPECT_EQ(serial.trace_jsonl, par.trace_jsonl);
+  EXPECT_EQ(serial.pcap_jsonl, par.pcap_jsonl);
+}
+
+TEST(ParallelEngineTest, TwoHostsBitIdenticalToSerial) {
+  const RunArtifacts serial = RunTwoHostScenario(1);
+  EXPECT_FALSE(serial.trace_jsonl.empty());
+  EXPECT_FALSE(serial.pcap_jsonl.empty());
+  EXPECT_EQ(serial.failed, 0);
+  for (int threads : {2, 4}) {
+    ExpectIdentical(serial, RunTwoHostScenario(threads), threads);
+  }
+}
+
+TEST(ParallelEngineTest, RandomDropsBitIdenticalToSerial) {
+  // The fault rng draws at ProcessTransmit time; canonical transmit ordering
+  // must keep the draw sequence -- and therefore every retransmission --
+  // identical to the serial engine.
+  const RunArtifacts serial = RunTwoHostScenario(1, /*drop_rate=*/0.05);
+  for (int threads : {2, 4}) {
+    ExpectIdentical(serial, RunTwoHostScenario(threads, /*drop_rate=*/0.05), threads);
+  }
+}
+
+TEST(ParallelEngineTest, ManyPairsBitIdenticalToSerial) {
+  const ManyPairsBench serial = MeasureManyPairsBench(4, 2048, 5, 1);
+  EXPECT_EQ(serial.completed, 4 * 5);
+  EXPECT_EQ(serial.failed, 0);
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE("engine_threads=" + std::to_string(threads));
+    const ManyPairsBench par = MeasureManyPairsBench(4, 2048, 5, threads);
+    EXPECT_EQ(serial.agg_kbytes_per_sec, par.agg_kbytes_per_sec);
+    EXPECT_EQ(serial.elapsed_ms, par.elapsed_ms);
+    EXPECT_EQ(serial.completed, par.completed);
+    EXPECT_EQ(serial.failed, par.failed);
+    EXPECT_EQ(serial.sum_done_at, par.sum_done_at);
+    EXPECT_EQ(serial.events_fired, par.events_fired);
+  }
+}
+
+// --- epoch-boundary edge cases --------------------------------------------------
+
+// A frame sink that records arrival times and optionally replies, attached as
+// an extra station so tests can drive the link with exact timings.
+struct RecordingSink final : FrameSink {
+  Kernel* kernel = nullptr;
+  std::vector<SimTime> arrivals;
+  std::function<void(const EthFrame&)> on_arrival;
+
+  void FrameArrived(const EthFrame& frame) override {
+    arrivals.push_back(kernel->events().now());
+    if (on_arrival) {
+      on_arrival(frame);
+    }
+  }
+  Kernel* sink_kernel() override { return kernel; }
+};
+
+EthFrame MakeFrame(EthAddr dst, EthAddr src, size_t payload = 0) {
+  EthFrame f;
+  f.bytes.resize(14 + payload);
+  for (size_t i = 0; i < 6; ++i) {
+    f.bytes[i] = dst.bytes()[i];
+    f.bytes[6 + i] = src.bytes()[i];
+  }
+  return f;
+}
+
+// A wire whose transmit time is exactly 50us for every frame (the per-byte
+// term truncates to 0ns) and whose propagation is 50us: lookahead is exactly
+// 100us, so epoch edges land on round numbers the test can hit dead-on.
+WireModel ExactWire() {
+  WireModel wire;
+  wire.bits_per_usec = 1e12;
+  wire.per_frame_overhead = Usec(50);
+  wire.propagation = Usec(50);
+  return wire;
+}
+
+struct BoundaryRun {
+  std::vector<SimTime> a_arrivals;
+  std::vector<SimTime> b_arrivals;
+  uint64_t duplicates = 0;
+};
+
+// Drives the exact-timing scenario at `engine_threads`:
+//   F1 (A->B) ready at 0    -> bus 0..50us,    B receives at 100us
+//   F2 (A->B) ready at 100  -> bus 100..150us, B receives at 200us -- exactly
+//       the end of the first epoch [100us, 200us)
+//   B's sink replies (A<-B) from inside its logical process; the reply is
+//       committed at the epoch barrier: bus 150..200us, A receives at 250us
+//   with `duplicate_reply`, the fault hook duplicates the reply delivery; the
+//       second copy lands one transmit-time later, at 300us -- exactly the
+//       start of the NEXT epoch [300us, 400us)
+BoundaryRun RunBoundaryScenario(int engine_threads, bool duplicate_reply) {
+  set_default_engine_threads(engine_threads);
+  BoundaryRun out;
+  {
+    Internet net(HostEnv::kXKernel, 1);
+    const int seg = net.AddSegment(ExactWire());
+    HostStack& a = net.AddHost("a", seg, IpAddr(10, 0, 1, 1));
+    HostStack& b = net.AddHost("b", seg, IpAddr(10, 0, 1, 2));
+
+    const EthAddr addr_a({2, 0, 0, 0, 0, 1});
+    const EthAddr addr_b({2, 0, 0, 0, 0, 2});
+    RecordingSink sink_a;
+    sink_a.kernel = a.kernel;
+    RecordingSink sink_b;
+    sink_b.kernel = b.kernel;
+    const int id_a = net.segment(seg).Attach(addr_a, &sink_a);
+    const int id_b = net.segment(seg).Attach(addr_b, &sink_b);
+    sink_b.on_arrival = [&](const EthFrame&) {
+      if (sink_b.arrivals.size() == 1) {
+        net.segment(seg).Transmit(id_b, MakeFrame(addr_a, addr_b),
+                                  b.kernel->events().now());
+      }
+    };
+    if (duplicate_reply) {
+      net.segment(seg).set_fault_hook(
+          [id_a](const EthFrame&, int receiver_id, uint64_t) {
+            return receiver_id == id_a ? LinkFault::kDuplicate : LinkFault::kDeliver;
+          });
+    }
+
+    net.segment(seg).Transmit(id_a, MakeFrame(addr_b, addr_a), 0);
+    net.segment(seg).Transmit(id_a, MakeFrame(addr_b, addr_a), Usec(100));
+    net.RunAll();
+
+    out.a_arrivals = sink_a.arrivals;
+    out.b_arrivals = sink_b.arrivals;
+    out.duplicates = net.segment(seg).fault_duplicates();
+  }
+  set_default_engine_threads(1);
+  return out;
+}
+
+TEST(ParallelEngineTest, DeliveryExactlyAtEpochBoundary) {
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("engine_threads=" + std::to_string(threads));
+    const BoundaryRun run = RunBoundaryScenario(threads, /*duplicate_reply=*/false);
+    EXPECT_EQ(run.b_arrivals, (std::vector<SimTime>{Usec(100), Usec(200)}));
+    EXPECT_EQ(run.a_arrivals, (std::vector<SimTime>{Usec(250)}));
+    EXPECT_EQ(run.duplicates, 0u);
+  }
+}
+
+TEST(ParallelEngineTest, DuplicateFaultSecondCopyLandsNextEpoch) {
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("engine_threads=" + std::to_string(threads));
+    const BoundaryRun run = RunBoundaryScenario(threads, /*duplicate_reply=*/true);
+    EXPECT_EQ(run.b_arrivals, (std::vector<SimTime>{Usec(100), Usec(200)}));
+    // Reply at 250us plus its duplicate one transmit-time later, at 300us --
+    // the first instant of the following epoch.
+    EXPECT_EQ(run.a_arrivals, (std::vector<SimTime>{Usec(250), Usec(300)}));
+    EXPECT_EQ(run.duplicates, 1u);
+  }
+}
+
+TEST(ParallelEngineTest, ZeroLookaheadWireFallsBackToSerial) {
+  // An idealized wire: no per-frame overhead, no propagation, and a per-byte
+  // time that truncates to zero. The conservative lookahead is 0, so epochs
+  // cannot make progress; the engine must detect this and run the canonical
+  // serial fallback -- same results, no deadlock.
+  auto run = [](int engine_threads) -> RunArtifacts {
+    set_default_engine_threads(engine_threads);
+    RunArtifacts out;
+    {
+      WireModel wire;
+      wire.bits_per_usec = 1e12;
+      wire.per_frame_overhead = 0;
+      wire.propagation = 0;
+      EXPECT_EQ(wire.TransmitTime(0) + wire.propagation, 0) << "wire is not degenerate";
+
+      auto net = std::make_unique<Internet>(HostEnv::kXKernel, 1);
+      const int seg = net->AddSegment(wire);
+      net->AddHost("client", seg, IpAddr(10, 0, 1, 1));
+      net->AddHost("server", seg, IpAddr(10, 0, 1, 2));
+      net->WarmArp();
+      RpcFixture fix(std::move(net));
+      fix.Build([](HostStack& h) { return BuildLRpc(h, Delivery::kVip); });
+      for (int i = 0; i < 3; ++i) {
+        Result<Message> r = fix.CallSync(1, Message::FromBytes(PatternBytes(600, uint8_t(i))));
+        EXPECT_TRUE(r.ok());
+        ++out.completed;
+      }
+      out.events_fired = fix.net->events_fired();
+      out.counters_json = fix.net->CountersJson();
+    }
+    set_default_engine_threads(1);
+    return out;
+  };
+  const RunArtifacts serial = run(1);
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE("engine_threads=" + std::to_string(threads));
+    const RunArtifacts par = run(threads);
+    EXPECT_EQ(serial.completed, par.completed);
+    EXPECT_EQ(serial.events_fired, par.events_fired);
+    EXPECT_EQ(serial.counters_json, par.counters_json);
+  }
+}
+
+}  // namespace
+}  // namespace xk
