@@ -38,6 +38,9 @@ struct JobResult {
   std::vector<Metric> metrics;
   uint64_t events_fired = 0;
   double wall_ms = 0;  // host time, measured by the job runner
+  Histogram latency_hist;  // per-call round trips ("percentiles" block)
+  Histogram service_hist;  // server-side service times ("service_percentiles")
+  std::string extra_json;  // extra deterministic fields, e.g. "segments": [...]
 };
 
 using JobFn = std::function<JobResult()>;
@@ -58,6 +61,8 @@ JobResult FromConfig(const ConfigResult& r) {
                  {"client_cpu_ms", r.client_cpu_ms},
                  {"server_cpu_ms", r.server_cpu_ms}};
   out.events_fired = r.events_fired;
+  out.latency_hist = r.latency_rtt;
+  out.service_hist = r.service;
   return out;
 }
 
@@ -75,6 +80,7 @@ Job PartialLatencyJob(std::string name, int layers) {
     JobResult out;
     out.metrics = {{"latency_ms", p.ms}};
     out.events_fired = p.events_fired;
+    out.latency_hist = p.rtt;
     return out;
   };
   return Job{"table3_layer_costs", std::move(name), std::move(fn)};
@@ -86,6 +92,7 @@ Job UdpJob(std::string name, HostEnv env) {
     JobResult out;
     out.metrics = {{"latency_ms", u.ms}};
     out.events_fired = u.events_fired;
+    out.latency_hist = u.rtt;
     return out;
   };
   return Job{"udp_crosskernel", std::move(name), std::move(fn)};
@@ -102,6 +109,7 @@ Job SweepJob(std::string name, RpcBench::Builder builder, HostEnv env = HostEnv:
       per_call.push_back(ToMsec(t.elapsed) / t.completed);
       out.events_fired += in.net->events_fired();
       out.metrics.push_back({"per_call_ms_" + std::to_string(kb) + "k", per_call.back()});
+      out.latency_hist.Merge(t.rtt);
     }
     out.metrics.push_back({"throughput_16k_kbs", 16.0 / (per_call.back() / 1000.0)});
     out.metrics.push_back({"slope_ms_per_kb", (per_call.back() - per_call.front()) / 15.0});
@@ -124,6 +132,10 @@ Job HeaderAllocJob(std::string name, HeaderAllocPolicy policy) {
                    {"avg_per_layer_ms", (full.latency_ms - base.ms) / 3.0},
                    {"min_per_layer_ms", full.latency_ms - chan.ms}};
     out.events_fired = base.events_fired + chan.events_fired + full.events_fired;
+    out.latency_hist = base.rtt;
+    out.latency_hist.Merge(chan.rtt);
+    out.latency_hist.Merge(full.latency_rtt);
+    out.service_hist = full.service;
     return out;
   };
   return Job{"ablation_header_alloc", std::move(name), std::move(fn)};
@@ -144,6 +156,33 @@ JobResult ManyHostResult(const ManyPairsBench& b) {
                  {"failed", static_cast<double>(b.failed)},
                  {"sum_done_at_ns", static_cast<double>(b.sum_done_at)}};
   out.events_fired = b.events_fired;
+  out.latency_hist = b.rtt;
+  out.service_hist = b.service;
+  // Per-segment link statistics, all integers: byte-stable and, like every
+  // simulated metric, engine-invariant.
+  std::string& seg_json = out.extra_json;
+  seg_json += "\"segments\": [";
+  for (size_t s = 0; s < b.segments.size(); ++s) {
+    const SegmentStat& st = b.segments[s];
+    if (s > 0) {
+      seg_json += ", ";
+    }
+    seg_json += "{\"segment\": " + std::to_string(st.segment);
+    seg_json += ", \"frames\": " + std::to_string(st.frames);
+    seg_json += ", \"bytes\": " + std::to_string(st.bytes);
+    seg_json += ", \"busy_ns\": " + std::to_string(st.busy_ns);
+    seg_json += ", \"utilization_ppm\": " + std::to_string(st.utilization_ppm);
+    seg_json += ", \"queued_frames\": " + std::to_string(st.queued_frames);
+    seg_json += ", \"peak_queue_depth\": " + std::to_string(st.peak_queue_depth);
+    seg_json += ", \"mean_queue_depth_x1000\": " + std::to_string(st.mean_queue_depth_x1000);
+    seg_json += ", \"wait_p50_ns\": " + std::to_string(st.wait_p50_ns);
+    seg_json += ", \"wait_p99_ns\": " + std::to_string(st.wait_p99_ns);
+    seg_json += ", \"wait_p999_ns\": " + std::to_string(st.wait_p999_ns);
+    seg_json += ", \"wait_max_ns\": " + std::to_string(st.wait_max_ns);
+    seg_json += ", \"frames_dropped\": " + std::to_string(st.frames_dropped);
+    seg_json += "}";
+  }
+  seg_json += "]";
   return out;
 }
 
@@ -153,6 +192,17 @@ Job ManyHostJob() {
         MeasureManyPairsBench(kManyHostPairs, kManyHostBytes, kManyHostIters));
   };
   return Job{"manyhost", "L_RPC-VIP-32pairs", std::move(fn)};
+}
+
+// The same workload with a 0.5% uniform frame drop on every segment:
+// retransmissions stretch the latency tail (p999 >> p50), which is what the
+// percentile blocks and the regression gate are for.
+Job ManyHostFaultsJob() {
+  JobFn fn = [] {
+    return ManyHostResult(MeasureManyPairsBench(kManyHostPairs, kManyHostBytes,
+                                                kManyHostIters, 0, /*drop_rate=*/0.005));
+  };
+  return Job{"manyhost", "L_RPC-VIP-32pairs-faults", std::move(fn)};
 }
 
 Job ColdWarmJob(std::string name, RpcBench::Builder builder) {
@@ -212,8 +262,9 @@ std::vector<Job> BuildJobs() {
   jobs.push_back(ColdWarmJob("M_RPC-VIP", m_vip));
   jobs.push_back(ColdWarmJob("L_RPC-VIP", l_vip));
   jobs.push_back(ColdWarmJob("SELECT-CHANNEL-VIPsize", l_dyn));
-  // The many-host parallel-engine workload.
+  // The many-host parallel-engine workload, clean and with link faults.
   jobs.push_back(ManyHostJob());
+  jobs.push_back(ManyHostFaultsJob());
   return jobs;
 }
 
@@ -253,7 +304,8 @@ struct EngineSpeedup {
 };
 
 std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& results,
-                   unsigned threads, double wall_ms, const EngineSpeedup& engine) {
+                   unsigned threads, double wall_ms, const EngineSpeedup& engine,
+                   bool stable) {
   double serial_ms = 0;
   uint64_t events_total = 0;
   for (const JobResult& r : results) {
@@ -262,21 +314,29 @@ std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& r
   }
   std::string out;
   out += "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"suite\": \"xkernel-rpc-bench\",\n";
-  out += "  \"jobs\": " + std::to_string(jobs.size()) + ",\n";
-  out += "  \"threads\": " + std::to_string(threads) + ",\n";
-  out += "  \"wall_ms\": ";
-  AppendJsonNumber(out, wall_ms, "%.1f");
-  out += ",\n  \"serial_estimate_ms\": ";
-  AppendJsonNumber(out, serial_ms, "%.1f");
-  out += ",\n  \"parallel_speedup\": ";
-  AppendJsonNumber(out, wall_ms > 0 ? serial_ms / wall_ms : 0, "%.2f");
+  out += "  \"jobs\": " + std::to_string(jobs.size());
+  // --stable: only simulated (deterministic) quantities -- no wall clock, no
+  // thread counts -- so two stable files from any machine or engine width can
+  // be compared with cmp(1).
+  if (!stable) {
+    out += ",\n  \"threads\": " + std::to_string(threads);
+    out += ",\n  \"wall_ms\": ";
+    AppendJsonNumber(out, wall_ms, "%.1f");
+    out += ",\n  \"serial_estimate_ms\": ";
+    AppendJsonNumber(out, serial_ms, "%.1f");
+    out += ",\n  \"parallel_speedup\": ";
+    AppendJsonNumber(out, wall_ms > 0 ? serial_ms / wall_ms : 0, "%.2f");
+  }
   out += ",\n  \"events_fired_total\": " + std::to_string(events_total);
-  out += ",\n  \"events_per_sec\": ";
-  AppendJsonNumber(out, wall_ms > 0 ? static_cast<double>(events_total) / (wall_ms / 1000.0) : 0,
-                   "%.0f");
-  if (engine.threads > 0) {
+  if (!stable) {
+    out += ",\n  \"events_per_sec\": ";
+    AppendJsonNumber(out,
+                     wall_ms > 0 ? static_cast<double>(events_total) / (wall_ms / 1000.0) : 0,
+                     "%.0f");
+  }
+  if (!stable && engine.threads > 0) {
     out += ",\n  \"engine_threads\": " + std::to_string(engine.threads);
     out += ",\n  \"engine_serial_ms\": ";
     AppendJsonNumber(out, engine.serial_ms, "%.1f");
@@ -293,8 +353,10 @@ std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& r
     AppendJsonString(out, r.group);
     out += ", \"name\": ";
     AppendJsonString(out, r.name);
-    out += ", \"wall_ms\": ";
-    AppendJsonNumber(out, r.wall_ms, "%.1f");
+    if (!stable) {
+      out += ", \"wall_ms\": ";
+      AppendJsonNumber(out, r.wall_ms, "%.1f");
+    }
     out += ", \"events_fired\": " + std::to_string(r.events_fired);
     out += ", \"metrics\": {";
     for (size_t m = 0; m < r.metrics.size(); ++m) {
@@ -305,7 +367,19 @@ std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& r
       out += ": ";
       AppendJsonNumber(out, r.metrics[m].value);
     }
-    out += "}}";
+    out += "}";
+    if (r.latency_hist.count() > 0) {
+      out += ", ";
+      AppendPercentilesMsJson(out, r.latency_hist, "percentiles");
+    }
+    if (r.service_hist.count() > 0) {
+      out += ", ";
+      AppendPercentilesMsJson(out, r.service_hist, "service_percentiles");
+    }
+    if (!r.extra_json.empty()) {
+      out += ", " + r.extra_json;
+    }
+    out += "}";
     out += i + 1 < results.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
@@ -331,10 +405,12 @@ struct Options {
   std::string out_path = "BENCH_RESULTS.json";
   std::string trace_dir;
   std::string pcap_dir;
+  std::string stats_dir;   // per-job time-series JSONL (--stats=DIR)
   std::string filter;      // ECMAScript regex matched against "group.name"
   int engine_threads = 1;  // simulation-engine width for every job
   int speedup_threads = 0; // >1 runs the wall-clock speedup phase
   bool list = false;
+  bool stable = false;     // omit wall-clock fields from the JSON
 };
 
 std::vector<Job> SelectJobs(const std::string& filter) {
@@ -370,6 +446,7 @@ int Run(const Options& opt) {
   const std::string& out_path = opt.out_path;
   const std::string& trace_dir = opt.trace_dir;
   const std::string& pcap_dir = opt.pcap_dir;
+  const std::string& stats_dir = opt.stats_dir;
   std::vector<JobResult> results(jobs.size());
   std::atomic<size_t> next{0};
 
@@ -390,6 +467,7 @@ int Run(const Options& opt) {
       // thread-default observers at construction, so traces never mix jobs.
       std::unique_ptr<TraceSink> sink;
       std::unique_ptr<PacketCapture> capture;
+      std::unique_ptr<StatSampler> sampler;
       if (!trace_dir.empty()) {
         sink = std::make_unique<TraceSink>();
         TraceSink::set_thread_default(sink.get());
@@ -398,16 +476,24 @@ int Run(const Options& opt) {
         capture = std::make_unique<PacketCapture>();
         PacketCapture::set_thread_default(capture.get());
       }
+      if (!stats_dir.empty()) {
+        sampler = std::make_unique<StatSampler>();
+        StatSampler::set_thread_default(sampler.get());
+      }
       const auto start = std::chrono::steady_clock::now();
       JobResult r = jobs[i].run();
       const auto end = std::chrono::steady_clock::now();
       TraceSink::set_thread_default(nullptr);
       PacketCapture::set_thread_default(nullptr);
+      StatSampler::set_thread_default(nullptr);
       if (sink != nullptr) {
         (void)sink->WriteFile(trace_dir + "/" + JobFileStem(jobs[i]) + ".trace.jsonl");
       }
       if (capture != nullptr) {
         (void)capture->WriteFile(pcap_dir + "/" + JobFileStem(jobs[i]) + ".pcap.jsonl");
+      }
+      if (sampler != nullptr) {
+        (void)sampler->WriteFile(stats_dir + "/" + JobFileStem(jobs[i]) + ".stats.jsonl");
       }
       r.group = jobs[i].group;
       r.name = jobs[i].name;
@@ -464,7 +550,7 @@ int Run(const Options& opt) {
                 engine.threads, engine.serial_ms, engine.parallel_ms);
   }
 
-  const std::string json = ToJson(jobs, results, threads, wall_ms, engine);
+  const std::string json = ToJson(jobs, results, threads, wall_ms, engine, opt.stable);
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_suite: cannot open %s for writing\n", out_path.c_str());
@@ -499,6 +585,8 @@ int main(int argc, char** argv) {
       opt.trace_dir = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--pcap=", 7) == 0) {
       opt.pcap_dir = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
+      opt.stats_dir = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
       opt.filter = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--engine-threads=", 17) == 0) {
@@ -509,11 +597,13 @@ int main(int argc, char** argv) {
       opt.speedup_threads = 4;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       opt.list = true;
+    } else if (std::strcmp(argv[i], "--stable") == 0) {
+      opt.stable = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n"
-                   "          [--list] [--filter=REGEX] [--engine-threads=N]\n"
-                   "          [--engine-speedup[=N]]\n",
+                   "          [--stats=DIR] [--list] [--filter=REGEX] [--stable]\n"
+                   "          [--engine-threads=N] [--engine-speedup[=N]]\n",
                    argv[0]);
       return 2;
     }
@@ -524,6 +614,9 @@ int main(int argc, char** argv) {
   }
   if (!opt.pcap_dir.empty()) {
     std::filesystem::create_directories(opt.pcap_dir, ec);
+  }
+  if (!opt.stats_dir.empty()) {
+    std::filesystem::create_directories(opt.stats_dir, ec);
   }
   return xk::Run(opt);
 }

@@ -26,6 +26,8 @@
 #include "src/proto/topology.h"
 #include "src/proto/udp.h"
 #include "src/sim/parallel.h"
+#include "src/stat/histogram.h"
+#include "src/stat/timeseries.h"
 #include "src/trace/pcap.h"
 #include "src/trace/trace.h"
 
@@ -47,6 +49,8 @@ class BenchObservers {
         trace_path_ = a + 8;
       } else if (std::strncmp(a, "--pcap=", 7) == 0) {
         pcap_path_ = a + 7;
+      } else if (std::strncmp(a, "--stats=", 8) == 0) {
+        stats_path_ = a + 8;
       } else if (std::strncmp(a, "--engine-threads=", 17) == 0) {
         set_default_engine_threads(std::atoi(a + 17));
       }
@@ -58,6 +62,10 @@ class BenchObservers {
     if (!pcap_path_.empty()) {
       capture_ = std::make_unique<PacketCapture>();
       PacketCapture::set_thread_default(capture_.get());
+    }
+    if (!stats_path_.empty()) {
+      sampler_ = std::make_unique<StatSampler>();
+      StatSampler::set_thread_default(sampler_.get());
     }
   }
 
@@ -78,13 +86,21 @@ class BenchObservers {
         std::fprintf(stderr, "bench: failed to write pcap %s\n", pcap_path_.c_str());
       }
     }
+    if (sampler_ != nullptr) {
+      StatSampler::set_thread_default(nullptr);
+      if (!sampler_->WriteFile(stats_path_)) {
+        std::fprintf(stderr, "bench: failed to write stats %s\n", stats_path_.c_str());
+      }
+    }
   }
 
  private:
   std::string trace_path_;
   std::string pcap_path_;
+  std::string stats_path_;
   std::unique_ptr<TraceSink> sink_;
   std::unique_ptr<PacketCapture> capture_;
+  std::unique_ptr<StatSampler> sampler_;
 };
 
 struct ConfigResult {
@@ -95,6 +111,8 @@ struct ConfigResult {
   double client_cpu_ms = 0;     // CPU time per 16 KB call, client side
   double server_cpu_ms = 0;
   uint64_t events_fired = 0;    // host-side work: events across all instances
+  Histogram latency_rtt;        // per-call round trips of the latency phase
+  Histogram service;            // server-side service times, latency phase
 };
 
 struct RpcBench {
@@ -144,6 +162,8 @@ struct RpcBench {
       Instance in = MakeInstance(builder, env);
       LatencyResult lat = RpcWorkload::MeasureLatency(*in.net, *in.ch->kernel, in.MakeCall(), 64);
       result.latency_ms = ToMsec(lat.per_call);
+      result.latency_rtt = lat.rtt;
+      result.service = in.server->service_histogram();
       result.events_fired += in.net->events_fired();
     }
     {
@@ -223,6 +243,7 @@ inline EchoExperiment MakeEchoExperiment(int layers, bool null_replies = false) 
 struct PartialLatency {
   double ms = 0;
   uint64_t events_fired = 0;
+  Histogram rtt;
 };
 
 // Null round trip through a partial stack (Table III rows 1-3 and the
@@ -230,12 +251,13 @@ struct PartialLatency {
 inline PartialLatency MeasurePartialLatency(int layers) {
   EchoExperiment e = MakeEchoExperiment(layers);
   LatencyResult lat = RpcWorkload::MeasureLatency(*e.net, *e.ch->kernel, e.MakeCall(), 64);
-  return PartialLatency{ToMsec(lat.per_call), e.net->events_fired()};
+  return PartialLatency{ToMsec(lat.per_call), e.net->events_fired(), lat.rtt};
 }
 
 struct FragmentThroughput {
   double kbytes_per_sec = 0;
   uint64_t events_fired = 0;
+  Histogram rtt;
 };
 
 // FRAGMENT standalone throughput: 16 KB messages, null (0-byte) echoes.
@@ -243,12 +265,13 @@ inline FragmentThroughput MeasureFragmentThroughput() {
   EchoExperiment e = MakeEchoExperiment(/*layers=*/1, /*null_replies=*/true);
   ThroughputResult t = RpcWorkload::MeasureThroughput(*e.net, *e.ch->kernel, *e.sh->kernel,
                                                       e.MakeCall(), 16 * 1024, 16);
-  return FragmentThroughput{t.kbytes_per_sec, e.net->events_fired()};
+  return FragmentThroughput{t.kbytes_per_sec, e.net->events_fired(), t.rtt};
 }
 
 struct UdpEcho {
   double ms = 0;
   uint64_t events_fired = 0;
+  Histogram rtt;
 };
 
 // Section 1's user-to-user UDP/IP echo: each send and receive pays a
@@ -288,13 +311,14 @@ inline UdpEcho MeasureUdpEcho(HostEnv env) {
     client->Send(sess, std::move(args), std::move(done));
   };
   LatencyResult lat = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
-  return UdpEcho{ToMsec(lat.per_call), net->events_fired()};
+  return UdpEcho{ToMsec(lat.per_call), net->events_fired(), lat.rtt};
 }
 
 struct ColdWarmResult {
   double first_ms = 0;
   double steady_ms = 0;
   uint64_t events_fired = 0;
+  Histogram rtt;  // first + steady calls combined
 };
 
 // Session-caching ablation: the first call on a freshly configured stack
@@ -325,9 +349,29 @@ inline ColdWarmResult MeasureColdWarm(const RpcBench::Builder& builder) {
   LatencyResult first = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 1);
   // Steady state: everything cached.
   LatencyResult steady = RpcWorkload::MeasureLatency(*net, *ch.kernel, call, 64);
-  return ColdWarmResult{ToMsec(first.per_call), ToMsec(steady.per_call),
-                        net->events_fired()};
+  ColdWarmResult out{ToMsec(first.per_call), ToMsec(steady.per_call), net->events_fired(),
+                     first.rtt};
+  out.rtt.Merge(steady.rtt);
+  return out;
 }
+
+// Per-segment link statistics for one finished run (see Internet::CountersJson
+// for the same quantities as JSON).
+struct SegmentStat {
+  int segment = 0;
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+  int64_t busy_ns = 0;
+  uint64_t utilization_ppm = 0;  // busy / elapsed, parts per million
+  uint64_t queued_frames = 0;
+  uint64_t peak_queue_depth = 0;
+  uint64_t mean_queue_depth_x1000 = 0;
+  int64_t wait_p50_ns = 0;
+  int64_t wait_p99_ns = 0;
+  int64_t wait_p999_ns = 0;
+  int64_t wait_max_ns = 0;
+  uint64_t frames_dropped = 0;
+};
 
 struct ManyPairsBench {
   double agg_kbytes_per_sec = 0;
@@ -336,6 +380,9 @@ struct ManyPairsBench {
   int failed = 0;
   SimTime sum_done_at = 0;  // determinism probe: sum of per-pair finish times
   uint64_t events_fired = 0;
+  Histogram rtt;      // per-call round trips, merged across pairs
+  Histogram service;  // server-side service times, merged across pairs
+  std::vector<SegmentStat> segments;
 };
 
 // The many-host workload: `pairs` independent client/server pairs, each on
@@ -344,9 +391,11 @@ struct ManyPairsBench {
 // (a campus internetwork rather than one machine-room Ethernet), which is
 // what gives the parallel engine its lookahead; simulated results are
 // engine-invariant, so this doubles as the speedup benchmark and the
-// determinism stress test. `engine_threads` 0 = thread default.
+// determinism stress test. `engine_threads` 0 = thread default. `drop_rate`
+// applies a uniform random drop to every segment (after ARP warm-up), driving
+// the retransmission paths that stretch the latency tail.
 inline ManyPairsBench MeasureManyPairsBench(int pairs, size_t bytes, int iters,
-                                            int engine_threads = 0) {
+                                            int engine_threads = 0, double drop_rate = 0.0) {
   auto net = std::make_unique<Internet>(HostEnv::kXKernel, 1, engine_threads);
   // A long propagation delay (campus-backbone scale rather than one Ethernet)
   // stretches the conservative lookahead so each epoch carries enough events
@@ -359,6 +408,7 @@ inline ManyPairsBench MeasureManyPairsBench(int pairs, size_t bytes, int iters,
     HostStack* sh = nullptr;
     RpcStack cstack, sstack;
     RpcClient* client = nullptr;
+    RpcServer* server = nullptr;
   };
   std::vector<Pair> ps(static_cast<size_t>(pairs));
   for (int p = 0; p < pairs; ++p) {
@@ -368,6 +418,11 @@ inline ManyPairsBench MeasureManyPairsBench(int pairs, size_t bytes, int iters,
     ps[p].sh = &net->AddHost("s" + std::to_string(p), seg, IpAddr(10, 0, b, 2));
   }
   net->WarmArp();
+  if (drop_rate > 0.0) {
+    for (size_t s = 0; s < net->num_segments(); ++s) {
+      net->segment(static_cast<int>(s)).set_drop_rate(drop_rate);
+    }
+  }
   std::vector<Kernel*> clients;
   std::vector<CallFn> calls;
   for (Pair& pr : ps) {
@@ -377,8 +432,8 @@ inline ManyPairsBench MeasureManyPairsBench(int pairs, size_t bytes, int iters,
       pr.client = &pr.ch->kernel->Emplace<RpcClient>(*pr.ch->kernel, pr.cstack.top);
     });
     pr.sh->kernel->RunTask(net->events().now(), [&] {
-      auto& server = pr.sh->kernel->Emplace<RpcServer>(*pr.sh->kernel, pr.sstack.top);
-      (void)server.Export(RpcServer::kAny, [](uint16_t, Message&) { return Message(); });
+      pr.server = &pr.sh->kernel->Emplace<RpcServer>(*pr.sh->kernel, pr.sstack.top);
+      (void)pr.server->Export(RpcServer::kAny, [](uint16_t, Message&) { return Message(); });
     });
     clients.push_back(pr.ch->kernel);
     const IpAddr server_ip = pr.sh->kernel->ip_addr();
@@ -395,6 +450,32 @@ inline ManyPairsBench MeasureManyPairsBench(int pairs, size_t bytes, int iters,
   out.failed = r.failed;
   out.sum_done_at = r.sum_done_at;
   out.events_fired = net->events_fired();
+  out.rtt = r.rtt;
+  for (const Pair& pr : ps) {
+    out.service.Merge(pr.server->service_histogram());
+  }
+  const SimTime elapsed_sim = net->events().now();
+  for (size_t s = 0; s < net->num_segments(); ++s) {
+    const EthernetSegment& seg = net->segment(static_cast<int>(s));
+    SegmentStat st;
+    st.segment = static_cast<int>(s);
+    st.frames = seg.frames_sent();
+    st.bytes = seg.bytes_sent();
+    st.busy_ns = seg.bus_busy_time();
+    st.utilization_ppm = elapsed_sim > 0
+                             ? static_cast<uint64_t>(seg.bus_busy_time()) * 1000000u /
+                                   static_cast<uint64_t>(elapsed_sim)
+                             : 0;
+    st.queued_frames = seg.queued_frames();
+    st.peak_queue_depth = seg.peak_queue_depth();
+    st.mean_queue_depth_x1000 = seg.mean_queue_depth_x1000();
+    st.wait_p50_ns = seg.queue_wait().P50();
+    st.wait_p99_ns = seg.queue_wait().P99();
+    st.wait_p999_ns = seg.queue_wait().P999();
+    st.wait_max_ns = seg.queue_wait().max();
+    st.frames_dropped = seg.frames_dropped();
+    out.segments.push_back(st);
+  }
   return out;
 }
 

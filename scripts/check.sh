@@ -49,27 +49,25 @@ grep -q "per-call" "$obs/t3.breakdown.txt"
 
 echo
 echo "== observability determinism: bench_suite bit-identical at 1/2/4 threads =="
-# Normalize the host-time fields (the only run-to-run variation), then the
-# simulated metrics, traces, and captures must be byte-identical across
-# thread counts.
-normalize() {
-  sed -E 's/"(wall_ms|events_per_sec|parallel_speedup|serial_estimate_ms|threads)": [0-9.]+/"\1": X/' "$1"
-}
+# --stable omits the host-time fields (the only run-to-run variation), so the
+# whole results file -- simulated metrics, percentiles, per-segment stats --
+# plus traces, captures, and sampled time series must be byte-identical
+# across worker thread counts, no normalization needed.
 for t in 1 2 4; do
-  ./build/bench/bench_suite --threads="$t" --out="$obs/r$t.json" \
-    --trace="$obs/trace$t" --pcap="$obs/pcap$t" >/dev/null
-  normalize "$obs/r$t.json" > "$obs/r$t.norm.json"
+  ./build/bench/bench_suite --threads="$t" --stable --out="$obs/r$t.json" \
+    --trace="$obs/trace$t" --pcap="$obs/pcap$t" --stats="$obs/stats$t" >/dev/null
 done
-cmp "$obs/r1.norm.json" "$obs/r2.norm.json"
-cmp "$obs/r1.norm.json" "$obs/r4.norm.json"
-# Zero observer effect: an untraced run reports the same simulated metrics.
-./build/bench/bench_suite --threads=4 --out="$obs/plain.json" >/dev/null
-normalize "$obs/plain.json" > "$obs/plain.norm.json"
-cmp "$obs/r1.norm.json" "$obs/plain.norm.json"
+cmp "$obs/r1.json" "$obs/r2.json"
+cmp "$obs/r1.json" "$obs/r4.json"
+# Zero observer effect: an unobserved run reports the same simulated metrics.
+./build/bench/bench_suite --threads=4 --stable --out="$obs/plain.json" >/dev/null
+cmp "$obs/r1.json" "$obs/plain.json"
 diff -r "$obs/trace1" "$obs/trace2"
 diff -r "$obs/trace1" "$obs/trace4"
 diff -r "$obs/pcap1" "$obs/pcap2"
 diff -r "$obs/pcap1" "$obs/pcap4"
+diff -r "$obs/stats1" "$obs/stats2"
+diff -r "$obs/stats1" "$obs/stats4"
 
 echo
 echo "== parallel engine: bit-identical at --engine-threads=1 vs 4 =="
@@ -77,13 +75,27 @@ echo "== parallel engine: bit-identical at --engine-threads=1 vs 4 =="
 # conservative engine must reproduce the serial engine byte for byte --
 # metrics, events fired, traces, and captures.
 for t in 1 4; do
-  ./build/bench/bench_suite --engine-threads="$t" --out="$obs/g$t.json" \
-    --trace="$obs/gtrace$t" --pcap="$obs/gpcap$t" >/dev/null
-  normalize "$obs/g$t.json" > "$obs/g$t.norm.json"
+  ./build/bench/bench_suite --engine-threads="$t" --stable --out="$obs/g$t.json" \
+    --trace="$obs/gtrace$t" --pcap="$obs/gpcap$t" --stats="$obs/gstats$t" >/dev/null
 done
-cmp "$obs/g1.norm.json" "$obs/g4.norm.json"
+cmp "$obs/g1.json" "$obs/g4.json"
 diff -r "$obs/gtrace1" "$obs/gtrace4"
 diff -r "$obs/gpcap1" "$obs/gpcap4"
+diff -r "$obs/gstats1" "$obs/gstats4"
+
+echo
+echo "== bench regression gate: xkbench-diff vs bench/baseline.json =="
+# Every simulated metric in the fresh run must sit within the per-metric
+# thresholds of the committed baseline (host-dependent fields are skipped).
+./build/src/xkbench_diff bench/baseline.json "$obs/r1.json"
+# Negative test: an injected latency regression must fail the gate.
+sed -E 's/"latency_ms": [0-9.eE+-]+/"latency_ms": 9999/' "$obs/r1.json" \
+  > "$obs/tampered.json"
+if ./build/src/xkbench_diff --quiet bench/baseline.json "$obs/tampered.json"; then
+  echo "FAIL: xkbench-diff accepted an injected latency regression"
+  exit 1
+fi
+echo "negative test: injected latency regression correctly rejected"
 
 echo
 echo "== parallel engine: wall-clock speedup on the many-host workload =="

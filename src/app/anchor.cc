@@ -77,6 +77,15 @@ Status RpcClient::DoDemux(Session* lls, Message& msg) {
   return OkStatus();
 }
 
+void RpcClient::ExportGauges(const CounterEmit& emit) const {
+  uint64_t outstanding = 0;
+  for (const auto& [sess, queue] : outstanding_) {
+    (void)sess;
+    outstanding += queue.size();
+  }
+  emit("outstanding_calls", outstanding);
+}
+
 void RpcClient::SessionError(Session& lls, Status error) {
   auto it = outstanding_.find(&lls);
   if (it == outstanding_.end() || it->second.empty()) {
@@ -140,20 +149,27 @@ Status RpcServer::DoDemux(Session* lls, Message& msg) {
   if (handler == nullptr) {
     return ErrStatus(StatusCode::kNotFound);
   }
+  // Service time runs from here to the reply entering the stack; reading the
+  // task clock charges nothing, so measured runs stay bit-identical.
+  const SimTime service_start = kernel().now();
   kernel().Charge(app_cost_);
   ++requests_served_;
   if (service_delay_ > 0) {
     // Slow service: reply later, from a fresh task.
     SessionRef reply_to = lls->Ref();
     Message request = msg;
-    kernel().SetTimer(service_delay_, [handler, reply_to, request, command]() mutable {
-      Message reply = handler(command, request);
-      (void)reply_to->Push(reply);
-    });
+    kernel().SetTimer(service_delay_,
+                      [this, handler, reply_to, request, command, service_start]() mutable {
+                        Message reply = handler(command, request);
+                        (void)reply_to->Push(reply);
+                        service_time_.Record(kernel().now() - service_start);
+                      });
     return OkStatus();
   }
   Message reply = handler(command, msg);
-  return lls->Push(reply);
+  const Status pushed = lls->Push(reply);
+  service_time_.Record(kernel().now() - service_start);
+  return pushed;
 }
 
 Status RpcServer::DoControl(ControlOp op, ControlArgs& args) {
@@ -200,6 +216,18 @@ Status EchoAnchor::DoDemux(Session* lls, Message& msg) {
   it->second.pop_front();
   done(msg);
   return OkStatus();
+}
+
+void EchoAnchor::ExportGauges(const CounterEmit& emit) const {
+  if (server_role_) {
+    return;
+  }
+  uint64_t outstanding = 0;
+  for (const auto& [sess, queue] : outstanding_) {
+    (void)sess;
+    outstanding += queue.size();
+  }
+  emit("outstanding_sends", outstanding);
 }
 
 void EchoAnchor::SessionError(Session& lls, Status error) {

@@ -21,6 +21,7 @@
 #include "src/core/kernel.h"
 #include "src/core/map.h"
 #include "src/core/protocol.h"
+#include "src/stat/histogram.h"
 
 namespace xk {
 
@@ -53,6 +54,9 @@ class RpcClient : public Protocol {
 
   uint64_t calls_completed() const { return calls_completed_; }
   uint64_t calls_failed() const { return calls_failed_; }
+
+  // Calls issued but not yet completed or failed (time-series gauge).
+  void ExportGauges(const CounterEmit& emit) const override;
 
   void SessionError(Session& lls, Status error) override;
 
@@ -95,6 +99,11 @@ class RpcServer : public Protocol {
 
   uint64_t requests_served() const { return requests_served_; }
 
+  // Per-request service time: from the request reaching this server protocol
+  // to the reply being handed back down the stack (includes app cost, any
+  // configured service delay, the handler, and the reply push).
+  const Histogram& service_histogram() const { return service_time_; }
+
  protected:
   Status DoDemux(Session* lls, Message& msg) override;
   Status DoControl(ControlOp op, ControlArgs& args) override;
@@ -107,6 +116,7 @@ class RpcServer : public Protocol {
   SimTime service_delay_ = 0;
   SimTime app_cost_ = Usec(45);
   uint64_t requests_served_ = 0;
+  Histogram service_time_;
 };
 
 // ---------------------------------------------------------------------------
@@ -130,6 +140,9 @@ class EchoAnchor : public Protocol {
   void set_echo_limit(size_t n) { echo_limit_ = n; }
 
   uint64_t echoes() const { return echoes_; }
+
+  // Sends awaiting their echo (client role; time-series gauge).
+  void ExportGauges(const CounterEmit& emit) const override;
 
   void SessionError(Session& lls, Status error) override;
 

@@ -13,7 +13,9 @@ LatencyResult RpcWorkload::MeasureLatency(Internet& net, Kernel& client_kernel,
   int remaining = iters;
 
   std::function<void()> issue = [&]() {
-    call(Message(), [&](Result<Message> r) {
+    const SimTime t0 = client_kernel.now();
+    call(Message(), [&, t0](Result<Message> r) {
+      result.rtt.Record(client_kernel.now() - t0);
       if (r.ok()) {
         ++result.completed;
       } else {
@@ -50,7 +52,9 @@ ThroughputResult RpcWorkload::MeasureThroughput(Internet& net, Kernel& client_ke
   const SimTime server_cpu0 = server_kernel.cpu().total_busy();
 
   std::function<void()> issue = [&]() {
-    call(Message(bytes), [&](Result<Message> r) {
+    const SimTime t0 = client_kernel.now();
+    call(Message(bytes), [&, t0](Result<Message> r) {
+      result.rtt.Record(client_kernel.now() - t0);
       if (r.ok()) {
         ++result.completed;
       }
@@ -94,6 +98,7 @@ ManyPairsResult RpcWorkload::MeasureManyPairs(Internet& net,
     int failed = 0;
     SimTime start = 0;
     SimTime done_at = 0;
+    Histogram rtt;  // recorded on this pair's logical process only
     std::function<void()> issue;
   };
   std::vector<std::unique_ptr<PairState>> states;
@@ -106,7 +111,9 @@ ManyPairsResult RpcWorkload::MeasureManyPairs(Internet& net,
     Kernel* client = clients[p];
     const CallFn* call = &calls[p];
     st->issue = [st, client, call, bytes]() {
-      (*call)(Message(bytes), [st, client](Result<Message> r) {
+      const SimTime t0 = client->now();
+      (*call)(Message(bytes), [st, client, t0](Result<Message> r) {
+        st->rtt.Record(client->now() - t0);
         if (r.ok()) {
           ++st->completed;
         } else {
@@ -139,6 +146,7 @@ ManyPairsResult RpcWorkload::MeasureManyPairs(Internet& net,
     result.completed += st->completed;
     result.failed += st->failed;
     result.sum_done_at += st->done_at;
+    result.rtt.Merge(st->rtt);  // after the run: pairs merge in pair order
   }
   if (!states.empty() && last_done > first_start) {
     result.elapsed = last_done - first_start;

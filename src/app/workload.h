@@ -12,6 +12,7 @@
 #include "src/core/kernel.h"
 #include "src/core/message.h"
 #include "src/proto/topology.h"
+#include "src/stat/histogram.h"
 
 namespace xk {
 
@@ -22,6 +23,7 @@ struct LatencyResult {
   SimTime per_call = 0;  // average round-trip
   int completed = 0;
   int failed = 0;
+  Histogram rtt;  // per-call round-trip times
 };
 
 struct ThroughputResult {
@@ -31,6 +33,7 @@ struct ThroughputResult {
   double kbytes_per_sec = 0.0;  // payload bytes delivered / elapsed
   SimTime client_cpu = 0;       // CPU busy time per call
   SimTime server_cpu = 0;
+  Histogram rtt;  // per-call round-trip times
 };
 
 struct ManyPairsResult {
@@ -39,6 +42,7 @@ struct ManyPairsResult {
   int failed = 0;
   double agg_kbytes_per_sec = 0.0;  // all pairs' payload bytes / elapsed
   SimTime sum_done_at = 0;          // sum of per-pair completion times (determinism probe)
+  Histogram rtt;                    // per-call round-trips, merged across pairs
 };
 
 class RpcWorkload {

@@ -34,19 +34,33 @@ void Kernel::RunTask(SimTime at, const std::function<void()>& fn) {
 }
 
 EventHandle Kernel::ScheduleTask(SimTime delay, std::function<void()> fn) {
-  return events_.ScheduleIn(delay, [this, fn = std::move(fn)]() { RunTask(events_.now(), fn); });
+  ++tasks_pending_;
+  return events_.ScheduleIn(delay, [this, fn = std::move(fn)]() {
+    if (tasks_pending_ > 0) {
+      --tasks_pending_;
+    }
+    RunTask(events_.now(), fn);
+  });
 }
 
 EventHandle Kernel::SetTimer(SimTime delay, std::function<void()> fn) {
   cpu_.Charge(costs_.timer_set);
   const SimTime fire_at = cpu_.now() + delay;
-  return events_.ScheduleAt(fire_at,
-                            [this, fn = std::move(fn)]() { RunTask(events_.now(), fn); });
+  ++tasks_pending_;
+  return events_.ScheduleAt(fire_at, [this, fn = std::move(fn)]() {
+    if (tasks_pending_ > 0) {
+      --tasks_pending_;
+    }
+    RunTask(events_.now(), fn);
+  });
 }
 
 void Kernel::CancelTimer(EventHandle& handle) {
   if (handle.Cancel()) {
     cpu_.Charge(costs_.timer_cancel);
+    if (tasks_pending_ > 0) {
+      --tasks_pending_;
+    }
   }
 }
 

@@ -69,6 +69,11 @@ class Kernel {
   // Cancels a pending timer, charging timer_cancel if it was still pending.
   void CancelTimer(EventHandle& handle);
 
+  // Tasks and timers scheduled on this kernel that have not yet started (the
+  // host's ready/pending queue depth). Host-side gauge for the stat sampler;
+  // maintained by ScheduleTask/SetTimer/CancelTimer, never charged.
+  uint64_t tasks_pending() const { return tasks_pending_; }
+
   // --- protocol graph ---------------------------------------------------------
   // Takes ownership; protocols are destroyed in reverse insertion order
   // (top-most last-added protocols die before the substrates they use).
@@ -152,6 +157,7 @@ class Kernel {
   IpAddr ip_;
   EthAddr eth_;
   uint32_t boot_id_;
+  uint64_t tasks_pending_ = 0;
   int trace_level_ = 0;
   TraceSink* trace_ = nullptr;
 

@@ -206,6 +206,12 @@ class Protocol {
   // Overrides call the base, then emit their protocol-specific statistics.
   virtual void ExportCounters(const CounterEmit& emit) const;
 
+  // Emits instantaneous state (queue depths, calls in flight, retransmit
+  // counts) for the time-series sampler. Unlike ExportCounters this is called
+  // repeatedly mid-run, so overrides must be read-only and cheap. Default:
+  // nothing.
+  virtual void ExportGauges(const CounterEmit& emit) const { (void)emit; }
+
  protected:
   virtual Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts);
   virtual Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts);

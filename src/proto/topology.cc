@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/sim/parallel.h"
+#include "src/stat/timeseries.h"
 #include "src/trace/counters.h"
 
 namespace xk {
@@ -20,9 +21,16 @@ Internet::Internet(HostEnv default_env, uint64_t seed, int engine_threads)
     engine_->set_control_queue(&events_);
     engine_->set_trace_master(trace_);
   }
+  if (StatSampler* s = StatSampler::thread_default(); s != nullptr) {
+    AttachStats(s);
+  }
 }
 
 Internet::~Internet() {
+  // Detach the sampler while the event queues it probes are still alive.
+  if (stats_ != nullptr) {
+    stats_->DetachNet(stat_net_);
+  }
   // Kernels (and the protocols inside them) may hold sessions referring to
   // segments; destroy kernels first. The engine owns the per-host event
   // queues, so it must outlive the kernels built on them (engine_ is a
@@ -35,7 +43,15 @@ uint64_t Internet::events_fired() const {
   return engine_ != nullptr ? engine_->fired_total() : events_.fired_total();
 }
 
-size_t Internet::RunAll() { return engine_ != nullptr ? engine_->Run() : events_.Run(); }
+size_t Internet::RunAll() {
+  const size_t fired = engine_ != nullptr ? engine_->Run() : events_.Run();
+  // Emit the trailing sample boundaries (identical under both engines:
+  // events_ is advanced to global time after a parallel run).
+  if (stats_ != nullptr) {
+    stats_->FlushNet(stat_net_, events_.now());
+  }
+  return fired;
+}
 
 int Internet::AddSegment(WireModel wire) {
   const int id = static_cast<int>(segments_.size());
@@ -44,6 +60,9 @@ int Internet::AddSegment(WireModel wire) {
   segments_.back()->set_observer_id(id);
   segments_.back()->set_trace(trace_);
   segments_.back()->set_capture(capture_);
+  if (stats_ != nullptr) {
+    segments_.back()->set_stats(stats_->RegisterSegment(stat_net_, id));
+  }
   if (engine_ != nullptr) {
     engine_->AdoptSegment(*segments_.back());
   }
@@ -67,6 +86,9 @@ HostStack& Internet::AddHost(const std::string& name, int segment, IpAddr ip,
   kernels_.push_back(std::move(kernel));
   if (engine_ != nullptr) {
     engine_->BindKernel(*k);
+  }
+  if (stats_ != nullptr) {
+    stats_->RegisterKernel(stat_net_, *k);
   }
 
   HostStack stack;
@@ -100,6 +122,9 @@ HostStack& Internet::AddRouter(const std::string& name,
   kernels_.push_back(std::move(kernel));
   if (engine_ != nullptr) {
     engine_->BindKernel(*k);
+  }
+  if (stats_ != nullptr) {
+    stats_->RegisterKernel(stat_net_, *k);
   }
 
   HostStack stack;
@@ -169,6 +194,30 @@ void Internet::AttachPcap(PacketCapture* capture) {
   }
 }
 
+void Internet::AttachStats(StatSampler* stats) {
+  if (stats_ == stats) {
+    return;
+  }
+  if (stats_ != nullptr) {
+    for (auto& s : segments_) {
+      s->set_stats(nullptr);
+    }
+    stats_->DetachNet(stat_net_);
+    stat_net_ = -1;
+  }
+  stats_ = stats;
+  if (stats_ == nullptr) {
+    return;
+  }
+  stat_net_ = stats_->AttachNet();
+  for (auto& k : kernels_) {
+    stats_->RegisterKernel(stat_net_, *k);
+  }
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    segments_[i]->set_stats(stats_->RegisterSegment(stat_net_, static_cast<int>(i)));
+  }
+}
+
 std::string Internet::CountersJson() const {
   std::string out;
   out += "{\"schema_version\":1,\"hosts\":[";
@@ -196,6 +245,22 @@ std::string Internet::CountersJson() const {
     out += ",\"fault_duplicates\":" + std::to_string(s.fault_duplicates());
     out += ",\"fault_corruptions\":" + std::to_string(s.fault_corruptions());
     out += ",\"bus_busy_ns\":" + std::to_string(s.bus_busy_time());
+    // Utilization over the full simulated span, parts-per-million (integer,
+    // so the document stays byte-stable).
+    const SimTime elapsed = events_.now();
+    const uint64_t util_ppm =
+        elapsed > 0 ? static_cast<uint64_t>(s.bus_busy_time()) * 1000000u /
+                          static_cast<uint64_t>(elapsed)
+                    : 0;
+    out += ",\"utilization_ppm\":" + std::to_string(util_ppm);
+    out += ",\"queued_frames\":" + std::to_string(s.queued_frames());
+    out += ",\"peak_queue_depth\":" + std::to_string(s.peak_queue_depth());
+    out += ",\"mean_queue_depth_x1000\":" + std::to_string(s.mean_queue_depth_x1000());
+    const Histogram& qw = s.queue_wait();
+    out += ",\"queue_wait_p50_ns\":" + std::to_string(qw.P50());
+    out += ",\"queue_wait_p99_ns\":" + std::to_string(qw.P99());
+    out += ",\"queue_wait_p999_ns\":" + std::to_string(qw.P999());
+    out += ",\"queue_wait_max_ns\":" + std::to_string(qw.max());
     out += "}";
   }
   out += "]}\n";

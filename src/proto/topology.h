@@ -28,6 +28,7 @@
 namespace xk {
 
 class ParallelEngine;
+class StatSampler;
 
 // The substrate protocols of one node. Higher layers (VIP, RPC, ...) are
 // added by the stack builders in src/app.
@@ -92,8 +93,13 @@ class Internet {
   // an experiment is to install thread defaults before building it.
   void AttachTrace(TraceSink* trace);
   void AttachPcap(PacketCapture* capture);
+  // Attaches a time-series sampler (src/stat) to every kernel and segment,
+  // now and as later hosts/segments are added (null detaches). The
+  // constructor picks up StatSampler::thread_default().
+  void AttachStats(StatSampler* stats);
   TraceSink* trace() const { return trace_; }
   PacketCapture* capture() const { return capture_; }
+  StatSampler* stats() const { return stats_; }
 
   // Per-protocol counters for every host plus per-link statistics (including
   // fault-injection outcomes), as one JSON document.
@@ -106,6 +112,8 @@ class Internet {
   // mode. Schedule work through kernels, not directly on this queue.
   EventQueue& events() { return events_; }
   EthernetSegment& segment(int id) { return *segments_[id]; }
+  const EthernetSegment& segment(int id) const { return *segments_[id]; }
+  size_t num_segments() const { return segments_.size(); }
   HostStack& host(const std::string& name);
 
   // Events fired across the whole simulation (all hosts' queues).
@@ -131,6 +139,8 @@ class Internet {
   std::unique_ptr<ParallelEngine> engine_;  // null in serial mode
   TraceSink* trace_ = nullptr;
   PacketCapture* capture_ = nullptr;
+  StatSampler* stats_ = nullptr;
+  int stat_net_ = -1;  // this Internet's id within stats_
   uint32_t next_eth_index_ = 1;
   std::vector<std::unique_ptr<EthernetSegment>> segments_;
   std::vector<std::vector<Attachment>> attachments_;  // per segment

@@ -79,6 +79,12 @@ class ChannelProtocol : public Protocol {
     emit("stale_drops", stats_.stale_drops);
   }
 
+  void ExportGauges(const CounterEmit& emit) const override {
+    const uint64_t settled = stats_.replies_received + stats_.call_failures;
+    emit("calls_in_flight", stats_.calls_sent > settled ? stats_.calls_sent - settled : 0);
+    emit("retransmissions", stats_.retransmissions);
+  }
+
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;

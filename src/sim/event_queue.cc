@@ -63,6 +63,9 @@ size_t EventQueue::RunEpochWindow(SimTime end_exclusive, size_t max_events) {
     if (!PopNext(e, fn)) {
       break;
     }
+    if (stat_probe_ != nullptr) {
+      stat_probe_->BeforeFire(e.at);
+    }
     now_ = e.at;
     ++fired;
     if (listener_ != nullptr) {
@@ -82,6 +85,9 @@ size_t EventQueue::Run(size_t max_events) {
   Entry e;
   std::function<void()> fn;
   while (fired < max_events && PopNext(e, fn)) {
+    if (stat_probe_ != nullptr) {
+      stat_probe_->BeforeFire(e.at);
+    }
     now_ = e.at;
     ++fired;
     fn();
@@ -100,6 +106,9 @@ size_t EventQueue::RunUntil(SimTime deadline) {
     Entry e;
     if (!PopNext(e, fn)) {
       break;
+    }
+    if (stat_probe_ != nullptr) {
+      stat_probe_->BeforeFire(e.at);
     }
     now_ = e.at;
     ++fired;

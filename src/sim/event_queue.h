@@ -75,6 +75,18 @@ class EventQueue {
     virtual void OnFireEnd() = 0;
   };
 
+  // Zero-cost sampling hook (src/stat/timeseries.h). BeforeFire is invoked
+  // with the firing time of each event just before the event executes, in
+  // all three run loops, so a sampler can emit samples for every boundary
+  // <= that time knowing state reflects exactly the events that fired
+  // earlier. The probe must only read simulation state -- it must never
+  // schedule, cancel, charge, or touch an Rng, or determinism breaks.
+  class StatProbe {
+   public:
+    virtual ~StatProbe() = default;
+    virtual void BeforeFire(SimTime at) = 0;
+  };
+
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -122,6 +134,12 @@ class EventQueue {
   // None of these are used by serial simulations.
 
   void set_listener(Listener* listener) { listener_ = listener; }
+
+  // Installs (or with null, removes) the sampling probe. The probe is
+  // consulted on every fired event; it must outlive the queue or be removed
+  // first.
+  void set_stat_probe(StatProbe* probe) { stat_probe_ = probe; }
+  StatProbe* stat_probe() const { return stat_probe_; }
 
   // Schedules at or after the horizon are parked outside the heap (slot
   // acquired, closure stored) until CommitDeferred; the engine commits them
@@ -199,6 +217,7 @@ class EventQueue {
   uint32_t next_boot_id_ = 1000;
   SimTime defer_horizon_ = kNoHorizon;
   Listener* listener_ = nullptr;
+  StatProbe* stat_probe_ = nullptr;
 
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNil;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/stat/timeseries.h"
 #include "src/trace/pcap.h"
 #include "src/trace/trace.h"
 
@@ -60,6 +61,24 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
   ++frames_sent_;
   bytes_sent_ += frame.bytes.size();
 
+  // Queueing statistics. Frames whose start is at or before our ready time
+  // have begun transmitting; the rest (plus this frame, if it had to wait)
+  // are queued behind the bus.
+  while (!pending_starts_.empty() && pending_starts_.front() <= ready_at) {
+    pending_starts_.pop_front();
+  }
+  const SimTime wait = start - ready_at;
+  pending_starts_.push_back(start);
+  const uint64_t depth = pending_starts_.size() - (wait == 0 ? 1 : 0);
+  if (wait > 0) {
+    ++queued_frames_;
+  }
+  queue_depth_sum_ += depth;
+  if (depth > peak_queue_depth_) {
+    peak_queue_depth_ = depth;
+  }
+  queue_wait_.Record(wait);
+
   // Receivers share one immutable buffer; only a corrupted delivery copies.
   const auto shared = std::make_shared<const EthFrame>(std::move(frame));
   const EthAddr dst = shared->Dst();
@@ -67,7 +86,10 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
   const SimTime arrival = end + wire_.propagation;
 
   if (trace_ != nullptr) {
-    trace_->RecordWire(observer_id_, start, end, arrival, shared->bytes.size());
+    trace_->RecordWire(observer_id_, start, end, arrival, shared->bytes.size(), depth, wait);
+  }
+  if (stats_ != nullptr) {
+    stats_->OnTransmit(start, tx, shared->bytes.size(), depth);
   }
 
   for (size_t i = 0; i < stations_.size(); ++i) {
@@ -131,6 +153,10 @@ void EthernetSegment::ResetStats() {
   fault_duplicates_ = 0;
   fault_corruptions_ = 0;
   bus_busy_time_ = 0;
+  queued_frames_ = 0;
+  peak_queue_depth_ = 0;
+  queue_depth_sum_ = 0;
+  queue_wait_.Reset();
 }
 
 }  // namespace xk

@@ -14,6 +14,7 @@
 #define XK_SRC_SIM_LINK_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -22,12 +23,14 @@
 #include "src/sim/cost_model.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
+#include "src/stat/histogram.h"
 
 namespace xk {
 
 class EthernetSegment;
 class Kernel;
 class PacketCapture;
+class SegmentSeries;
 class TraceSink;
 
 // A raw Ethernet frame on the wire: header (dst, src, type) + payload, as one
@@ -129,6 +132,8 @@ class EthernetSegment {
   // charges simulated cost or advances the simulated clock.
   void set_trace(TraceSink* trace) { trace_ = trace; }
   void set_capture(PacketCapture* capture) { capture_ = capture; }
+  // Time-series hook fed one record per bus acquisition (src/stat).
+  void set_stats(SegmentSeries* stats) { stats_ = stats; }
   // Segment id stamped into wire/capture records (set by the topology).
   void set_observer_id(int id) { observer_id_ = id; }
 
@@ -144,6 +149,20 @@ class EthernetSegment {
   uint64_t fault_corruptions() const { return fault_corruptions_; }
   // Total time the bus spent transmitting (utilization = busy/elapsed).
   SimTime bus_busy_time() const { return bus_busy_time_; }
+
+  // --- queueing statistics ----------------------------------------------------
+  // A frame "queued" if the bus was busy when its sender handed it over
+  // (start > ready). Depth is measured at each bus acquisition: frames still
+  // waiting behind the acquiring one, including it if it had to wait.
+  uint64_t queued_frames() const { return queued_frames_; }
+  uint64_t peak_queue_depth() const { return peak_queue_depth_; }
+  // Mean depth over all sent frames, scaled by 1000 (integer, for
+  // deterministic JSON).
+  uint64_t mean_queue_depth_x1000() const {
+    return frames_sent_ == 0 ? 0 : queue_depth_sum_ * 1000 / frames_sent_;
+  }
+  // Per-frame queueing delay (start - ready), as a histogram.
+  const Histogram& queue_wait() const { return queue_wait_; }
   void ResetStats();
 
  private:
@@ -167,6 +186,7 @@ class EthernetSegment {
 
   TraceSink* trace_ = nullptr;
   PacketCapture* capture_ = nullptr;
+  SegmentSeries* stats_ = nullptr;
   int observer_id_ = 0;
 
   uint64_t frames_sent_ = 0;
@@ -177,6 +197,14 @@ class EthernetSegment {
   uint64_t fault_duplicates_ = 0;
   uint64_t fault_corruptions_ = 0;
   SimTime bus_busy_time_ = 0;
+
+  // Start times of frames that have not begun transmitting as of the last
+  // arrival (bus state, like bus_free_at_; not cleared by ResetStats).
+  std::deque<SimTime> pending_starts_;
+  uint64_t queued_frames_ = 0;
+  uint64_t peak_queue_depth_ = 0;
+  uint64_t queue_depth_sum_ = 0;
+  Histogram queue_wait_;
 };
 
 }  // namespace xk

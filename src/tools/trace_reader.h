@@ -42,6 +42,8 @@ struct WireRec {
   int64_t t1 = 0;      // tx end (bus released)
   int64_t arrive = 0;  // delivery time at receivers
   uint64_t len = 0;    // frame bytes
+  uint64_t qdepth = 0; // frames waiting behind the bus at tx start
+  int64_t qwait = 0;   // ns this frame waited for the bus
 };
 
 // One structured log record (from Kernel::Tracef).
@@ -238,6 +240,8 @@ inline TraceFile Parse(const std::string& text) {
       r.t1 = o.num("t1");
       r.arrive = o.num("arrive");
       r.len = static_cast<uint64_t>(o.num("len"));
+      r.qdepth = static_cast<uint64_t>(o.num("qd"));
+      r.qwait = o.num("qw");
       tf.wires.push_back(r);
     } else if (kind == "log") {
       LogRec r;
@@ -278,6 +282,19 @@ struct LayerStat {
   int64_t excl_total = 0;  // ns
 };
 
+// Aggregated wire activity on one Ethernet segment.
+struct SegmentStat {
+  int64_t seg = 0;
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+  int64_t busy = 0;           // ns the bus was transmitting
+  uint64_t queued = 0;        // frames that waited (qwait > 0)
+  uint64_t peak_depth = 0;    // max queue depth observed at any tx start
+  uint64_t depth_sum = 0;     // sum of per-frame queue depths (for the mean)
+  int64_t wait_total = 0;     // ns, sum of per-frame bus waits
+  int64_t wait_max = 0;       // ns, worst single-frame bus wait
+};
+
 // Per-layer breakdown plus a per-call latency estimate built from the trace.
 //
 // The estimate is timestamp-based: the elapsed simulated time from the first
@@ -293,7 +310,8 @@ struct LayerStat {
 // pairs -- every layer pushes at least once per call, and retransmitting
 // layers push more, so the minimum is the call count.
 struct Breakdown {
-  std::vector<LayerStat> layers;  // sorted by (host, proto, op)
+  std::vector<LayerStat> layers;     // sorted by (host, proto, op)
+  std::vector<SegmentStat> segments; // sorted by segment id
   uint64_t calls = 1;
   int64_t cpu_total = 0;   // ns, sum of span exclusive costs
   int64_t wire_total = 0;  // ns, sum of frame transmission times
@@ -338,10 +356,27 @@ inline Breakdown Analyze(const TraceFile& tf, uint64_t forced_calls = 0) {
       ++pushes[{s.host, s.proto}];
     }
   }
+  std::map<int64_t, SegmentStat> segs;
   for (const WireRec& w : tf.wires) {
     b.wire_total += w.t1 - w.t0;
     b.prop_total += w.arrive - w.t1;
     see(w.t0, w.arrive);
+    SegmentStat& sg = segs[w.seg];
+    sg.seg = w.seg;
+    ++sg.frames;
+    sg.bytes += w.len;
+    sg.busy += w.t1 - w.t0;
+    if (w.qwait > 0) {
+      ++sg.queued;
+    }
+    sg.depth_sum += w.qdepth;
+    sg.peak_depth = std::max(sg.peak_depth, w.qdepth);
+    sg.wait_total += w.qwait;
+    sg.wait_max = std::max(sg.wait_max, w.qwait);
+  }
+  b.segments.reserve(segs.size());
+  for (auto& [id, sg] : segs) {
+    b.segments.push_back(sg);
   }
   b.layers.reserve(layers.size());
   for (auto& [key, st] : layers) {

@@ -52,6 +52,23 @@ void PrintBreakdownText(const std::string& path, const TraceFile& tf, const Brea
                 static_cast<double>(l.excl_total) / 1000.0,
                 static_cast<double>(l.excl_total) / 1000.0 / calls);
   }
+  if (!b.segments.empty()) {
+    std::printf("\n%-8s %10s %12s %12s %8s %8s %10s %10s %12s %12s\n", "segment", "frames",
+                "bytes", "busy_us", "util_%", "queued", "peak_qd", "mean_qd", "wait_us",
+                "max_wait_us");
+    const double elapsed = static_cast<double>(b.elapsed());
+    for (const auto& s : b.segments) {
+      const double util =
+          elapsed > 0 ? 100.0 * static_cast<double>(s.busy) / elapsed : 0.0;
+      const double mean_qd =
+          s.frames > 0 ? static_cast<double>(s.depth_sum) / static_cast<double>(s.frames) : 0.0;
+      std::printf("%-8" PRId64 " %10" PRIu64 " %12" PRIu64 " %12.3f %8.2f %8" PRIu64
+                  " %10" PRIu64 " %10.3f %12.3f %12.3f\n",
+                  s.seg, s.frames, s.bytes, static_cast<double>(s.busy) / 1000.0, util,
+                  s.queued, s.peak_depth, mean_qd, static_cast<double>(s.wait_total) / 1000.0,
+                  static_cast<double>(s.wait_max) / 1000.0);
+    }
+  }
   std::printf("\n");
   std::printf("calls:        %" PRIu64 " (inferred as min push count per layer)\n", b.calls);
   std::printf("cpu total:    %.3f us (%.3f us per-call)\n",
@@ -83,6 +100,17 @@ void PrintBreakdownJson(const TraceFile& tf, const Breakdown& b) {
                 ",\"excl_ns\":%" PRId64 "}",
                 first ? "" : ",", l.host.c_str(), l.proto.c_str(), l.op.c_str(), l.count,
                 l.excl_total);
+    first = false;
+  }
+  std::printf("],\"segments\":[");
+  first = true;
+  for (const auto& s : b.segments) {
+    std::printf("%s{\"segment\":%" PRId64 ",\"frames\":%" PRIu64 ",\"bytes\":%" PRIu64
+                ",\"busy_ns\":%" PRId64 ",\"queued\":%" PRIu64 ",\"peak_queue_depth\":%" PRIu64
+                ",\"queue_depth_sum\":%" PRIu64 ",\"wait_total_ns\":%" PRId64
+                ",\"wait_max_ns\":%" PRId64 "}",
+                first ? "" : ",", s.seg, s.frames, s.bytes, s.busy, s.queued, s.peak_depth,
+                s.depth_sum, s.wait_total, s.wait_max);
     first = false;
   }
   std::printf("]}\n");

@@ -164,7 +164,7 @@ void TraceSink::EndSpan(Kernel& kernel, Status status) {
 }
 
 void TraceSink::RecordWire(int segment, SimTime tx_start, SimTime tx_end, SimTime arrival,
-                           size_t bytes) {
+                           size_t bytes, uint64_t queue_depth, SimTime queue_wait) {
   Record r;
   r.kind = Record::Kind::kWire;
   r.segment = segment;
@@ -172,6 +172,8 @@ void TraceSink::RecordWire(int segment, SimTime tx_start, SimTime tx_end, SimTim
   r.t1 = tx_end;
   r.arrival = arrival;
   r.len = bytes;
+  r.qdepth = queue_depth;
+  r.qwait = queue_wait;
   Append(std::move(r));
 }
 
@@ -229,6 +231,8 @@ std::string TraceSink::ToJsonl() const {
         JsonAppendField(out, "t1", r.t1);
         JsonAppendField(out, "arrive", r.arrival);
         JsonAppendField(out, "len", r.len);
+        JsonAppendField(out, "qd", r.qdepth);
+        JsonAppendField(out, "qw", r.qwait);
         break;
       case Record::Kind::kLog:
         out += "{\"k\":\"log\"";

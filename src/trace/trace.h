@@ -81,6 +81,8 @@ class TraceSink {
     // wire
     int segment = 0;
     SimTime arrival = 0;
+    uint64_t qdepth = 0;  // segment queue depth at bus acquisition
+    SimTime qwait = 0;    // tx_start - ready (time queued behind the bus)
     // log
     int level = 0;
     std::string text;
@@ -94,9 +96,11 @@ class TraceSink {
   // --- wire + log records -----------------------------------------------------
   // One frame transmission on segment `segment`: serialization starts at
   // `tx_start`, ends at `tx_end`, and the frame reaches receivers at
-  // `arrival` (tx_end + propagation).
+  // `arrival` (tx_end + propagation). `queue_depth` is the number of frames
+  // queued behind the bus at acquisition; `queue_wait` is how long this frame
+  // waited for the bus (tx_start - ready).
   void RecordWire(int segment, SimTime tx_start, SimTime tx_end, SimTime arrival,
-                  size_t bytes);
+                  size_t bytes, uint64_t queue_depth = 0, SimTime queue_wait = 0);
 
   // A structured log line (the Kernel routes Tracef here when attached).
   void RecordLog(const Kernel& kernel, int level, std::string_view text);

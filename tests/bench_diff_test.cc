@@ -1,0 +1,160 @@
+// Tests for the bench regression comparator (src/tools/bench_diff.h): the
+// exact code path the xkbench_diff CLI runs on suite-shaped JSON.
+
+#include "src/tools/bench_diff.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace xk::benchdiff {
+namespace {
+
+// A miniature BENCH_RESULTS.json with the shapes the comparator must handle:
+// group/name-keyed results, nested metrics, percentiles, and segments.
+std::string SuiteJson(double latency_ms, double throughput, double util_ppm,
+                      bool include_udp = true) {
+  std::string out = R"({
+  "schema_version": 2,
+  "threads": 8,
+  "wall_ms": 123,
+  "results": [
+    {"group": "table3", "name": "L_RPC", "wall_ms": 7,
+     "metrics": {"latency_ms": )" + std::to_string(latency_ms) + R"(,
+                 "throughput_kbytes_per_sec": )" + std::to_string(throughput) + R"(},
+     "percentiles": {"count": 64, "p50_ms": )" + std::to_string(latency_ms) + R"(,
+                     "p999_ms": )" + std::to_string(latency_ms * 1.2) + R"(}},
+    {"group": "manyhost", "name": "pairs", "wall_ms": 9,
+     "metrics": {"completed": 512, "failed": 0},
+     "segments": [
+       {"segment": 0, "frames": 100, "utilization_ppm": )" + std::to_string(util_ppm) + R"(},
+       {"segment": 1, "frames": 100, "utilization_ppm": 5000}
+     ]})";
+  if (include_udp) {
+    out += R"(,
+    {"group": "table5", "name": "UDP", "metrics": {"latency_ms": 1.5}})";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+TEST(BenchDiff, IdenticalFilesPass) {
+  const std::string j = SuiteJson(2.0, 400, 9000);
+  const Report r = Compare(j, j);
+  EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_GT(r.compared, 5u);
+  EXPECT_TRUE(r.regressions.empty());
+}
+
+TEST(BenchDiff, LatencyIncreaseIsRegression) {
+  const Report r = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(2.2, 400, 9000));
+  ASSERT_FALSE(r.regressions.empty());
+  bool found = false;
+  for (const Finding& f : r.regressions) {
+    if (f.path.find("table3.L_RPC") != std::string::npos &&
+        f.path.find("latency_ms") != std::string::npos) {
+      found = true;
+      EXPECT_EQ(f.direction, Direction::kLowerBetter);
+      EXPECT_GT(f.rel_err, 0.02);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiff, LatencyDecreaseIsImprovement) {
+  const Report r = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(1.5, 400, 9000));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BenchDiff, ThroughputDropIsRegressionRiseIsNot) {
+  const Report drop = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(2.0, 300, 9000));
+  EXPECT_FALSE(drop.regressions.empty());
+  EXPECT_EQ(drop.regressions[0].direction, Direction::kHigherBetter);
+  const Report rise = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(2.0, 500, 9000));
+  EXPECT_TRUE(rise.ok());
+}
+
+TEST(BenchDiff, UtilizationDriftIsTwoSided) {
+  const Report up = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(2.0, 400, 12000));
+  EXPECT_FALSE(up.regressions.empty());
+  const Report down = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(2.0, 400, 6000));
+  EXPECT_FALSE(down.regressions.empty());
+  EXPECT_EQ(down.regressions[0].direction, Direction::kTwoSided);
+}
+
+TEST(BenchDiff, SmallDriftWithinThresholdPasses) {
+  const Report r = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(2.02, 396, 9050));
+  EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0].path);
+}
+
+TEST(BenchDiff, MissingJobIsRegressionUnlessAllowed) {
+  const std::string base = SuiteJson(2.0, 400, 9000, /*include_udp=*/true);
+  const std::string cur = SuiteJson(2.0, 400, 9000, /*include_udp=*/false);
+  const Report strict = Compare(base, cur);
+  ASSERT_FALSE(strict.regressions.empty());
+  EXPECT_TRUE(strict.regressions[0].missing);
+  EXPECT_NE(strict.regressions[0].path.find("table5.UDP"), std::string::npos);
+
+  Options opt;
+  opt.allow_missing = true;
+  EXPECT_TRUE(Compare(base, cur, opt).ok());
+}
+
+TEST(BenchDiff, ThresholdOverrideFirstMatchWins) {
+  const std::string base =
+      R"({"results": [{"group": "g", "name": "j", "metrics": {"latency_ms": 2.0}}]})";
+  const std::string cur =
+      R"({"results": [{"group": "g", "name": "j", "metrics": {"latency_ms": 2.2}}]})";
+  Options opt;
+  opt.thresholds.emplace_back("latency_ms", 0.50);  // 50%: exempts the 10% rise
+  EXPECT_TRUE(Compare(base, cur, opt).ok());
+  // A tighter first match beats a looser later one.
+  Options tight;
+  tight.thresholds.emplace_back("g\\.j\\.metrics\\.latency_ms", 0.01);
+  tight.thresholds.emplace_back("latency_ms", 0.50);
+  EXPECT_FALSE(Compare(base, cur, tight).regressions.empty());
+}
+
+TEST(BenchDiff, HostDependentFieldsAreSkipped) {
+  std::string a = SuiteJson(2.0, 400, 9000);
+  std::string b = a;
+  // Only wall-clock and thread-count fields differ: still a clean pass.
+  size_t pos = b.find("\"threads\": 8");
+  ASSERT_NE(pos, std::string::npos);
+  b.replace(pos, 12, "\"threads\": 1");
+  pos = b.find("\"wall_ms\": 123");
+  ASSERT_NE(pos, std::string::npos);
+  b.replace(pos, 14, "\"wall_ms\": 999");
+  EXPECT_TRUE(Compare(a, b).ok());
+}
+
+TEST(BenchDiff, JobReorderDoesNotCompareAcrossJobs) {
+  // Results keyed by group.name: swapping array order changes nothing.
+  const std::string base = SuiteJson(2.0, 400, 9000);
+  const std::string reordered = R"({
+  "results": [
+    {"group": "table5", "name": "UDP", "metrics": {"latency_ms": 1.5}},
+    {"group": "manyhost", "name": "pairs",
+     "metrics": {"completed": 512, "failed": 0},
+     "segments": [
+       {"segment": 0, "frames": 100, "utilization_ppm": 9000.000000},
+       {"segment": 1, "frames": 100, "utilization_ppm": 5000}
+     ]},
+    {"group": "table3", "name": "L_RPC",
+     "metrics": {"latency_ms": 2.000000, "throughput_kbytes_per_sec": 400.000000},
+     "percentiles": {"count": 64, "p50_ms": 2.000000, "p999_ms": 2.400000}}
+  ]
+})";
+  EXPECT_TRUE(Compare(base, reordered).ok());
+}
+
+TEST(BenchDiff, ParseErrorReported) {
+  const Report r = Compare("{not json", SuiteJson(2.0, 400, 9000));
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.compared, 0u);
+  const Report r2 = Compare("{\"a\": \"strings only\"}", "{\"a\": \"strings only\"}");
+  EXPECT_FALSE(r2.error.empty()) << "no numeric metrics must be an error";
+}
+
+}  // namespace
+}  // namespace xk::benchdiff
