@@ -218,6 +218,45 @@ Job ColdWarmJob(std::string name, RpcBench::Builder builder) {
   return Job{"ablation_session_cache", std::move(name), std::move(fn)};
 }
 
+// A fault campaign measured as availability: the oracle-checked chaos
+// workload under a declarative FaultPlan. Every metric is simulated and
+// engine-invariant, so chaos jobs are part of the --stable byte-identity
+// checks like everything else.
+Job ChaosJob(std::string name, FaultPlan plan, ChaosSpec spec, bool adaptive_rto = false) {
+  JobFn fn = [plan = std::move(plan), spec, adaptive_rto] {
+    ChaosBench b = MeasureChaosCampaign(plan, spec, adaptive_rto);
+    JobResult out;
+    const double goodput_kbs =
+        b.run.elapsed > 0 ? static_cast<double>(b.run.completed) *
+                                static_cast<double>(spec.payload_bytes + AmoOracle::kIdBytes) /
+                                1024.0 / (ToMsec(b.run.elapsed) / 1000.0)
+                          : 0.0;
+    out.metrics = {
+        {"success_rate_ppm",
+         b.run.issued > 0 ? 1e6 * b.run.completed / b.run.issued : 0.0},
+        {"completed", static_cast<double>(b.run.completed)},
+        {"failed", static_cast<double>(b.run.failed)},
+        {"goodput_kbytes_per_sec", goodput_kbs},
+        {"elapsed_sim_ms", ToMsec(b.run.elapsed)},
+        {"recovery_ms", ToMsec(b.run.recovery_latency)},
+        {"retransmissions", static_cast<double>(b.retransmissions)},
+        {"timeouts", static_cast<double>(b.timeouts)},
+        {"boot_resets", static_cast<double>(b.boot_resets)},
+        {"down_drops", static_cast<double>(b.down_drops)},
+        {"fault_drops", static_cast<double>(b.fault_drops)},
+        {"oracle_executions", static_cast<double>(b.oracle.executions)},
+        {"oracle_double_exec", static_cast<double>(b.oracle.double_executions)},
+        {"oracle_cross_boot_reexec",
+         static_cast<double>(b.oracle.cross_boot_reexecutions)},
+        {"oracle_silent", static_cast<double>(b.oracle.silent)},
+    };
+    out.events_fired = b.events_fired;
+    out.latency_hist = b.run.rtt;
+    return out;
+  };
+  return Job{"chaos", std::move(name), std::move(fn)};
+}
+
 std::vector<Job> BuildJobs() {
   auto m_eth = [](HostStack& h) { return BuildMRpc(h, Delivery::kEth); };
   auto m_ip = [](HostStack& h) { return BuildMRpc(h, Delivery::kIp); };
@@ -265,6 +304,37 @@ std::vector<Job> BuildJobs() {
   // The many-host parallel-engine workload, clean and with link faults.
   jobs.push_back(ManyHostJob());
   jobs.push_back(ManyHostFaultsJob());
+  // Chaos campaigns: availability under declared fault plans, verified by the
+  // at-most-once oracle. The server crash lands mid-workload; the 400ms
+  // outage exceeds CHANNEL's 5x50ms retry budget, so the call spanning it
+  // surfaces a failure instead of riding it out.
+  {
+    ChaosSpec crash_spec;
+    crash_spec.calls = 250;
+    crash_spec.gap = Msec(2);
+    crash_spec.crash_at = Msec(300);
+    FaultPlan crash_plan;
+    crash_plan.Crash("server", Msec(300), Msec(700));
+    jobs.push_back(ChaosJob("server-crash", crash_plan, crash_spec));
+    jobs.push_back(ChaosJob("server-crash-adaptive-rto", crash_plan, crash_spec,
+                            /*adaptive_rto=*/true));
+
+    ChaosSpec part_spec;
+    part_spec.calls = 200;
+    part_spec.gap = Msec(2);
+    FaultPlan part_plan;
+    part_plan.Partition(0, Msec(200), Msec(450));
+    jobs.push_back(ChaosJob("partition-heal", part_plan, part_spec));
+
+    ChaosSpec loss_spec;
+    loss_spec.calls = 200;
+    loss_spec.gap = Msec(2);
+    FaultPlan loss_plan;
+    loss_plan.seed = 9;
+    loss_plan.GilbertElliott(0, 0, 0, /*p_enter=*/0.02, /*p_exit=*/0.25,
+                             /*loss_good=*/0.001, /*loss_bad=*/0.7);
+    jobs.push_back(ChaosJob("bursty-loss", loss_plan, loss_spec));
+  }
   return jobs;
 }
 
@@ -407,18 +477,37 @@ struct Options {
   std::string pcap_dir;
   std::string stats_dir;   // per-job time-series JSONL (--stats=DIR)
   std::string filter;      // ECMAScript regex matched against "group.name"
+  std::string faults;      // FaultPlan spec (--faults=): adds a chaos.custom job
   int engine_threads = 1;  // simulation-engine width for every job
   int speedup_threads = 0; // >1 runs the wall-clock speedup phase
   bool list = false;
   bool stable = false;     // omit wall-clock fields from the JSON
 };
 
-std::vector<Job> SelectJobs(const std::string& filter) {
+std::vector<Job> SelectJobs(const Options& opt, std::string* fault_error) {
   std::vector<Job> jobs = BuildJobs();
-  if (filter.empty()) {
+  if (!opt.faults.empty()) {
+    // --faults=SPEC runs the user's own campaign as chaos.custom. The first
+    // crash clause (if any) anchors the recovery-latency attribution.
+    FaultPlan plan;
+    if (!FaultPlan::Parse(opt.faults, &plan, fault_error)) {
+      return {};
+    }
+    ChaosSpec spec;
+    spec.calls = 200;
+    spec.gap = Msec(2);
+    for (const FaultClause& c : plan.clauses) {
+      if (c.kind == FaultClause::Kind::kCrash) {
+        spec.crash_at = c.at;
+        break;
+      }
+    }
+    jobs.push_back(ChaosJob("custom", std::move(plan), spec));
+  }
+  if (opt.filter.empty()) {
     return jobs;
   }
-  const std::regex re(filter);
+  const std::regex re(opt.filter);
   std::vector<Job> kept;
   for (Job& job : jobs) {
     if (std::regex_search(job.group + "." + job.name, re)) {
@@ -431,10 +520,15 @@ std::vector<Job> SelectJobs(const std::string& filter) {
 int Run(const Options& opt) {
   const unsigned threads = opt.threads;
   std::vector<Job> jobs;
+  std::string fault_error;
   try {
-    jobs = SelectJobs(opt.filter);
+    jobs = SelectJobs(opt, &fault_error);
   } catch (const std::regex_error& e) {
     std::fprintf(stderr, "bench_suite: bad --filter regex: %s\n", e.what());
+    return 2;
+  }
+  if (!fault_error.empty()) {
+    std::fprintf(stderr, "bench_suite: bad --faults spec: %s\n", fault_error.c_str());
     return 2;
   }
   if (opt.list) {
@@ -589,6 +683,8 @@ int main(int argc, char** argv) {
       opt.stats_dir = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
       opt.filter = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      opt.faults = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--engine-threads=", 17) == 0) {
       opt.engine_threads = std::max(1, std::atoi(argv[i] + 17));
     } else if (std::strncmp(argv[i], "--engine-speedup=", 17) == 0) {
@@ -603,7 +699,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n"
                    "          [--stats=DIR] [--list] [--filter=REGEX] [--stable]\n"
-                   "          [--engine-threads=N] [--engine-speedup[=N]]\n",
+                   "          [--engine-threads=N] [--engine-speedup[=N]]\n"
+                   "          [--faults=PLAN]   (e.g. crash:host=server,at=300ms,restart=700ms;\n"
+                   "                             drop:seg=0,from=0ms,until=200ms,rate=0.05)\n",
                    argv[0]);
       return 2;
     }

@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "src/app/anchor.h"
+#include "src/app/oracle.h"
 #include "src/app/stacks.h"
 #include "src/app/workload.h"
 #include "src/proto/topology.h"
 #include "src/proto/udp.h"
+#include "src/sim/fault.h"
 #include "src/sim/parallel.h"
 #include "src/stat/histogram.h"
 #include "src/stat/timeseries.h"
@@ -475,6 +477,63 @@ inline ManyPairsBench MeasureManyPairsBench(int pairs, size_t bytes, int iters,
     st.wait_max_ns = seg.queue_wait().max();
     st.frames_dropped = seg.frames_dropped();
     out.segments.push_back(st);
+  }
+  return out;
+}
+
+// --- chaos campaigns -----------------------------------------------------------
+
+// Everything a fault campaign reports: availability from the workload's point
+// of view, the at-most-once oracle's verdict, and the recovery machinery's
+// counters. All simulated quantities -- byte-stable and engine-invariant.
+struct ChaosBench {
+  ChaosResult run;
+  AmoOracle::Report oracle;
+  uint64_t events_fired = 0;
+  uint64_t boot_resets = 0;      // server reboots the client's CHANNEL observed
+  uint64_t retransmissions = 0;  // client CHANNEL
+  uint64_t timeouts = 0;
+  uint64_t down_drops = 0;    // frames that died at a crashed host's station
+  uint64_t fault_drops = 0;   // frames the plan dropped on the wire
+};
+
+// Runs the oracle-checked sequential chaos workload over L_RPC-VIP under
+// `plan`. The server's echo handler records executions in the oracle, and the
+// restart hook reinstalls it after a scheduled crash, so campaigns that kill
+// the server mid-call still account for every execution.
+inline ChaosBench MeasureChaosCampaign(const FaultPlan& plan, const ChaosSpec& spec,
+                                       bool adaptive_rto = false) {
+  AmoOracle oracle;
+  auto builder = [](HostStack& h) { return BuildLRpc(h, Delivery::kVip); };
+  RpcBench::Instance in = RpcBench::MakeInstance(builder);
+  in.sh->kernel->RunTask(in.net->events().now(), [&] {
+    (void)in.server->Export(RpcServer::kAny, oracle.WrapEcho(in.sh->kernel));
+  });
+  if (adaptive_rto) {
+    in.cstack.channel->set_adaptive_timeout(true);
+    in.sstack.channel->set_adaptive_timeout(true);
+  }
+  in.net->set_restart_hook("server", [&in, builder, &oracle, adaptive_rto](HostStack& h) {
+    in.sstack = builder(h);
+    in.server = &h.kernel->Emplace<RpcServer>(*h.kernel, in.sstack.top);
+    (void)in.server->Export(RpcServer::kAny, oracle.WrapEcho(h.kernel));
+    if (adaptive_rto) {
+      in.sstack.channel->set_adaptive_timeout(true);
+    }
+  });
+
+  FaultEngine faults(*in.net, plan);
+  ChaosBench out;
+  out.run = RpcWorkload::RunChaos(*in.net, *in.ch->kernel, in.MakeCall(), oracle, spec);
+  out.oracle = oracle.Finish();
+  out.events_fired = in.net->events_fired();
+  const ChannelProtocol::Stats& st = in.cstack.channel->stats();
+  out.boot_resets = st.boot_resets;
+  out.retransmissions = st.retransmissions;
+  out.timeouts = st.timeouts;
+  for (size_t s = 0; s < in.net->num_segments(); ++s) {
+    out.down_drops += in.net->segment(static_cast<int>(s)).down_drops();
+    out.fault_drops += in.net->segment(static_cast<int>(s)).fault_drops();
   }
   return out;
 }

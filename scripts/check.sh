@@ -98,6 +98,27 @@ fi
 echo "negative test: injected latency regression correctly rejected"
 
 echo
+echo "== chaos campaigns: oracle-clean crash/recovery =="
+# The scheduled mid-workload server crash must recover (boot_resets = 1) with
+# the at-most-once oracle reporting zero double executions and zero silent
+# failures. Byte-identity of the chaos jobs across worker threads and engine
+# widths is already enforced by the r*/g* cmp gates above, which include them.
+crash_line=$(grep '"name": "server-crash"' "$obs/r1.json")
+echo "$crash_line" | grep -q '"oracle_double_exec": 0' \
+  || { echo "FAIL: chaos.server-crash reported double executions"; exit 1; }
+echo "$crash_line" | grep -q '"oracle_silent": 0' \
+  || { echo "FAIL: chaos.server-crash reported silent failures"; exit 1; }
+echo "$crash_line" | grep -q '"boot_resets": 1' \
+  || { echo "FAIL: chaos.server-crash never observed the server reboot"; exit 1; }
+# A custom plan from the command line drives the same machinery.
+./build/bench/bench_suite \
+  --faults='crash:host=server,at=250ms,restart=600ms;drop:seg=0,from=0ms,until=200ms,rate=0.05;seed:5' \
+  --filter='^chaos\.custom' --stable --out="$obs/chaos_custom.json" >/dev/null
+grep -q '"oracle_double_exec": 0' "$obs/chaos_custom.json"
+grep -q '"oracle_silent": 0' "$obs/chaos_custom.json"
+echo "server-crash and --faults= campaigns oracle-clean"
+
+echo
 echo "== parallel engine: wall-clock speedup on the many-host workload =="
 # --engine-speedup times the many-host workload serially and at 4 engine
 # threads and fails if the simulated results differ at all. The >= 1.8x
@@ -119,7 +140,7 @@ echo "== TSan: parallel engine data-race check (build-tsan/) =="
 cmake -B build-tsan -S . -DXK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" --target bench_suite xk_tests
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/bench_suite \
-  --filter='^manyhost' --engine-threads=4 --out=/dev/null
+  --filter='^(manyhost|chaos)' --engine-threads=4 --out=/dev/null
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/xk_tests \
   --gtest_filter='ParallelEngine*'
 

@@ -1,0 +1,119 @@
+#include "src/app/oracle.h"
+
+#include "src/core/kernel.h"
+
+namespace xk {
+
+namespace {
+uint8_t PatternByte(uint64_t id, size_t i) {
+  return static_cast<uint8_t>((id * 31 + i * 7 + 13) & 0xFF);
+}
+}  // namespace
+
+Message AmoOracle::MakeRequest(uint64_t id, size_t payload_bytes) {
+  std::vector<uint8_t> bytes(kIdBytes + payload_bytes);
+  for (size_t i = 0; i < kIdBytes; ++i) {
+    bytes[i] = static_cast<uint8_t>(id >> (8 * (kIdBytes - 1 - i)));
+  }
+  for (size_t i = 0; i < payload_bytes; ++i) {
+    bytes[kIdBytes + i] = PatternByte(id, i);
+  }
+  return Message::FromBytes(bytes);
+}
+
+uint64_t AmoOracle::ExtractId(const Message& msg) {
+  uint8_t hdr[kIdBytes];
+  if (!msg.PeekHeader(hdr)) {
+    return 0;
+  }
+  uint64_t id = 0;
+  for (uint8_t b : hdr) {
+    id = (id << 8) | b;
+  }
+  return id;
+}
+
+RpcServer::Handler AmoOracle::WrapEcho(Kernel* server_kernel) {
+  return [this, server_kernel](uint16_t command, Message& request) -> Message {
+    (void)command;
+    const uint64_t id = ExtractId(request);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      calls_[id].executed_boots.push_back(server_kernel->boot_id());
+    }
+    return request;  // echo: the client checks the bytes round-tripped
+  };
+}
+
+void AmoOracle::RecordIssued(uint64_t id, SimTime at) {
+  (void)at;
+  std::lock_guard<std::mutex> lock(mu_);
+  calls_[id].issued = true;
+}
+
+void AmoOracle::RecordOutcome(uint64_t id, const Result<Message>& r, SimTime at) {
+  (void)at;
+  std::lock_guard<std::mutex> lock(mu_);
+  CallRecord& rec = calls_[id];
+  if (!r.ok()) {
+    rec.failed = true;
+    return;
+  }
+  rec.completed = true;
+  const Message& reply = *r;
+  const uint64_t reply_id = ExtractId(reply);
+  if (reply_id != id) {
+    if (calls_.find(reply_id) == calls_.end()) {
+      ++unknown_replies_;
+    }
+    rec.mismatched = true;
+    return;
+  }
+  // Verify the payload pattern byte-for-byte.
+  const std::vector<uint8_t> bytes = reply.Flatten();
+  if (bytes.size() < kIdBytes) {
+    rec.mismatched = true;
+    return;
+  }
+  for (size_t i = kIdBytes; i < bytes.size(); ++i) {
+    if (bytes[i] != PatternByte(id, i - kIdBytes)) {
+      rec.mismatched = true;
+      return;
+    }
+  }
+}
+
+AmoOracle::Report AmoOracle::Finish() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Report rep;
+  rep.unknown_replies = unknown_replies_;
+  for (const auto& [id, rec] : calls_) {
+    (void)id;
+    if (rec.issued) {
+      ++rep.issued;
+    }
+    if (rec.completed) {
+      ++rep.completed;
+    } else if (rec.failed) {
+      ++rep.failed;
+    } else if (rec.issued) {
+      ++rep.silent;
+    }
+    if (rec.mismatched) {
+      ++rep.mismatched_replies;
+    }
+    rep.executions += rec.executed_boots.size();
+    // Same boot twice = at-most-once violation; a new boot re-executing is
+    // the (reported) consequence of losing the duplicate filter in a crash.
+    for (size_t i = 1; i < rec.executed_boots.size(); ++i) {
+      if (rec.executed_boots[i] == rec.executed_boots[i - 1]) {
+        ++rep.double_executions;
+      } else {
+        ++rep.cross_boot_reexecutions;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace xk

@@ -1,0 +1,99 @@
+// At-most-once oracle: an external checker for RPC execution semantics under
+// fault campaigns.
+//
+// The oracle tags every request with a unique call id, records server-side
+// executions (with the server's boot id at execution time) and client-side
+// outcomes, and asserts, under ANY fault plan, that
+//   * no call id is executed twice within one server boot (CHANNEL's
+//     duplicate suppression holds),
+//   * every completed reply echoes its own request (no cross-wiring), and
+//   * every issued call reaches a recorded outcome -- reply or surfaced
+//     failure -- never silence.
+// Re-execution across a server reboot is counted separately: at-most-once
+// state is in-memory by design (the paper's Sprite algorithm), so a crashed
+// server that lost its duplicate filter MAY re-execute -- the oracle reports
+// it, and pure-crash plans (no message loss) must still show zero.
+//
+// Thread-safety: recording methods take a mutex because under the parallel
+// engine the client and server run on different logical processes. All
+// bookkeeping is content-addressed by call id, so totals are deterministic
+// and engine-invariant regardless of interleaving.
+
+#ifndef XK_SRC_APP_ORACLE_H_
+#define XK_SRC_APP_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/app/anchor.h"
+#include "src/core/message.h"
+
+namespace xk {
+
+class AmoOracle {
+ public:
+  static constexpr size_t kIdBytes = 8;
+
+  // Allocates the next call id (client side; ids start at 1).
+  uint64_t NextCallId() { return ++last_id_; }
+
+  // Builds a request: 8-byte big-endian call id followed by `payload_bytes`
+  // of an id-derived pattern (so corrupted or cross-wired replies are
+  // detectable byte-for-byte).
+  static Message MakeRequest(uint64_t id, size_t payload_bytes);
+
+  // Reads the call id out of a request or echoed reply; 0 if too short.
+  static uint64_t ExtractId(const Message& msg);
+
+  // An RpcServer handler that echoes the request and records its execution
+  // under `server_kernel`'s CURRENT boot id (read at execution time, so the
+  // same oracle spans crash/restart cycles -- install it again from the
+  // restart hook).
+  RpcServer::Handler WrapEcho(Kernel* server_kernel);
+
+  // Client side: a call was issued / reached its outcome.
+  void RecordIssued(uint64_t id, SimTime at);
+  void RecordOutcome(uint64_t id, const Result<Message>& r, SimTime at);
+
+  struct Report {
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;       // surfaced errors (retry exhaustion, resets)
+    uint64_t executions = 0;   // total server-side executions
+    uint64_t double_executions = 0;        // same id twice in ONE boot: violation
+    uint64_t cross_boot_reexecutions = 0;  // re-executed after a reboot: reported
+    uint64_t mismatched_replies = 0;  // reply does not echo its request: violation
+    uint64_t unknown_replies = 0;     // reply id never issued: violation
+    uint64_t silent = 0;              // issued, no outcome ever: violation
+
+    // True iff at-most-once semantics held and no failure was silent.
+    bool clean() const {
+      return double_executions == 0 && mismatched_replies == 0 && unknown_replies == 0 &&
+             silent == 0;
+    }
+  };
+
+  // Computes the report. Call after the simulation has quiesced (RunAll
+  // returned): only then can "no outcome" be judged silent.
+  Report Finish() const;
+
+ private:
+  struct CallRecord {
+    bool issued = false;
+    bool completed = false;
+    bool failed = false;
+    bool mismatched = false;
+    std::vector<uint32_t> executed_boots;  // boot id at each execution
+  };
+
+  mutable std::mutex mu_;
+  uint64_t last_id_ = 0;
+  std::map<uint64_t, CallRecord> calls_;
+  uint64_t unknown_replies_ = 0;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_APP_ORACLE_H_

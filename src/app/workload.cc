@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "src/app/oracle.h"
+
 namespace xk {
 
 LatencyResult RpcWorkload::MeasureLatency(Internet& net, Kernel& client_kernel,
@@ -77,6 +79,57 @@ ThroughputResult RpcWorkload::MeasureThroughput(Internet& net, Kernel& client_ke
     result.kbytes_per_sec = total_bytes / 1024.0 / (ToMsec(result.elapsed) / 1000.0);
     result.client_cpu = (client_kernel.cpu().total_busy() - client_cpu0) / result.completed;
     result.server_cpu = (server_kernel.cpu().total_busy() - server_cpu0) / result.completed;
+  }
+  return result;
+}
+
+ChaosResult RpcWorkload::RunChaos(Internet& net, Kernel& client_kernel, const CallFn& call,
+                                  AmoOracle& oracle, const ChaosSpec& spec) {
+  ChaosResult result;
+  SimTime start = 0;
+  SimTime first_success_after_crash = 0;
+  int remaining = spec.calls;
+
+  // Sequential issue chain, like MeasureLatency -- but failures continue the
+  // chain (availability is the point), and calls are spaced by `gap` so the
+  // workload spans the fault windows instead of completing before them.
+  std::function<void()> issue = [&]() {
+    const uint64_t id = oracle.NextCallId();
+    const SimTime t0 = client_kernel.now();
+    ++result.issued;
+    oracle.RecordIssued(id, t0);
+    call(AmoOracle::MakeRequest(id, spec.payload_bytes), [&, id, t0](Result<Message> r) {
+      const SimTime now = client_kernel.now();
+      result.rtt.Record(now - t0);
+      oracle.RecordOutcome(id, r, now);
+      if (r.ok()) {
+        ++result.completed;
+        if (spec.crash_at > 0 && now >= spec.crash_at && first_success_after_crash == 0) {
+          first_success_after_crash = now;
+        }
+      } else {
+        ++result.failed;
+        result.last_failure_at = now;
+      }
+      if (--remaining > 0) {
+        if (spec.gap > 0) {
+          client_kernel.ScheduleTask(spec.gap, [&]() { issue(); });
+        } else {
+          issue();
+        }
+      } else {
+        result.elapsed = now - start;
+      }
+    });
+  };
+
+  client_kernel.ScheduleTask(0, [&]() {
+    start = client_kernel.now();
+    issue();
+  });
+  net.RunAll();
+  if (first_success_after_crash > 0) {
+    result.recovery_latency = first_success_after_crash - spec.crash_at;
   }
   return result;
 }

@@ -16,6 +16,8 @@
 
 namespace xk {
 
+class AmoOracle;
+
 // Issues one call carrying `args`; must invoke `done` exactly once.
 using CallFn = std::function<void(Message args, std::function<void(Result<Message>)> done)>;
 
@@ -34,6 +36,25 @@ struct ThroughputResult {
   SimTime client_cpu = 0;       // CPU busy time per call
   SimTime server_cpu = 0;
   Histogram rtt;  // per-call round-trip times
+};
+
+// Chaos workload parameters (RunChaos).
+struct ChaosSpec {
+  size_t payload_bytes = 64;  // request payload after the oracle's 8-byte id
+  int calls = 200;            // sequential calls issued
+  SimTime gap = Msec(2);      // pause between a call settling and the next issue
+  SimTime crash_at = 0;       // when the fault plan crashes the server (for
+                              // recovery-latency attribution); 0 = no crash
+};
+
+struct ChaosResult {
+  int issued = 0;
+  int completed = 0;
+  int failed = 0;            // surfaced failures (never silent -- oracle checks)
+  SimTime elapsed = 0;       // first issue to last settlement
+  SimTime recovery_latency = 0;  // first success at/after crash_at, minus crash_at
+  SimTime last_failure_at = 0;
+  Histogram rtt;             // per-call round-trips, failures included
 };
 
 struct ManyPairsResult {
@@ -69,6 +90,15 @@ class RpcWorkload {
   static ManyPairsResult MeasureManyPairs(Internet& net, const std::vector<Kernel*>& clients,
                                           const std::vector<CallFn>& calls, size_t bytes,
                                           int iters = 20);
+
+  // Availability workload for fault campaigns: issues `spec.calls` sequential
+  // oracle-tagged calls (spaced by `spec.gap`), pressing on through failures,
+  // and reports success rate, recovery latency, and the per-call RTT
+  // distribution. Every request is built by `oracle` (MakeRequest) and every
+  // outcome recorded with it; pair with the oracle's WrapEcho handler on the
+  // server and check oracle.Finish().clean() after the run.
+  static ChaosResult RunChaos(Internet& net, Kernel& client_kernel, const CallFn& call,
+                              AmoOracle& oracle, const ChaosSpec& spec);
 };
 
 }  // namespace xk

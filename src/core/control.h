@@ -52,6 +52,9 @@ enum class ControlOp : uint8_t {
   kSetTimeoutBase,     // in u64: base retransmit timeout, nanoseconds
   kGetRetransmits,     // out u64: total retransmissions performed (stats)
   kGetDuplicatesDropped,  // out u64: duplicate requests suppressed (stats)
+  kGetTimeouts,        // out u64: retransmit timer expirations (stats)
+  kSetAdaptiveTimeout, // in u64(bool): SRTT/RTTVAR adaptive RTO instead of the
+                       // paper's step-function timeout (default off)
 
   // --- auth (Sun RPC optional layers) -----------------------------------------
   kSetCredentials,  // in u64: packed uid<<32|gid

@@ -35,24 +35,66 @@ void Kernel::RunTask(SimTime at, const std::function<void()>& fn) {
 
 EventHandle Kernel::ScheduleTask(SimTime delay, std::function<void()> fn) {
   ++tasks_pending_;
-  return events_.ScheduleIn(delay, [this, fn = std::move(fn)]() {
+  EventHandle h = events_.ScheduleIn(delay, [this, fn = std::move(fn)]() {
     if (tasks_pending_ > 0) {
       --tasks_pending_;
     }
     RunTask(events_.now(), fn);
   });
+  TrackPending(h);
+  return h;
 }
 
 EventHandle Kernel::SetTimer(SimTime delay, std::function<void()> fn) {
   cpu_.Charge(costs_.timer_set);
   const SimTime fire_at = cpu_.now() + delay;
   ++tasks_pending_;
-  return events_.ScheduleAt(fire_at, [this, fn = std::move(fn)]() {
+  EventHandle h = events_.ScheduleAt(fire_at, [this, fn = std::move(fn)]() {
     if (tasks_pending_ > 0) {
       --tasks_pending_;
     }
     RunTask(events_.now(), fn);
   });
+  TrackPending(h);
+  return h;
+}
+
+void Kernel::TrackPending(EventHandle handle) {
+  // Host bookkeeping only (never charged): keep the registry from growing
+  // without bound by squeezing out fired/cancelled handles once they dominate.
+  if (pending_handles_.size() >= 64 && pending_handles_.size() >= 2 * tasks_pending_) {
+    size_t kept = 0;
+    for (EventHandle& h : pending_handles_) {
+      if (h.pending()) {
+        pending_handles_[kept++] = h;
+      }
+    }
+    pending_handles_.resize(kept);
+  }
+  pending_handles_.push_back(handle);
+}
+
+void Kernel::Crash() {
+  // Order matters: pending task/timer closures capture raw pointers into the
+  // protocol graph, so they must die before the graph does.
+  for (EventHandle& h : pending_handles_) {
+    h.Cancel();
+  }
+  pending_handles_.clear();
+  tasks_pending_ = 0;
+  while (!protocols_.empty()) {
+    protocols_.pop_back();
+  }
+  by_name_.clear();
+  up_ = false;
+}
+
+void Kernel::Restart() {
+  // A plain increment rather than EventQueue::AllocateBootId(): under the
+  // parallel engine each host has its own queue, so a shared allocator would
+  // hand out different ids than the serial engine's single queue does.
+  ++boot_id_;
+  up_ = true;
 }
 
 void Kernel::CancelTimer(EventHandle& handle) {

@@ -40,11 +40,24 @@ class Kernel {
   EthAddr eth_addr() const { return eth_; }
   HostEnv env() const { return env_; }
 
-  // Monotonic per-boot identifier (Sprite RPC uses it to detect reboots).
+  // Monotonic per-boot identifier (CHANNEL and Sprite RPC use it to detect
+  // reboots).
   uint32_t boot_id() const { return boot_id_; }
-  // Simulates a crash/reboot: bumps the boot id. Protocol state is NOT
-  // cleared here; tests that model reboot also rebuild the protocol graph.
-  void Reboot() { ++boot_id_; }
+
+  // Simulates a host crash: cancels every pending task and timer on this
+  // kernel, then destroys the whole protocol graph (top-first, like the
+  // destructor) so all in-memory protocol state -- sessions, sequence
+  // numbers, duplicate filters -- is lost exactly as a real crash loses it.
+  // The kernel object itself survives; Internet::RestartHost rebuilds the
+  // graph and brings the host back up.
+  void Crash();
+
+  // Brings a crashed host back up under a new boot id. The caller (normally
+  // Internet::RestartHost) rebuilds the protocol graph afterwards.
+  void Restart();
+
+  // False between Crash() and Restart().
+  bool is_up() const { return up_; }
 
   // --- simulation access ------------------------------------------------------
   EventQueue& events() { return events_; }
@@ -158,8 +171,15 @@ class Kernel {
   EthAddr eth_;
   uint32_t boot_id_;
   uint64_t tasks_pending_ = 0;
+  bool up_ = true;
   int trace_level_ = 0;
   TraceSink* trace_ = nullptr;
+
+  // Every pending task/timer handle, so Crash() can cancel the lot (their
+  // closures capture protocol objects the crash destroys). Fired and
+  // cancelled handles are compacted lazily.
+  std::vector<EventHandle> pending_handles_;
+  void TrackPending(EventHandle handle);
 
   std::vector<std::unique_ptr<Protocol>> protocols_;
   std::map<std::string, Protocol*> by_name_;

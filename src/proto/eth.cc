@@ -14,9 +14,11 @@ EthProtocol::EthProtocol(Kernel& kernel, EthernetSegment& segment, std::optional
     : Protocol(kernel, std::move(name), {}),
       segment_(segment),
       addr_(addr.value_or(kernel.eth_addr())),
-      attach_id_(segment.Attach(addr_, this)),
+      attach_id_(segment.Attach(addr_, this, &kernel)),
       active_(*this),
       passive_(*this) {}
+
+EthProtocol::~EthProtocol() { segment_.Detach(attach_id_); }
 
 Result<SessionRef> EthProtocol::DoOpen(Protocol& hlp, const ParticipantSet& parts) {
   if (!parts.peer.eth.has_value() || !parts.local.eth_type.has_value()) {
@@ -91,7 +93,11 @@ Status EthProtocol::DoDemux(Session* lls, Message& msg) {
   const EthAddr src = r.GetEthAddr();
   const EthType type = r.GetU16();
   if (dst != addr_ && !dst.IsBroadcast()) {
-    return OkStatus();  // not for us (promiscuous segment filtered already)
+    // Not for us. The segment delivers point-to-point, so a mismatched
+    // destination only happens when the address bytes were corrupted on the
+    // wire -- count it as a demux drop rather than silently succeeding.
+    kernel().Tracef(2, "eth: destination mismatch, dropping");
+    return ErrStatus(StatusCode::kNotFound);
   }
   SessionRef sess = active_.Resolve(Key{src, type});
   if (sess == nullptr) {

@@ -33,6 +33,10 @@ class EthProtocol : public Protocol, public FrameSink {
   EthProtocol(Kernel& kernel, EthernetSegment& segment,
               std::optional<EthAddr> addr = std::nullopt, std::string name = "eth");
 
+  // Detaches the station so frames racing toward a crashed host are dropped
+  // at the wire (segment down_drops), not delivered to a dead object.
+  ~EthProtocol() override;
+
   // This interface's station address.
   EthAddr addr() const { return addr_; }
 

@@ -91,19 +91,111 @@ HostStack& Internet::AddHost(const std::string& name, int segment, IpAddr ip,
     stats_->RegisterKernel(stat_net_, *k);
   }
 
-  HostStack stack;
-  stack.kernel = k;
+  HostEntry entry;
+  entry.name = name;
+  entry.stack.kernel = k;
+  entry.segment = segment;
+  entry.ip = ip;
+  entry.env = env.value_or(default_env_);
+  hosts_.push_back(std::move(entry));
+  HostEntry& e = hosts_.back();
   // Protocol constructors perform open_enables, which charge the CPU, so the
   // graph is built inside a configuration task.
-  k->RunTask(events_.now(), [&]() {
-    stack.eth = &k->Emplace<EthProtocol>(*k, *segments_[segment]);
-    stack.arp = &k->Emplace<ArpProtocol>(*k, stack.eth);
-    stack.ip = &k->Emplace<IpProtocol>(
-        *k, std::vector<IpInterface>{IpInterface{stack.eth, stack.arp, ip, 24}});
-  });
-  attachments_[segment].push_back(Attachment{ip, mac, stack.arp});
-  hosts_.emplace_back(name, stack);
-  return hosts_.back().second;
+  k->RunTask(events_.now(), [&]() { BuildSubstrate(e); });
+  attachments_[segment].push_back(Attachment{ip, mac, e.stack.arp});
+  return e.stack;
+}
+
+void Internet::BuildSubstrate(HostEntry& e) {
+  // Must run inside a task on e's kernel. On restart the Ethernet driver
+  // reclaims its old station id (same MAC), so wire-level identity persists
+  // across reboots just as the IP address does.
+  Kernel* k = e.stack.kernel;
+  e.stack.eth = &k->Emplace<EthProtocol>(*k, *segments_[e.segment]);
+  e.stack.arp = &k->Emplace<ArpProtocol>(*k, e.stack.eth);
+  e.stack.ip = &k->Emplace<IpProtocol>(
+      *k, std::vector<IpInterface>{IpInterface{e.stack.eth, e.stack.arp, e.ip, 24}});
+}
+
+Internet::HostEntry& Internet::FindEntry(const std::string& name) {
+  for (HostEntry& e : hosts_) {
+    if (e.name == name) {
+      return e;
+    }
+  }
+  throw std::out_of_range("no such host: " + name);
+}
+
+void Internet::CrashHost(const std::string& host_name) {
+  HostEntry& e = FindEntry(host_name);
+  Kernel* k = e.stack.kernel;
+  assert(k->is_up() && "CrashHost: host is already down");
+  // Null out attachment ARP pointers before their protocols die.
+  for (auto& seg : attachments_) {
+    for (Attachment& a : seg) {
+      if (a.arp != nullptr && &a.arp->kernel() == k) {
+        a.arp = nullptr;
+      }
+    }
+  }
+  // Protocol destructors charge teardown work, so the crash itself runs as a
+  // task unless the caller (e.g. a FaultEngine crash event) already is one.
+  if (k->cpu().in_task()) {
+    k->Crash();
+  } else {
+    k->RunTask(k->events().now(), [&]() { k->Crash(); });
+  }
+  e.stack.eth = nullptr;
+  e.stack.arp = nullptr;
+  e.stack.ip = nullptr;
+}
+
+HostStack& Internet::RestartHost(const std::string& host_name) {
+  HostEntry& e = FindEntry(host_name);
+  assert(e.segment >= 0 && "RestartHost: routers do not restart");
+  Kernel* k = e.stack.kernel;
+  assert(!k->is_up() && "RestartHost: host is not down");
+  k->Restart();
+  const auto reboot = [this, &e, k]() {
+    BuildSubstrate(e);
+    if (e.gateway.has_value()) {
+      e.stack.ip->SetDefaultGateway(*e.gateway);
+    }
+    if (warmed_) {
+      // The peers kept their (still valid) entries for this host; only the
+      // reborn host's cache is cold.
+      for (const Attachment& b : attachments_[e.segment]) {
+        if (b.ip == e.ip) {
+          continue;
+        }
+        ControlArgs args;
+        args.ip = b.ip;
+        args.eth = b.eth;
+        (void)e.stack.arp->Control(ControlOp::kAddResolveEntry, args);
+      }
+    }
+    if (e.restart_hook) {
+      e.restart_hook(e.stack);
+    }
+  };
+  // Use the host's own clock: in parallel mode the Internet's control queue
+  // can lag the host's logical process mid-run.
+  if (k->cpu().in_task()) {
+    reboot();
+  } else {
+    k->RunTask(k->events().now(), reboot);
+  }
+  for (Attachment& a : attachments_[e.segment]) {
+    if (a.ip == e.ip) {
+      a.arp = e.stack.arp;
+    }
+  }
+  return e.stack;
+}
+
+void Internet::set_restart_hook(const std::string& host_name,
+                                std::function<void(HostStack&)> hook) {
+  FindEntry(host_name).restart_hook = std::move(hook);
 }
 
 HostStack& Internet::AddRouter(const std::string& name,
@@ -147,8 +239,14 @@ HostStack& Internet::AddRouter(const std::string& name,
     stack.ip = &k->Emplace<IpProtocol>(*k, std::move(ifaces));
     stack.ip->set_forwarding(true);
   });
-  hosts_.emplace_back(name, stack);
-  return hosts_.back().second;
+  HostEntry entry;
+  entry.name = name;
+  entry.stack = stack;
+  entry.segment = -1;  // multiple attachments; routers don't restart
+  entry.ip = attachments[0].second;
+  entry.env = default_env_;
+  hosts_.push_back(std::move(entry));
+  return hosts_.back().stack;
 }
 
 void Internet::WarmArp() {
@@ -167,11 +265,13 @@ void Internet::WarmArp() {
       });
     }
   }
+  warmed_ = true;
 }
 
 void Internet::SetDefaultGateway(const std::string& host_name, IpAddr gw) {
-  HostStack& h = host(host_name);
-  h.kernel->RunTask(events_.now(), [&]() { h.ip->SetDefaultGateway(gw); });
+  HostEntry& e = FindEntry(host_name);
+  e.gateway = gw;
+  e.stack.kernel->RunTask(events_.now(), [&]() { e.stack.ip->SetDefaultGateway(gw); });
 }
 
 void Internet::AttachTrace(TraceSink* trace) {
@@ -222,13 +322,12 @@ std::string Internet::CountersJson() const {
   std::string out;
   out += "{\"schema_version\":1,\"hosts\":[";
   bool first = true;
-  for (const auto& [name, stack] : hosts_) {
-    (void)name;
+  for (const HostEntry& e : hosts_) {
     if (!first) {
       out += ',';
     }
     first = false;
-    AppendHostCountersJson(out, *stack.kernel);
+    AppendHostCountersJson(out, *e.stack.kernel);
   }
   out += "],\"links\":[";
   for (size_t i = 0; i < segments_.size(); ++i) {
@@ -244,6 +343,8 @@ std::string Internet::CountersJson() const {
     out += ",\"fault_drops\":" + std::to_string(s.fault_drops());
     out += ",\"fault_duplicates\":" + std::to_string(s.fault_duplicates());
     out += ",\"fault_corruptions\":" + std::to_string(s.fault_corruptions());
+    out += ",\"fault_delays\":" + std::to_string(s.fault_delays());
+    out += ",\"down_drops\":" + std::to_string(s.down_drops());
     out += ",\"bus_busy_ns\":" + std::to_string(s.bus_busy_time());
     // Utilization over the full simulated span, parts-per-million (integer,
     // so the document stays byte-stable).
@@ -277,14 +378,7 @@ bool Internet::WriteCountersJson(const std::string& path) const {
   return std::fclose(f) == 0 && ok;
 }
 
-HostStack& Internet::host(const std::string& name) {
-  for (auto& [n, stack] : hosts_) {
-    if (n == name) {
-      return stack;
-    }
-  }
-  throw std::out_of_range("no such host: " + name);
-}
+HostStack& Internet::host(const std::string& name) { return FindEntry(name).stack; }
 
 std::unique_ptr<Internet> Internet::TwoHosts(HostEnv env) {
   auto net = std::make_unique<Internet>(env);

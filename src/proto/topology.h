@@ -11,7 +11,9 @@
 #define XK_SRC_PROTO_TOPOLOGY_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -75,6 +77,27 @@ class Internet {
   // Sets `host`'s default gateway.
   void SetDefaultGateway(const std::string& host, IpAddr gw);
 
+  // --- crash / recovery -------------------------------------------------------
+
+  // Crashes `host`: cancels its pending events and destroys its protocol
+  // graph (Kernel::Crash), detaching its NIC from the segment. Frames already
+  // in flight toward it are dropped at arrival (segment down_drops). Safe to
+  // call from a task running on that host (how FaultEngine does it) or from
+  // test code outside any task.
+  void CrashHost(const std::string& host);
+
+  // Restarts a crashed host: bumps the boot id, rebuilds the substrate stack
+  // (ETH + ARP + IP, same addresses and station id), restores its default
+  // gateway, re-warms its ARP entries if WarmArp() had run, and finally
+  // invokes the host's restart hook (if set) to rebuild the upper layers.
+  // Only plain hosts restart; routers don't. Returns the rebuilt stack.
+  HostStack& RestartHost(const std::string& host);
+
+  // Called at the end of RestartHost (inside the host's reboot task) so the
+  // experiment can rebuild upper-layer protocols and anchors on the fresh
+  // substrate. The HostStack passed is the host's live entry.
+  void set_restart_hook(const std::string& host, std::function<void(HostStack&)> hook);
+
   // --- canned topologies ------------------------------------------------------
 
   // The paper's testbed: two hosts, one isolated segment, warm caches.
@@ -132,6 +155,22 @@ class Internet {
     ArpProtocol* arp;
   };
 
+  // One host plus everything needed to rebuild its substrate after a crash.
+  struct HostEntry {
+    std::string name;
+    HostStack stack;
+    int segment = -1;  // -1: router (multiple attachments; restart unsupported)
+    IpAddr ip{};
+    HostEnv env = HostEnv::kXKernel;
+    std::optional<IpAddr> gateway;
+    std::function<void(HostStack&)> restart_hook;
+  };
+
+  HostEntry& FindEntry(const std::string& name);
+  // Builds ETH+ARP+IP for `e` inside a configuration task on its kernel
+  // (shared by AddHost and RestartHost).
+  void BuildSubstrate(HostEntry& e);
+
   HostEnv default_env_;
   EventQueue events_;
   uint64_t seed_;
@@ -145,8 +184,9 @@ class Internet {
   std::vector<std::unique_ptr<EthernetSegment>> segments_;
   std::vector<std::vector<Attachment>> attachments_;  // per segment
   std::vector<std::unique_ptr<Kernel>> kernels_;
+  bool warmed_ = false;  // WarmArp() has run; restarted hosts re-warm
   // deque: AddHost/AddRouter return stable references into this container.
-  std::deque<std::pair<std::string, HostStack>> hosts_;
+  std::deque<HostEntry> hosts_;
 };
 
 }  // namespace xk

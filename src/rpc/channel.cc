@@ -9,6 +9,10 @@ constexpr uint16_t kFlagRequest = 0x1;
 constexpr uint16_t kFlagReply = 0x2;
 constexpr uint16_t kFlagAck = 0x4;        // explicit "still working on it"
 constexpr uint16_t kFlagPleaseAck = 0x8;  // retransmitted request asks for one
+
+// Adaptive-RTO bounds (consulted only with kSetAdaptiveTimeout on).
+constexpr SimTime kRtoFloor = Msec(10);
+constexpr SimTime kRtoCap = Msec(2000);
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -130,6 +134,12 @@ Status ChannelProtocol::DoControl(ControlOp op, ControlArgs& args) {
     case ControlOp::kSetRetransmitLimit:
       retry_limit_ = static_cast<int>(args.u64);
       return OkStatus();
+    case ControlOp::kGetTimeouts:
+      args.u64 = stats_.timeouts;
+      return OkStatus();
+    case ControlOp::kSetAdaptiveTimeout:
+      adaptive_timeout_ = args.u64 != 0;
+      return OkStatus();
     case ControlOp::kGetMaxSendSize:
       // CHANNEL adds a header but does not fragment; it depends on the layer
       // below to carry (or split) what its own clients push.
@@ -150,7 +160,8 @@ ChannelSession::ChannelSession(ChannelProtocol& owner, Protocol* hlp, IpAddr pee
       peer_(peer),
       channel_(channel),
       proto_(proto),
-      lower_(std::move(lower)) {}
+      lower_(std::move(lower)),
+      jitter_(0x9e3779b97f4a7c15ULL ^ (static_cast<uint64_t>(channel) << 32) ^ proto) {}
 
 void ChannelSession::Send(uint16_t flags, uint32_t seq, uint16_t error,
                           const Message& payload) {
@@ -181,15 +192,40 @@ SimTime ChannelSession::TimeoutFor(const Message& msg) const {
   return chan_.base_timeout_ * static_cast<SimTime>(frags);
 }
 
+SimTime ChannelSession::AdaptiveRto() const {
+  // Jacobson RTO with capped exponential backoff per retry.
+  SimTime rto = srtt_ + 4 * rttvar_;
+  if (rto < kRtoFloor) {
+    rto = kRtoFloor;
+  }
+  const int shift = pending_->retries < 6 ? pending_->retries : 6;
+  rto <<= shift;
+  if (rto > kRtoCap) {
+    rto = kRtoCap;
+  }
+  return rto;
+}
+
 void ChannelSession::ArmTimer() {
-  pending_->timer = kernel().SetTimer(
-      TimeoutFor(pending_->request) * (pending_->acked ? 4 : 1), [this]() { OnTimeout(); });
+  SimTime rto;
+  if (chan_.adaptive_timeout_ && have_rtt_) {
+    rto = AdaptiveRto();
+    // Deterministic per-channel jitter desynchronizes retry storms across
+    // channels without perturbing runs (seeded from the channel identity).
+    rto += static_cast<SimTime>(
+        jitter_.NextBelow(static_cast<uint64_t>(rto / 8) + 1));
+  } else {
+    rto = TimeoutFor(pending_->request);
+  }
+  pending_->timer =
+      kernel().SetTimer(rto * (pending_->acked ? 4 : 1), [this]() { OnTimeout(); });
 }
 
 void ChannelSession::OnTimeout() {
   if (!pending_.has_value()) {
     return;
   }
+  ++chan_.stats_.timeouts;
   if (pending_->retries >= chan_.retry_limit_) {
     ++chan_.stats_.call_failures;
     pending_.reset();
@@ -199,6 +235,7 @@ void ChannelSession::OnTimeout() {
     return;
   }
   ++pending_->retries;
+  pending_->retransmitted = true;
   ++chan_.stats_.retransmissions;
   // Retransmissions ask the server to confirm liveness explicitly.
   Send(kFlagRequest | kFlagPleaseAck, pending_->seq, 0, pending_->request);
@@ -222,6 +259,7 @@ Status ChannelSession::DoPush(Message& msg) {
   pending_.emplace();
   pending_->request = msg;
   pending_->seq = seq;
+  pending_->sent_at = kernel().now();
   Send(kFlagRequest, seq, 0, msg);
   ArmTimer();
   kernel().ChargeSemOp();  // the calling shepherd blocks awaiting the reply
@@ -284,6 +322,21 @@ Status ChannelSession::HandleReply(uint16_t flags, uint32_t seq, uint16_t error,
     return OkStatus();
   }
   (void)error;
+  // RTT estimation, Karn's rule: retransmitted calls are ambiguous (the reply
+  // may answer either copy), so only clean exchanges update the estimator.
+  if (!pending_->retransmitted) {
+    const SimTime sample = kernel().now() - pending_->sent_at;
+    if (!have_rtt_) {
+      srtt_ = sample;
+      rttvar_ = sample / 2;
+      have_rtt_ = true;
+    } else {
+      const SimTime err = sample - srtt_;
+      srtt_ += err / 8;
+      const SimTime abs_err = err < 0 ? -err : err;
+      rttvar_ += (abs_err - rttvar_) / 4;
+    }
+  }
   kernel().CancelTimer(pending_->timer);
   pending_.reset();
   ++chan_.stats_.replies_received;

@@ -36,6 +36,7 @@
 #include "src/core/kernel.h"
 #include "src/core/map.h"
 #include "src/core/protocol.h"
+#include "src/sim/rng.h"
 
 namespace xk {
 
@@ -49,6 +50,13 @@ class ChannelProtocol : public Protocol {
   void set_base_timeout(SimTime t) { base_timeout_ = t; }
   void set_retry_limit(int n) { retry_limit_ = n; }
 
+  // Adaptive retransmission (kSetAdaptiveTimeout): per-session SRTT/RTTVAR
+  // estimation with Karn's rule and capped exponential backoff, instead of the
+  // paper's step-function timeout. Off by default so the paper's Table I-III
+  // timing behavior is untouched.
+  void set_adaptive_timeout(bool on) { adaptive_timeout_ = on; }
+  bool adaptive_timeout() const { return adaptive_timeout_; }
+
   struct Stats {
     uint64_t calls_sent = 0;
     uint64_t replies_received = 0;
@@ -61,6 +69,7 @@ class ChannelProtocol : public Protocol {
     uint64_t call_failures = 0;  // retries exhausted
     uint64_t boot_resets = 0;
     uint64_t stale_drops = 0;  // old-sequence packets discarded
+    uint64_t timeouts = 0;     // retransmit timer expirations
   };
   const Stats& stats() const { return stats_; }
 
@@ -77,6 +86,7 @@ class ChannelProtocol : public Protocol {
     emit("call_failures", stats_.call_failures);
     emit("boot_resets", stats_.boot_resets);
     emit("stale_drops", stats_.stale_drops);
+    emit("timeouts", stats_.timeouts);
   }
 
   void ExportGauges(const CounterEmit& emit) const override {
@@ -99,6 +109,7 @@ class ChannelProtocol : public Protocol {
   DemuxMap<RelProtoNum, Protocol*> passive_;
   SimTime base_timeout_ = Msec(50);
   int retry_limit_ = 5;
+  bool adaptive_timeout_ = false;
   Stats stats_;
 };
 
@@ -127,12 +138,15 @@ class ChannelSession : public Session {
     Message request;  // saved for retransmission
     uint32_t seq = 0;
     int retries = 0;
-    bool acked = false;  // server sent an explicit "I'm working on it"
+    bool acked = false;          // server sent an explicit "I'm working on it"
+    bool retransmitted = false;  // Karn's rule: never sample a retransmitted call
+    SimTime sent_at = 0;
     EventHandle timer;
   };
 
   void Send(uint16_t flags, uint32_t seq, uint16_t error, const Message& payload);
   SimTime TimeoutFor(const Message& msg) const;
+  SimTime AdaptiveRto() const;
   void ArmTimer();
   void OnTimeout();
   Status HandleRequest(uint32_t seq, uint32_t boot_id, Message& payload, Session* lls);
@@ -148,6 +162,14 @@ class ChannelSession : public Session {
   uint32_t send_seq_ = 0;
   std::optional<PendingCall> pending_;
   uint32_t peer_boot_id_ = 0;
+
+  // Adaptive-RTO state (maintained always, consulted only when the protocol's
+  // adaptive_timeout_ is on). The jitter stream is seeded from the channel
+  // identity so runs are deterministic and engine-invariant.
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  bool have_rtt_ = false;
+  Rng jitter_;
 
   // --- server half ------------------------------------------------------------
   uint32_t recv_seq_ = 0;

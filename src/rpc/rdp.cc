@@ -1,6 +1,21 @@
 #include "src/rpc/rdp.h"
 
+#include "src/rpc/channel.h"
+
 namespace xk {
+
+void RdpProtocol::ExportCounters(const CounterEmit& emit) const {
+  Protocol::ExportCounters(emit);
+  emit("datagrams_sent", stats_.datagrams_sent);
+  emit("datagrams_delivered", stats_.datagrams_delivered);
+  emit("send_failures", stats_.send_failures);
+  // Counter export runs outside any task (it may not charge), so read the
+  // CHANNEL's stats directly rather than going through Control.
+  if (const auto* ch = dynamic_cast<const ChannelProtocol*>(lower(0))) {
+    emit("retransmits", ch->stats().retransmissions);
+    emit("timeouts", ch->stats().timeouts);
+  }
+}
 
 RdpProtocol::RdpProtocol(Kernel& kernel, Protocol* lower, std::string name)
     : Protocol(kernel, std::move(name), {lower}), active_(*this), sends_(*this) {

@@ -36,12 +36,9 @@ class RdpProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
-  void ExportCounters(const CounterEmit& emit) const override {
-    Protocol::ExportCounters(emit);
-    emit("datagrams_sent", stats_.datagrams_sent);
-    emit("datagrams_delivered", stats_.datagrams_delivered);
-    emit("send_failures", stats_.send_failures);
-  }
+  // Also surfaces the retransmission machinery of the CHANNEL below
+  // (retransmits/timeouts), matching CHANNEL's stats surface.
+  void ExportCounters(const CounterEmit& emit) const override;
 
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;

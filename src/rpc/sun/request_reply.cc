@@ -105,6 +105,9 @@ Status RequestReplyProtocol::DoControl(ControlOp op, ControlArgs& args) {
     case ControlOp::kGetRetransmits:
       args.u64 = stats_.retransmissions;
       return OkStatus();
+    case ControlOp::kGetTimeouts:
+      args.u64 = stats_.timeouts;
+      return OkStatus();
     case ControlOp::kSetTimeoutBase:
       timeout_ = static_cast<SimTime>(args.u64);
       return OkStatus();
@@ -152,6 +155,7 @@ void RequestReplySession::OnTimeout(uint32_t xid) {
     return;
   }
   PendingCall& call = it->second;
+  ++rr_.stats_.timeouts;
   if (call.retries >= rr_.retry_limit_) {
     ++rr_.stats_.call_failures;
     pending_.erase(it);

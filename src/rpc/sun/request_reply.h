@@ -40,6 +40,7 @@ class RequestReplyProtocol : public Protocol {
     uint64_t retransmissions = 0;
     uint64_t call_failures = 0;
     uint64_t stale_replies = 0;
+    uint64_t timeouts = 0;  // retransmit timer expirations
   };
   const Stats& stats() const { return stats_; }
 
@@ -51,6 +52,7 @@ class RequestReplyProtocol : public Protocol {
     emit("retransmissions", stats_.retransmissions);
     emit("call_failures", stats_.call_failures);
     emit("stale_replies", stats_.stale_replies);
+    emit("timeouts", stats_.timeouts);
   }
 
  protected:

@@ -27,19 +27,49 @@ EthAddr EthFrame::Src() const { return AddrAt(bytes, 6); }
 EthernetSegment::EthernetSegment(EventQueue& events, WireModel wire, uint64_t fault_seed)
     : events_(events), wire_(wire), rng_(fault_seed) {}
 
-int EthernetSegment::Attach(EthAddr addr, FrameSink* sink) {
-  stations_.push_back(Station{addr, sink});
+int EthernetSegment::Attach(EthAddr addr, FrameSink* sink, Kernel* kernel) {
+  // A restarting host reclaims its old slot so station ids (and with them the
+  // sender ids captured by upper layers) stay stable across crash/restart.
+  for (size_t i = 0; i < stations_.size(); ++i) {
+    if (stations_[i].sink == nullptr && stations_[i].addr == addr) {
+      stations_[i].sink = sink;
+      stations_[i].kernel = kernel;
+      return static_cast<int>(i);
+    }
+  }
+  stations_.push_back(Station{addr, sink, kernel});
   return static_cast<int>(stations_.size()) - 1;
+}
+
+void EthernetSegment::Detach(int id) { stations_[id].sink = nullptr; }
+
+uint64_t EthernetSegment::down_drops() const {
+  uint64_t total = 0;
+  for (const Station& st : stations_) {
+    total += st.down_drops;
+  }
+  return total;
+}
+
+void EthernetSegment::FireDelivery(int receiver_id, const EthFrame& frame) {
+  Station& st = stations_[receiver_id];
+  if (st.sink == nullptr) {
+    ++st.down_drops;
+    return;
+  }
+  st.sink->FrameArrived(frame);
 }
 
 void EthernetSegment::DeliverAt(SimTime at, std::shared_ptr<const EthFrame> frame,
                                 int receiver_id, FrameDeliverer* deliverer) {
-  FrameSink* sink = stations_[receiver_id].sink;
   if (deliverer != nullptr) {
-    deliverer->Deliver(*this, at, sink, receiver_id, std::move(frame));
+    deliverer->Deliver(*this, at, stations_[receiver_id].sink, receiver_id, std::move(frame));
     return;
   }
-  events_.ScheduleAt(at, [sink, f = std::move(frame)]() { sink->FrameArrived(*f); });
+  // The sink is looked up when the event fires, not here: the receiver may
+  // crash (detach) while the frame is in flight.
+  events_.ScheduleAt(at,
+                     [this, receiver_id, f = std::move(frame)]() { FireDelivery(receiver_id, *f); });
 }
 
 void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) {
@@ -107,11 +137,17 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
       ++random_drops_;
       verdict = CaptureVerdict::kDropped;
     } else {
-      LinkFault fault = LinkFault::kDeliver;
-      if (fault_hook_) {
-        fault = fault_hook_(*shared, rid, index);
+      DeliveryFault fault;
+      if (fault_hook_ex_) {
+        fault = fault_hook_ex_(*shared, rid, index, arrival);
+      } else if (fault_hook_) {
+        fault.verdict = fault_hook_(*shared, rid, index);
       }
-      switch (fault) {
+      const SimTime at = arrival + fault.extra_delay;
+      if (fault.extra_delay > 0) {
+        ++fault_delays_;
+      }
+      switch (fault.verdict) {
         case LinkFault::kDrop:
           ++frames_dropped_;
           ++fault_drops_;
@@ -120,21 +156,23 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
         case LinkFault::kDuplicate:
           ++fault_duplicates_;
           verdict = CaptureVerdict::kDuplicated;
-          DeliverAt(arrival, shared, rid, deliverer);
-          DeliverAt(arrival + tx, shared, rid, deliverer);
+          DeliverAt(at, shared, rid, deliverer);
+          DeliverAt(at + tx, shared, rid, deliverer);
           break;
         case LinkFault::kCorrupt: {
           ++fault_corruptions_;
           verdict = CaptureVerdict::kCorrupted;
           EthFrame bad = *shared;
           if (!bad.bytes.empty()) {
-            bad.bytes.back() ^= 0xFF;
+            const size_t off =
+                fault.corrupt_offset < bad.bytes.size() ? fault.corrupt_offset : bad.bytes.size() - 1;
+            bad.bytes[off] ^= 0xFF;
           }
-          DeliverAt(arrival, std::make_shared<const EthFrame>(std::move(bad)), rid, deliverer);
+          DeliverAt(at, std::make_shared<const EthFrame>(std::move(bad)), rid, deliverer);
           break;
         }
         case LinkFault::kDeliver:
-          DeliverAt(arrival, shared, rid, deliverer);
+          DeliverAt(at, shared, rid, deliverer);
           break;
       }
     }
@@ -152,6 +190,10 @@ void EthernetSegment::ResetStats() {
   fault_drops_ = 0;
   fault_duplicates_ = 0;
   fault_corruptions_ = 0;
+  fault_delays_ = 0;
+  for (Station& st : stations_) {
+    st.down_drops = 0;
+  }
   bus_busy_time_ = 0;
   queued_frames_ = 0;
   peak_queue_depth_ = 0;

@@ -89,12 +89,28 @@ enum class LinkFault : uint8_t {
   kCorrupt,    // deliver with the last byte's bits flipped
 };
 
+// Extended per-delivery fault decision (FaultEngine): the verdict plus an
+// extra in-flight delay and, for kCorrupt, which byte to flip (SIZE_MAX =
+// the last byte, matching the legacy hook).
+struct DeliveryFault {
+  LinkFault verdict = LinkFault::kDeliver;
+  SimTime extra_delay = 0;
+  size_t corrupt_offset = SIZE_MAX;
+};
+
 class EthernetSegment {
  public:
   EthernetSegment(EventQueue& events, WireModel wire, uint64_t fault_seed = 1);
 
-  // Attaches a station; returns its attachment id.
-  int Attach(EthAddr addr, FrameSink* sink);
+  // Attaches a station; returns its attachment id. `kernel` names the host
+  // the sink belongs to (null for bare test sinks); the parallel engine
+  // routes deliveries by it. Re-attaching the address of a detached station
+  // reuses its id, so a host that crashes and restarts keeps its slot.
+  int Attach(EthAddr addr, FrameSink* sink, Kernel* kernel = nullptr);
+
+  // Detaches station `id` (its NIC went down). In-flight frames addressed to
+  // it are dropped at arrival time and counted in down_drops().
+  void Detach(int id);
 
   // Queues `frame` for transmission; the frame was handed to the controller
   // at `ready_at` (the sending CPU's task clock). Transmission starts when
@@ -112,8 +128,19 @@ class EthernetSegment {
   // restores direct processing). Installed by the parallel engine.
   void set_transmit_sink(TransmitSink* sink) { transmit_sink_ = sink; }
 
-  // Station `id`'s attached sink (parallel-engine delivery routing).
+  // Station `id`'s attached sink (parallel-engine delivery routing). Null
+  // while the station is detached (host down).
   FrameSink* station_sink(int id) const { return stations_[id].sink; }
+
+  // The kernel station `id` was attached with (null for bare test sinks).
+  // Stays valid across Detach/Attach so deliveries scheduled while the host
+  // is down still route to the right logical process.
+  Kernel* station_kernel(int id) const { return stations_[id].kernel; }
+
+  // Fires one delivery: looks the sink up NOW (not at schedule time), so a
+  // frame in flight toward a host that crashed meanwhile is dropped here
+  // rather than delivered through a dangling pointer.
+  void FireDelivery(int receiver_id, const EthFrame& frame);
 
   // Uniform random drop probability applied to every delivery.
   void set_drop_rate(double p) { drop_rate_ = p; }
@@ -124,6 +151,15 @@ class EthernetSegment {
   using FaultHook = std::function<LinkFault(const EthFrame& frame, int receiver_id,
                                             uint64_t delivery_index)>;
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  // Extended hook (FaultEngine): takes precedence over the legacy hook when
+  // set, sees the scheduled arrival time, and can additionally delay the
+  // delivery or pick the corrupted byte. Consulted at the same point in
+  // ProcessTransmit, which the parallel engine runs serially at epoch
+  // barriers, so any plan evaluated here is engine-invariant.
+  using FaultHookEx = std::function<DeliveryFault(const EthFrame& frame, int receiver_id,
+                                                  uint64_t delivery_index, SimTime arrival)>;
+  void set_fault_hook_ex(FaultHookEx hook) { fault_hook_ex_ = std::move(hook); }
 
   const WireModel& wire() const { return wire_; }
 
@@ -147,6 +183,11 @@ class EthernetSegment {
   uint64_t fault_drops() const { return fault_drops_; }
   uint64_t fault_duplicates() const { return fault_duplicates_; }
   uint64_t fault_corruptions() const { return fault_corruptions_; }
+  // Deliveries the extended hook delayed (counted once per delayed copy).
+  uint64_t fault_delays() const { return fault_delays_; }
+  // Frames that arrived at a detached station (receiver host was down).
+  // Not part of frames_dropped(): the wire delivered them; the NIC was gone.
+  uint64_t down_drops() const;
   // Total time the bus spent transmitting (utilization = busy/elapsed).
   SimTime bus_busy_time() const { return bus_busy_time_; }
 
@@ -169,6 +210,10 @@ class EthernetSegment {
   struct Station {
     EthAddr addr;
     FrameSink* sink;
+    Kernel* kernel = nullptr;
+    // Written and read only on this station's host (its logical process
+    // under the parallel engine), summed after the run.
+    uint64_t down_drops = 0;
   };
 
   void DeliverAt(SimTime at, std::shared_ptr<const EthFrame> frame, int receiver_id,
@@ -181,6 +226,7 @@ class EthernetSegment {
   SimTime bus_free_at_ = 0;
   double drop_rate_ = 0.0;
   FaultHook fault_hook_;
+  FaultHookEx fault_hook_ex_;
   uint64_t delivery_index_ = 0;
   TransmitSink* transmit_sink_ = nullptr;
 
@@ -196,6 +242,7 @@ class EthernetSegment {
   uint64_t fault_drops_ = 0;
   uint64_t fault_duplicates_ = 0;
   uint64_t fault_corruptions_ = 0;
+  uint64_t fault_delays_ = 0;
   SimTime bus_busy_time_ = 0;
 
   // Start times of frames that have not begun transmitting as of the last

@@ -302,15 +302,22 @@ void ParallelEngine::OnTransmit(EthernetSegment& segment, int sender_id, EthFram
 
 void ParallelEngine::Deliver(EthernetSegment& segment, SimTime at, FrameSink* sink,
                              int receiver_id, std::shared_ptr<const EthFrame> frame) {
-  (void)segment;
-  (void)receiver_id;
-  Kernel* kernel = sink->sink_kernel();
-  assert(kernel != nullptr && "parallel runs need sinks that name their kernel");
+  // Route by the station's kernel (it outlives crash/restart); fall back to
+  // the sink for bare test sinks attached without one. The sink itself is
+  // resolved when the delivery fires, so a receiver that crashes while the
+  // frame is in flight drops it (down_drops) instead of being called dead.
+  Kernel* kernel = segment.station_kernel(receiver_id);
+  if (kernel == nullptr && sink != nullptr) {
+    kernel = sink->sink_kernel();
+  }
+  assert(kernel != nullptr && "parallel runs need stations that name their kernel");
   Lp* lp = kernel_lp_.at(kernel);
   // Lookahead guarantee: an in-epoch transmit cannot take effect inside the
   // same epoch. (Setup and fallback replay run with barrier_floor_ == 0.)
   assert(at >= barrier_floor_);
-  lp->queue->ScheduleAt(at, [sink, f = std::move(frame)]() { sink->FrameArrived(*f); });
+  lp->queue->ScheduleAt(at, [seg = &segment, receiver_id, f = std::move(frame)]() {
+    seg->FireDelivery(receiver_id, *f);
+  });
 }
 
 SimTime ParallelEngine::ComputeLookahead() const {

@@ -295,7 +295,7 @@ inline Direction DirectionFor(std::string_view path) {
     return leaf.find(needle) != std::string_view::npos;
   };
   if (contains("throughput") || contains("kbytes_per_sec") || contains("speedup") ||
-      contains("completed")) {
+      contains("completed") || contains("success")) {
     return Direction::kHigherBetter;
   }
   if (contains("util") || contains("frames") || contains("bytes") || contains("count") ||

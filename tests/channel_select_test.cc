@@ -112,9 +112,14 @@ TEST_F(ChannelFixture, ImplicitAckDiscardsSavedReply) {
   EXPECT_EQ(fix.cstack.channel->stats().retransmissions, 0u);
 }
 
-TEST_F(ChannelFixture, ClientRebootResetsServerChannelState) {
+TEST_F(ChannelFixture, ClientCrashRestartResetsServerChannelState) {
   ASSERT_TRUE(fix.CallSync(7, Message()).ok());
-  fix.ch->kernel->Reboot();  // sequence numbers restart with a new boot id
+  // A real crash/restart cycle: the client loses its protocol graph, comes
+  // back with a new boot id, and its sequence numbers restart from scratch.
+  fix.net->CrashHost("client");
+  EXPECT_FALSE(fix.ch->kernel->is_up());
+  fix.net->RestartHost("client");
+  EXPECT_TRUE(fix.ch->kernel->is_up());
   ASSERT_TRUE(fix.CallSync(7, Message()).ok());
   EXPECT_GE(fix.sstack.channel->stats().boot_resets, 1u);
 }

@@ -71,12 +71,30 @@ TEST_F(KernelFixture, CancelledTimerNeverFiresAndChargesCancel) {
   EXPECT_EQ(kernel.cpu().total_busy(), before2);
 }
 
-TEST_F(KernelFixture, BootIdsAreUniqueAndBumpOnReboot) {
+TEST_F(KernelFixture, BootIdsAreUniqueAndBumpOnRestart) {
   Kernel other("other", events, HostEnv::kXKernel, IpAddr(10, 0, 0, 2), EthAddr::FromIndex(2));
   EXPECT_NE(kernel.boot_id(), other.boot_id());
   const uint32_t before = kernel.boot_id();
-  kernel.Reboot();
+  EXPECT_TRUE(kernel.is_up());
+  kernel.Crash();
+  EXPECT_FALSE(kernel.is_up());
+  kernel.Restart();
+  EXPECT_TRUE(kernel.is_up());
   EXPECT_EQ(kernel.boot_id(), before + 1);
+}
+
+TEST_F(KernelFixture, CrashCancelsPendingTasksAndTimersAndClearsGraph) {
+  bool fired = false;
+  kernel.ScheduleTask(Usec(10), [&] { fired = true; });
+  kernel.RunTask(0, [&] { kernel.SetTimer(Usec(20), [&] { fired = true; }); });
+  EXPECT_EQ(kernel.tasks_pending(), 2u);
+  kernel.Crash();
+  EXPECT_EQ(kernel.tasks_pending(), 0u);
+  events.Run();
+  EXPECT_FALSE(fired);  // cancelled events never fire after the crash
+  int protocols = 0;
+  kernel.ForEachProtocol([&](const Protocol&) { ++protocols; });
+  EXPECT_EQ(protocols, 0);  // the protocol graph is gone
 }
 
 TEST_F(KernelFixture, HeaderChargesFollowAllocPolicy) {

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/app/oracle.h"
 #include "src/app/workload.h"
+#include "src/sim/fault.h"
 #include "src/sim/parallel.h"
 #include "tests/rpc_util.h"
 
@@ -105,6 +107,75 @@ TEST(ParallelEngineTest, RandomDropsBitIdenticalToSerial) {
   const RunArtifacts serial = RunTwoHostScenario(1, /*drop_rate=*/0.05);
   for (int threads : {2, 4}) {
     ExpectIdentical(serial, RunTwoHostScenario(threads, /*drop_rate=*/0.05), threads);
+  }
+}
+
+// A chaos campaign: link faults plus a mid-run server crash and restart
+// (heal), driven by the oracle-checked chaos workload. Every artifact --
+// availability numbers, counters, traces, captures -- must be byte-identical
+// across engine thread counts.
+RunArtifacts RunCrashCampaignScenario(int engine_threads) {
+  TraceSink sink;
+  PacketCapture capture;
+  TraceSink::set_thread_default(&sink);
+  PacketCapture::set_thread_default(&capture);
+  set_default_engine_threads(engine_threads);
+
+  RunArtifacts out;
+  {
+    AmoOracle oracle;
+    RpcFixture fix;
+    EXPECT_EQ(fix.net->engine_threads(), engine_threads);
+    RpcFixture::Builder builder = [](HostStack& h) { return BuildLRpc(h, Delivery::kVip); };
+    fix.Build(builder, /*export_echo=*/false);
+    RunIn(*fix.sh->kernel, [&] {
+      EXPECT_TRUE(fix.server->Export(RpcServer::kAny, oracle.WrapEcho(fix.sh->kernel)).ok());
+    });
+    fix.net->set_restart_hook("server", [&fix, builder, &oracle](HostStack& h) {
+      fix.sstack = builder(h);
+      fix.server = &h.kernel->Emplace<RpcServer>(*h.kernel, fix.sstack.top);
+      (void)fix.server->Export(RpcServer::kAny, oracle.WrapEcho(h.kernel));
+    });
+
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.DropWindow(0, Msec(40), Msec(80), 0.3)
+        .DuplicateStorm(0, Msec(80), Msec(120), 0.5)
+        .Crash("server", Msec(150), Msec(260));
+    FaultEngine faults(*fix.net, plan);
+
+    ChaosSpec spec;
+    spec.payload_bytes = 64;
+    spec.calls = 30;
+    spec.gap = Msec(5);
+    spec.crash_at = Msec(150);
+    CallFn call = [&fix](Message args, std::function<void(Result<Message>)> done) {
+      fix.client->Call(fix.server_addr(), 1, std::move(args), std::move(done));
+    };
+    ChaosResult r = RpcWorkload::RunChaos(*fix.net, *fix.ch->kernel, call, oracle, spec);
+    AmoOracle::Report rep = oracle.Finish();
+    EXPECT_TRUE(rep.clean());
+
+    out.per_call = r.elapsed + r.recovery_latency;  // determinism probes
+    out.completed = r.completed;
+    out.failed = r.failed;
+    out.events_fired = fix.net->events_fired();
+    out.counters_json = fix.net->CountersJson();
+  }
+
+  set_default_engine_threads(1);
+  TraceSink::set_thread_default(nullptr);
+  PacketCapture::set_thread_default(nullptr);
+  out.trace_jsonl = sink.ToJsonl();
+  out.pcap_jsonl = capture.ToJsonl();
+  return out;
+}
+
+TEST(ParallelEngineTest, CrashCampaignBitIdenticalToSerial) {
+  const RunArtifacts serial = RunCrashCampaignScenario(1);
+  EXPECT_GT(serial.completed, 0);
+  for (int threads : {2, 4}) {
+    ExpectIdentical(serial, RunCrashCampaignScenario(threads), threads);
   }
 }
 

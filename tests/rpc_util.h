@@ -26,6 +26,9 @@ class RpcFixture {
 
   // Builds the same stack on both hosts and attaches anchors. The server
   // exports an echo handler for every command unless `export_echo` is false.
+  // Also installs restart hooks so crashed hosts rebuild the same stack (and
+  // refresh the fixture's pointers) when Internet::RestartHost brings them
+  // back.
   void Build(const Builder& builder, bool export_echo = true) {
     cstack = builder(*ch);
     sstack = builder(*sh);
@@ -38,6 +41,18 @@ class RpcFixture {
                         ->Export(RpcServer::kAny,
                                  [](uint16_t, Message& request) { return request; })
                         .ok());
+      }
+    });
+    net->set_restart_hook("client", [this, builder](HostStack& h) {
+      cstack = builder(h);
+      client = &h.kernel->Emplace<RpcClient>(*h.kernel, cstack.top);
+    });
+    net->set_restart_hook("server", [this, builder, export_echo](HostStack& h) {
+      sstack = builder(h);
+      server = &h.kernel->Emplace<RpcServer>(*h.kernel, sstack.top);
+      if (export_echo) {
+        (void)server->Export(RpcServer::kAny,
+                             [](uint16_t, Message& request) { return request; });
       }
     });
   }

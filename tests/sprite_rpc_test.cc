@@ -147,9 +147,10 @@ TEST_F(MRpcReliabilityTest, DeadServerFailsAndChannelRecovers) {
   EXPECT_TRUE(fix.CallSync(42, Message()).ok());
 }
 
-TEST_F(MRpcReliabilityTest, ClientRebootResetsChannels) {
+TEST_F(MRpcReliabilityTest, ClientCrashRestartResetsChannels) {
   ASSERT_TRUE(fix.CallSync(42, Message()).ok());
-  fix.ch->kernel->Reboot();
+  fix.net->CrashHost("client");
+  fix.net->RestartHost("client");
   ASSERT_TRUE(fix.CallSync(42, Message()).ok());
   EXPECT_GE(fix.sstack.sprite->stats().boot_resets, 1u);
 }
