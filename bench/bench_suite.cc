@@ -22,6 +22,7 @@
 #include <regex>
 #include <thread>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 
 namespace xk {
@@ -41,6 +42,9 @@ struct JobResult {
   Histogram latency_hist;  // per-call round trips ("percentiles" block)
   Histogram service_hist;  // server-side service times ("service_percentiles")
   std::string extra_json;  // extra deterministic fields, e.g. "segments": [...]
+  // Host-side (wall-clock) metrics: emitted only without --stable, and named
+  // so the regression differ skips them (see SkippedKey in bench_diff.h).
+  std::vector<Metric> host_metrics;
 };
 
 using JobFn = std::function<JobResult()>;
@@ -205,6 +209,28 @@ Job ManyHostFaultsJob() {
   return Job{"manyhost", "L_RPC-VIP-32pairs-faults", std::move(fn)};
 }
 
+// Engine hot-path microbench: pure event churn plus frame-burst delivery,
+// no RPC stack in the way (see MeasureHotLoop). The simulated counts gate
+// against the baseline; events_per_sec is the host-side engine rate.
+Job HotLoopJob() {
+  JobFn fn = [] {
+    HotLoopBench b = MeasureHotLoop();
+    JobResult out;
+    out.metrics = {{"timer_pop_count", static_cast<double>(b.timer_pops)},
+                   {"burst_frames", static_cast<double>(b.frames_delivered)},
+                   {"echo_count", static_cast<double>(b.echoes)},
+                   {"elapsed_sim_ms", b.elapsed_sim_ms},
+                   {"churn_throughput_keps",
+                    b.elapsed_sim_ms > 0
+                        ? static_cast<double>(b.events_fired) / b.elapsed_sim_ms
+                        : 0}};
+    out.host_metrics = {{"events_per_sec", b.events_per_sec}};
+    out.events_fired = b.events_fired;
+    return out;
+  };
+  return Job{"hotloop", "churn-burst-8hosts", std::move(fn)};
+}
+
 Job ColdWarmJob(std::string name, RpcBench::Builder builder) {
   JobFn fn = [builder = std::move(builder)] {
     ColdWarmResult cw = MeasureColdWarm(builder);
@@ -304,6 +330,8 @@ std::vector<Job> BuildJobs() {
   // The many-host parallel-engine workload, clean and with link faults.
   jobs.push_back(ManyHostJob());
   jobs.push_back(ManyHostFaultsJob());
+  // The engine hot-path microbench (event churn + frame bursts).
+  jobs.push_back(HotLoopJob());
   // Chaos campaigns: availability under declared fault plans, verified by the
   // at-most-once oracle. The server crash lands mid-workload; the 400ms
   // outage exceeds CHANNEL's 5x50ms retry budget, so the call spanning it
@@ -363,14 +391,18 @@ void AppendJsonNumber(std::string& out, double v, const char* fmt = "%.10g") {
   out += buf;
 }
 
-// Wall-clock numbers from the opt-in --engine-speedup phase. Emitted into the
-// JSON only when the phase ran, so plain runs stay byte-identical across
-// engine widths (wall-clock varies run to run and would break the
-// determinism diff in scripts/check.sh).
+// Numbers from the opt-in --engine-speedup phase, emitted into the JSON only
+// when the phase ran, so plain runs stay byte-identical across engine widths.
+// The diag fields (epoch counts, commit-queue depth, lookahead bounds) are
+// deterministic and survive --stable; wall-clock fields (serial/parallel ms,
+// barrier wait share) vary run to run and are skipped under --stable so the
+// determinism diff in scripts/check.sh keeps working.
 struct EngineSpeedup {
   int threads = 0;  // 0 = phase did not run
   double serial_ms = 0;
   double parallel_ms = 0;
+  bool diag_valid = false;
+  ParallelEngine::Diag diag;
 };
 
 std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& results,
@@ -406,15 +438,44 @@ std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& r
                      wall_ms > 0 ? static_cast<double>(events_total) / (wall_ms / 1000.0) : 0,
                      "%.0f");
   }
-  if (!stable && engine.threads > 0) {
+  if (engine.threads > 0) {
     out += ",\n  \"engine_threads\": " + std::to_string(engine.threads);
-    out += ",\n  \"engine_serial_ms\": ";
-    AppendJsonNumber(out, engine.serial_ms, "%.1f");
-    out += ",\n  \"engine_parallel_ms\": ";
-    AppendJsonNumber(out, engine.parallel_ms, "%.1f");
-    out += ",\n  \"engine_speedup\": ";
-    AppendJsonNumber(out, engine.parallel_ms > 0 ? engine.serial_ms / engine.parallel_ms : 0,
-                     "%.2f");
+    if (!stable) {
+      out += ",\n  \"engine_serial_ms\": ";
+      AppendJsonNumber(out, engine.serial_ms, "%.1f");
+      out += ",\n  \"engine_parallel_ms\": ";
+      AppendJsonNumber(out, engine.parallel_ms, "%.1f");
+      out += ",\n  \"engine_speedup\": ";
+      AppendJsonNumber(out, engine.parallel_ms > 0 ? engine.serial_ms / engine.parallel_ms : 0,
+                       "%.2f");
+    }
+    if (engine.diag_valid) {
+      // Engine internals from the parallel leg of the phase. Everything here
+      // is a deterministic function of the workload and thread count, so it
+      // stays under --stable; only the wall-clock barrier/run split is
+      // host-dependent and gated like the other timing fields.
+      const ParallelEngine::Diag& d = engine.diag;
+      out += ",\n  \"engine_epochs\": " + std::to_string(d.epochs);
+      out += ",\n  \"engine_events_in_epochs\": " + std::to_string(d.fired);
+      const double epochs = static_cast<double>(d.epochs);
+      out += ",\n  \"engine_mean_active_lps\": ";
+      AppendJsonNumber(out, epochs > 0 ? static_cast<double>(d.active_lp_sum) / epochs : 0,
+                       "%.2f");
+      out += ",\n  \"engine_epoch_mean_ns\": ";
+      AppendJsonNumber(out, epochs > 0 ? static_cast<double>(d.span_sum) / epochs : 0, "%.0f");
+      out += ",\n  \"engine_epoch_max_ns\": " + std::to_string(d.span_max);
+      out += ",\n  \"engine_commit_nodes\": " + std::to_string(d.commit_nodes);
+      out += ",\n  \"engine_commit_queue_peak\": " + std::to_string(d.commit_peak);
+      out += ",\n  \"engine_lookahead_min_ns\": " + std::to_string(d.lookahead_min);
+      out += ",\n  \"engine_lookahead_max_ns\": " + std::to_string(d.lookahead_max);
+      if (!stable) {
+        out += ",\n  \"engine_barrier_wait_ms\": ";
+        AppendJsonNumber(out, d.barrier_wait_ms, "%.1f");
+        out += ",\n  \"engine_barrier_wait_share\": ";
+        AppendJsonNumber(out,
+                         d.run_wall_ms > 0 ? d.barrier_wait_ms / d.run_wall_ms : 0, "%.3f");
+      }
+    }
   }
   out += ",\n  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
@@ -426,6 +487,12 @@ std::string ToJson(const std::vector<Job>& jobs, const std::vector<JobResult>& r
     if (!stable) {
       out += ", \"wall_ms\": ";
       AppendJsonNumber(out, r.wall_ms, "%.1f");
+      for (const Metric& m : r.host_metrics) {
+        out += ", ";
+        AppendJsonString(out, m.name);
+        out += ": ";
+        AppendJsonNumber(out, m.value);
+      }
     }
     out += ", \"events_fired\": " + std::to_string(r.events_fired);
     out += ", \"metrics\": {";
@@ -470,19 +537,7 @@ std::string JobFileStem(const Job& job) {
   return s;
 }
 
-struct Options {
-  unsigned threads = 1;
-  std::string out_path = "BENCH_RESULTS.json";
-  std::string trace_dir;
-  std::string pcap_dir;
-  std::string stats_dir;   // per-job time-series JSONL (--stats=DIR)
-  std::string filter;      // ECMAScript regex matched against "group.name"
-  std::string faults;      // FaultPlan spec (--faults=): adds a chaos.custom job
-  int engine_threads = 1;  // simulation-engine width for every job
-  int speedup_threads = 0; // >1 runs the wall-clock speedup phase
-  bool list = false;
-  bool stable = false;     // omit wall-clock fields from the JSON
-};
+// Options lives in bench/bench_flags.h so ParseBenchArgs is unit-testable.
 
 std::vector<Job> SelectJobs(const Options& opt, std::string* fault_error) {
   std::vector<Job> jobs = BuildJobs();
@@ -623,6 +678,8 @@ int Run(const Options& opt) {
     engine.threads = opt.speedup_threads;
     engine.serial_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     engine.parallel_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    engine.diag_valid = par.engine_diag_valid;
+    engine.diag = par.engine_diag;
     if (serial.agg_kbytes_per_sec != par.agg_kbytes_per_sec ||
         serial.completed != par.completed || serial.failed != par.failed ||
         serial.sum_done_at != par.sum_done_at || serial.events_fired != par.events_fired) {
@@ -670,41 +727,17 @@ int Run(const Options& opt) {
 int main(int argc, char** argv) {
   xk::Options opt;
   opt.threads = std::max(1u, std::thread::hardware_concurrency());
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      opt.threads = static_cast<unsigned>(std::max(1, std::atoi(argv[i] + 10)));
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      opt.out_path = argv[i] + 6;
-    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      opt.trace_dir = argv[i] + 8;
-    } else if (std::strncmp(argv[i], "--pcap=", 7) == 0) {
-      opt.pcap_dir = argv[i] + 7;
-    } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
-      opt.stats_dir = argv[i] + 8;
-    } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
-      opt.filter = argv[i] + 9;
-    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
-      opt.faults = argv[i] + 9;
-    } else if (std::strncmp(argv[i], "--engine-threads=", 17) == 0) {
-      opt.engine_threads = std::max(1, std::atoi(argv[i] + 17));
-    } else if (std::strncmp(argv[i], "--engine-speedup=", 17) == 0) {
-      opt.speedup_threads = std::max(2, std::atoi(argv[i] + 17));
-    } else if (std::strcmp(argv[i], "--engine-speedup") == 0) {
-      opt.speedup_threads = 4;
-    } else if (std::strcmp(argv[i], "--list") == 0) {
-      opt.list = true;
-    } else if (std::strcmp(argv[i], "--stable") == 0) {
-      opt.stable = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n"
-                   "          [--stats=DIR] [--list] [--filter=REGEX] [--stable]\n"
-                   "          [--engine-threads=N] [--engine-speedup[=N]]\n"
-                   "          [--faults=PLAN]   (e.g. crash:host=server,at=300ms,restart=700ms;\n"
-                   "                             drop:seg=0,from=0ms,until=200ms,rate=0.05)\n",
-                   argv[0]);
-      return 2;
-    }
+  std::string flag_error;
+  if (!xk::ParseBenchArgs(argc, argv, &opt, &flag_error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], flag_error.c_str());
+    std::fprintf(stderr,
+                 "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n"
+                 "          [--stats=DIR] [--list] [--filter=REGEX] [--stable]\n"
+                 "          [--engine-threads=N] [--engine-speedup[=N]]\n"
+                 "          [--faults=PLAN]   (e.g. crash:host=server,at=300ms,restart=700ms;\n"
+                 "                             drop:seg=0,from=0ms,until=200ms,rate=0.05)\n",
+                 argv[0]);
+    return 2;
   }
   std::error_code ec;
   if (!opt.trace_dir.empty()) {

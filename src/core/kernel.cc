@@ -27,38 +27,6 @@ Kernel::~Kernel() {
   }
 }
 
-void Kernel::RunTask(SimTime at, const std::function<void()>& fn) {
-  cpu_.BeginTask(at);
-  fn();
-  cpu_.EndTask();
-}
-
-EventHandle Kernel::ScheduleTask(SimTime delay, std::function<void()> fn) {
-  ++tasks_pending_;
-  EventHandle h = events_.ScheduleIn(delay, [this, fn = std::move(fn)]() {
-    if (tasks_pending_ > 0) {
-      --tasks_pending_;
-    }
-    RunTask(events_.now(), fn);
-  });
-  TrackPending(h);
-  return h;
-}
-
-EventHandle Kernel::SetTimer(SimTime delay, std::function<void()> fn) {
-  cpu_.Charge(costs_.timer_set);
-  const SimTime fire_at = cpu_.now() + delay;
-  ++tasks_pending_;
-  EventHandle h = events_.ScheduleAt(fire_at, [this, fn = std::move(fn)]() {
-    if (tasks_pending_ > 0) {
-      --tasks_pending_;
-    }
-    RunTask(events_.now(), fn);
-  });
-  TrackPending(h);
-  return h;
-}
-
 void Kernel::TrackPending(EventHandle handle) {
   // Host bookkeeping only (never charged): keep the registry from growing
   // without bound by squeezing out fired/cancelled handles once they dominate.
@@ -116,30 +84,6 @@ Protocol& Kernel::Add(std::unique_ptr<Protocol> proto) {
 Protocol* Kernel::Find(const std::string& name) const {
   auto it = by_name_.find(name);
   return it == by_name_.end() ? nullptr : it->second;
-}
-
-void Kernel::ChargeLayerCross() {
-  cpu_.Charge(costs_.proc_call + costs_.layer_cross_extra + costs_.buffer_alloc);
-}
-
-void Kernel::ChargeHdrStore(size_t bytes) {
-  SimTime cost = costs_.hdr_store_fixed +
-                 static_cast<SimTime>(static_cast<double>(bytes) *
-                                      static_cast<double>(costs_.hdr_store_per_byte));
-  if (Message::default_alloc_policy() == HeaderAllocPolicy::kPerLayerAlloc) {
-    cost += costs_.hdr_alloc_extra;
-  }
-  cpu_.Charge(cost);
-}
-
-void Kernel::ChargeHdrLoad(size_t bytes) {
-  SimTime cost = costs_.hdr_load_fixed +
-                 static_cast<SimTime>(static_cast<double>(bytes) *
-                                      static_cast<double>(costs_.hdr_load_per_byte));
-  if (Message::default_alloc_policy() == HeaderAllocPolicy::kPerLayerAlloc) {
-    cost += costs_.hdr_free_extra;
-  }
-  cpu_.Charge(cost);
 }
 
 void Kernel::Tracef(int level, const char* fmt, ...) {

@@ -68,16 +68,48 @@ class Kernel {
 
   // --- tasks ------------------------------------------------------------------
   // Runs `fn` as a shepherd task dispatched at event time `at` (begins at
-  // max(at, cpu busy_until)).
-  void RunTask(SimTime at, const std::function<void()>& fn);
+  // max(at, cpu busy_until)). Templated so the callable is invoked directly,
+  // with no std::function wrapper on the frame-arrival hot path.
+  template <typename F>
+  void RunTask(SimTime at, F&& fn) {
+    cpu_.BeginTask(at);
+    fn();
+    cpu_.EndTask();
+  }
 
-  // Schedules `fn` to run as a task after `delay` of simulated time.
-  EventHandle ScheduleTask(SimTime delay, std::function<void()> fn);
+  // Schedules `fn` to run as a task after `delay` of simulated time. The
+  // closure travels to the event queue as-is (one EventFn, usually inline in
+  // the slab slot) rather than through a std::function indirection.
+  template <typename F>
+  EventHandle ScheduleTask(SimTime delay, F fn) {
+    ++tasks_pending_;
+    EventHandle h = events_.ScheduleIn(delay, [this, fn = std::move(fn)]() mutable {
+      if (tasks_pending_ > 0) {
+        --tasks_pending_;
+      }
+      RunTask(events_.now(), fn);
+    });
+    TrackPending(h);
+    return h;
+  }
 
   // --- timers -----------------------------------------------------------------
   // Sets a timeout that fires `delay` from now as a task on this kernel.
   // Charges timer_set. Must be called from within a task.
-  EventHandle SetTimer(SimTime delay, std::function<void()> fn);
+  template <typename F>
+  EventHandle SetTimer(SimTime delay, F fn) {
+    cpu_.Charge(costs_.timer_set);
+    const SimTime fire_at = cpu_.now() + delay;
+    ++tasks_pending_;
+    EventHandle h = events_.ScheduleAt(fire_at, [this, fn = std::move(fn)]() mutable {
+      if (tasks_pending_ > 0) {
+        --tasks_pending_;
+      }
+      RunTask(events_.now(), fn);
+    });
+    TrackPending(h);
+    return h;
+  }
 
   // Cancels a pending timer, charging timer_cancel if it was still pending.
   void CancelTimer(EventHandle& handle);
@@ -114,9 +146,28 @@ class Kernel {
   void Charge(SimTime cost) { cpu_.Charge(cost); }
   void ChargeProcCall() { cpu_.Charge(costs_.proc_call); }
   // One layer crossing (Push or Demux): procedure call + environment extras.
-  void ChargeLayerCross();
-  void ChargeHdrStore(size_t bytes);
-  void ChargeHdrLoad(size_t bytes);
+  // Inline: these run on every message at every layer.
+  void ChargeLayerCross() {
+    cpu_.Charge(costs_.proc_call + costs_.layer_cross_extra + costs_.buffer_alloc);
+  }
+  void ChargeHdrStore(size_t bytes) {
+    SimTime cost = costs_.hdr_store_fixed +
+                   static_cast<SimTime>(static_cast<double>(bytes) *
+                                        static_cast<double>(costs_.hdr_store_per_byte));
+    if (Message::default_alloc_policy() == HeaderAllocPolicy::kPerLayerAlloc) {
+      cost += costs_.hdr_alloc_extra;
+    }
+    cpu_.Charge(cost);
+  }
+  void ChargeHdrLoad(size_t bytes) {
+    SimTime cost = costs_.hdr_load_fixed +
+                   static_cast<SimTime>(static_cast<double>(bytes) *
+                                        static_cast<double>(costs_.hdr_load_per_byte));
+    if (Message::default_alloc_policy() == HeaderAllocPolicy::kPerLayerAlloc) {
+      cost += costs_.hdr_free_extra;
+    }
+    cpu_.Charge(cost);
+  }
   void ChargeMapResolve() { cpu_.Charge(costs_.map_resolve); }
   void ChargeMapBind() { cpu_.Charge(costs_.map_bind); }
   // Removing a binding probes and unlinks just like installing one, so it

@@ -1,5 +1,7 @@
 #include "src/core/message.h"
 
+#include "src/sim/object_pool.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -20,7 +22,7 @@ Message::Message() = default;
 
 Message::Message(size_t payload_len) {
   if (payload_len > 0) {
-    auto block = std::make_shared<Block>();
+    auto block = AcquirePooled<Block>();
     block->bytes.assign(payload_len, 0);
     chunks_.push_back(Chunk{std::move(block), 0, payload_len});
     length_ = payload_len;
@@ -30,7 +32,7 @@ Message::Message(size_t payload_len) {
 Message Message::FromBytes(std::span<const uint8_t> bytes) {
   Message m;
   if (!bytes.empty()) {
-    auto block = std::make_shared<Block>();
+    auto block = AcquirePooled<Block>();
     block->bytes.assign(bytes.begin(), bytes.end());
     m.chunks_.push_back(Chunk{std::move(block), 0, bytes.size()});
     m.length_ = bytes.size();
@@ -40,7 +42,7 @@ Message Message::FromBytes(std::span<const uint8_t> bytes) {
 
 void Message::EnsureOwnedArenaFor(size_t more) {
   if (arena_ == nullptr) {
-    arena_ = std::make_shared<Arena>();
+    arena_ = AcquirePooled<Arena>();
     arena_->buf.resize(kHeaderArenaSize);
     arena_->low = kHeaderArenaSize;
     arena_start_ = kHeaderArenaSize;
@@ -55,14 +57,14 @@ void Message::EnsureOwnedArenaFor(size_t more) {
   // region into a payload chunk first.
   if (arena_len_ + more > kHeaderArenaSize) {
     if (arena_len_ > 0) {
-      auto block = std::make_shared<Block>();
+      auto block = AcquirePooled<Block>();
       block->bytes.assign(arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_),
                           arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_ + arena_len_));
       chunks_.push_front(Chunk{std::move(block), 0, arena_len_});
     }
     arena_len_ = 0;
   }
-  auto fresh = std::make_shared<Arena>();
+  auto fresh = AcquirePooled<Arena>();
   fresh->buf.resize(std::max(kHeaderArenaSize, arena_len_ + more));
   const size_t new_start = fresh->buf.size() - arena_len_;
   if (arena_len_ > 0) {
@@ -81,7 +83,7 @@ void Message::PushHeader(std::span<const uint8_t> header) {
     // Original x-kernel scheme: a fresh buffer per header. Spill any arena
     // region so the new header chunk really is the front of the message.
     if (arena_len_ > 0) {
-      auto spill = std::make_shared<Block>();
+      auto spill = AcquirePooled<Block>();
       spill->bytes.assign(arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_),
                           arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_ + arena_len_));
       chunks_.push_front(Chunk{std::move(spill), 0, arena_len_});
@@ -89,7 +91,7 @@ void Message::PushHeader(std::span<const uint8_t> header) {
       arena_len_ = 0;
       arena_start_ = 0;
     }
-    auto block = std::make_shared<Block>();
+    auto block = AcquirePooled<Block>();
     block->bytes.assign(header.begin(), header.end());
     chunks_.push_front(Chunk{std::move(block), 0, header.size()});
     length_ += header.size();
@@ -198,7 +200,7 @@ void Message::AppendArenaAsChunkTo(Message& dst, size_t skip, size_t take) const
   if (take == 0) {
     return;
   }
-  auto block = std::make_shared<Block>();
+  auto block = AcquirePooled<Block>();
   block->bytes.assign(
       arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_ + skip),
       arena_->buf.begin() + static_cast<ptrdiff_t>(arena_start_ + skip + take));
@@ -257,6 +259,11 @@ std::vector<uint8_t> Message::Flatten() const {
   std::vector<uint8_t> out(length_);
   CopyOut(out);
   return out;
+}
+
+void Message::FlattenInto(std::vector<uint8_t>& out) const {
+  out.resize(length_);
+  CopyOut(out);
 }
 
 bool Message::ContentEquals(const Message& other) const {

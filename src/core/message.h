@@ -102,6 +102,10 @@ class Message {
   // drivers when handing a frame to the simulated wire).
   std::vector<uint8_t> Flatten() const;
 
+  // Flattens into `out` (resized to length()), reusing its capacity -- the
+  // allocation-free form of Flatten for pooled frame buffers.
+  void FlattenInto(std::vector<uint8_t>& out) const;
+
   // Copies min(out.size(), length()) bytes from the front into `out`;
   // returns the number copied. Does not consume.
   size_t CopyOut(std::span<uint8_t> out) const;

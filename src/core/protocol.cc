@@ -9,11 +9,10 @@ namespace xk {
 // Session
 // ---------------------------------------------------------------------------
 
-Session::Session(Protocol& owner, Protocol* hlp) : owner_(owner), hlp_(hlp) {}
+Session::Session(Protocol& owner, Protocol* hlp)
+    : owner_(owner), hlp_(hlp), kernel_(owner.kernel()) {}
 
 Session::~Session() = default;
-
-Kernel& Session::kernel() const { return owner_.kernel(); }
 
 Status Session::Push(Message& msg) {
   Kernel& k = kernel();

@@ -103,7 +103,10 @@ class Session : public std::enable_shared_from_this<Session> {
   Protocol* hlp() const { return hlp_; }
   void set_hlp(Protocol* hlp) { hlp_ = hlp; }
 
-  Kernel& kernel() const;
+  // Cached at construction (== owner().kernel()): Push/Pop read it on every
+  // layer crossing, so the double indirection through the owning protocol is
+  // paid once per session instead of once per message.
+  Kernel& kernel() const { return kernel_; }
 
   SessionRef Ref() { return shared_from_this(); }
 
@@ -128,6 +131,7 @@ class Session : public std::enable_shared_from_this<Session> {
 
   Protocol& owner_;
   Protocol* hlp_;
+  Kernel& kernel_;
   uint64_t trace_id_ = 0;
 };
 

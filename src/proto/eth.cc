@@ -1,6 +1,7 @@
 #include "src/proto/eth.h"
 
 #include "src/core/wire.h"
+#include "src/sim/object_pool.h"
 #include "src/trace/trace.h"
 
 namespace xk {
@@ -61,8 +62,10 @@ Status EthProtocol::OpenDisable(Protocol& hlp, const ParticipantSet& parts) {
 void EthProtocol::Transmit(Message& msg) {
   kernel().ChargeDevStart();
   kernel().ChargeDevCopy(msg.length());
-  EthFrame frame;
-  frame.bytes = msg.Flatten();
+  // A pooled frame keeps its byte buffer across reuse, so flattening into it
+  // is a straight copy with no heap traffic in steady state.
+  auto frame = AcquirePooled<EthFrame>();
+  msg.FlattenInto(frame->bytes);
   ++frames_out_;
   segment_.Transmit(attach_id_, std::move(frame), kernel().cpu().now());
 }

@@ -22,7 +22,7 @@
 
 namespace xk {
 
-class EthProtocol : public Protocol, public FrameSink {
+class EthProtocol final : public Protocol, public FrameSink {
  public:
   static constexpr size_t kHeaderSize = 14;
   static constexpr size_t kMtu = 1500;
@@ -77,7 +77,7 @@ class EthProtocol : public Protocol, public FrameSink {
   uint64_t frames_in_ = 0;
 };
 
-class EthSession : public Session {
+class EthSession final : public Session {
  public:
   EthSession(EthProtocol& owner, Protocol* hlp, EthAddr peer, EthType type);
 

@@ -46,7 +46,7 @@ struct IpHeader {
   IpAddr dst{};
 };
 
-class IpProtocol : public Protocol {
+class IpProtocol final : public Protocol {
  public:
   static constexpr size_t kHeaderSize = 20;
   static constexpr size_t kMaxDatagram = 65535;
@@ -139,7 +139,7 @@ class IpProtocol : public Protocol {
   Stats stats_;
 };
 
-class IpSession : public Session {
+class IpSession final : public Session {
  public:
   IpSession(IpProtocol& owner, Protocol* hlp, IpAddr peer, IpProtoNum proto, SessionRef lower,
             size_t lower_mtu);

@@ -24,6 +24,7 @@
 #include "src/proto/ip.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/link.h"
+#include "src/sim/parallel.h"
 #include "src/trace/pcap.h"
 #include "src/trace/trace.h"
 
@@ -144,6 +145,12 @@ class Internet {
 
   // The engine width this Internet was built with (1 = serial).
   int engine_threads() const { return engine_threads_; }
+
+  // Parallel-engine diagnostics accumulated over every RunAll (null when
+  // serial). Sim-time/count fields are deterministic; *_ms fields are not.
+  const ParallelEngine::Diag* engine_diag() const {
+    return engine_ != nullptr ? &engine_->diag() : nullptr;
+  }
 
   // Runs the simulation to quiescence; returns events fired.
   size_t RunAll();

@@ -36,7 +36,7 @@ constexpr EthType VipEthTypeFor(IpProtoNum proto) {
 
 class VipSession;
 
-class VipProtocol : public Protocol {
+class VipProtocol final : public Protocol {
  public:
   VipProtocol(Kernel& kernel, Protocol* eth, Protocol* ip, ArpProtocol* arp,
               std::string name = "vip");
@@ -70,7 +70,7 @@ class VipProtocol : public Protocol {
   DemuxMap<Session*, SessionRef> by_lls_;  // lower session -> VIP session
 };
 
-class VipSession : public Session {
+class VipSession final : public Session {
  public:
   VipSession(VipProtocol& owner, Protocol* hlp, std::optional<IpAddr> peer, IpProtoNum proto,
              SessionRef eth_sess, SessionRef ip_sess, size_t eth_mtu);

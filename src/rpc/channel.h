@@ -40,7 +40,7 @@
 
 namespace xk {
 
-class ChannelProtocol : public Protocol {
+class ChannelProtocol final : public Protocol {
  public:
   static constexpr size_t kHeaderSize = 18;
 
@@ -113,7 +113,7 @@ class ChannelProtocol : public Protocol {
   Stats stats_;
 };
 
-class ChannelSession : public Session {
+class ChannelSession final : public Session {
  public:
   ChannelSession(ChannelProtocol& owner, Protocol* hlp, IpAddr peer, uint16_t channel,
                  RelProtoNum proto, SessionRef lower);

@@ -12,7 +12,7 @@ constexpr size_t Parent(size_t i) { return (i - 1) / 4; }
 constexpr size_t FirstChild(size_t i) { return 4 * i + 1; }
 }  // namespace
 
-EventHandle EventQueue::ScheduleAt(SimTime at, std::function<void()> fn) {
+EventHandle EventQueue::ScheduleAt(SimTime at, EventFn fn) {
   if (at < now_) {
     at = now_;
   }
@@ -24,6 +24,12 @@ EventHandle EventQueue::ScheduleAt(SimTime at, std::function<void()> fn) {
     // Parked for the engine: the barrier commits it in canonical order so
     // heap sequence numbers agree with the serial schedule order.
     s.deferred = true;
+    deferred_heap_.push_back(Entry{at, 0, slot, gen});
+    size_t i = deferred_heap_.size() - 1;
+    while (i > 0 && at < deferred_heap_[(i - 1) / 2].at) {
+      std::swap(deferred_heap_[i], deferred_heap_[(i - 1) / 2]);
+      i = (i - 1) / 2;
+    }
   } else {
     HeapPush(Entry{at, next_seq_++, slot, gen});
   }
@@ -39,9 +45,39 @@ void EventQueue::CommitDeferred(uint32_t slot, uint32_t gen, SimTime at) {
     return;  // cancelled while parked
   }
   Slot& s = slots_[slot];
-  assert(s.deferred);
+  if (!s.deferred) {
+    return;  // was pushed directly (scheduled inside its epoch window)
+  }
   s.deferred = false;
   HeapPush(Entry{at, next_seq_++, slot, gen});
+}
+
+SimTime EventQueue::MinDeferredAt() {
+  while (!deferred_heap_.empty()) {
+    const Entry& top = deferred_heap_.front();
+    if (SlotLive(top.slot, top.gen) && slots_[top.slot].deferred) {
+      return top.at;
+    }
+    // Committed or cancelled meanwhile: lazy-delete (binary sift-down).
+    deferred_heap_.front() = deferred_heap_.back();
+    deferred_heap_.pop_back();
+    const size_t n = deferred_heap_.size();
+    size_t i = 0;
+    for (;;) {
+      const size_t l = 2 * i + 1;
+      if (l >= n) {
+        break;
+      }
+      const size_t r = l + 1;
+      const size_t c = (r < n && deferred_heap_[r].at < deferred_heap_[l].at) ? r : l;
+      if (deferred_heap_[c].at >= deferred_heap_[i].at) {
+        break;
+      }
+      std::swap(deferred_heap_[i], deferred_heap_[c]);
+      i = c;
+    }
+  }
+  return kSimTimeNever;
 }
 
 bool EventQueue::NextEventTime(SimTime* at) {
@@ -54,7 +90,7 @@ bool EventQueue::NextEventTime(SimTime* at) {
 
 size_t EventQueue::RunEpochWindow(SimTime end_exclusive, size_t max_events) {
   size_t fired = 0;
-  std::function<void()> fn;
+  EventFn fn;
   while (fired < max_events && SkimDead()) {
     if (heap_.front().at >= end_exclusive) {
       break;
@@ -83,7 +119,7 @@ size_t EventQueue::RunEpochWindow(SimTime end_exclusive, size_t max_events) {
 size_t EventQueue::Run(size_t max_events) {
   size_t fired = 0;
   Entry e;
-  std::function<void()> fn;
+  EventFn fn;
   while (fired < max_events && PopNext(e, fn)) {
     if (stat_probe_ != nullptr) {
       stat_probe_->BeforeFire(e.at);
@@ -98,7 +134,7 @@ size_t EventQueue::Run(size_t max_events) {
 
 size_t EventQueue::RunUntil(SimTime deadline) {
   size_t fired = 0;
-  std::function<void()> fn;
+  EventFn fn;
   while (SkimDead()) {
     if (heap_.front().at > deadline) {
       break;
@@ -158,16 +194,19 @@ bool EventQueue::CancelInternal(uint32_t index, uint32_t gen) {
 }
 
 void EventQueue::HeapPush(Entry e) {
+  // Hole-based lift: shift parents down into the hole and write the new
+  // entry once at its final position (vs. one 24-byte swap per level).
   heap_.push_back(e);
   size_t i = heap_.size() - 1;
   while (i > 0) {
     const size_t p = Parent(i);
-    if (!Before(heap_[i], heap_[p])) {
+    if (!Before(e, heap_[p])) {
       break;
     }
-    std::swap(heap_[i], heap_[p]);
+    heap_[i] = heap_[p];
     i = p;
   }
+  heap_[i] = e;
 }
 
 void EventQueue::HeapPopTop() {
@@ -180,10 +219,16 @@ void EventQueue::HeapPopTop() {
 
 void EventQueue::SiftDown(size_t i) {
   const size_t n = heap_.size();
+  if (i >= n) {
+    return;
+  }
+  // Hole-based sift: carry the displaced entry in a local, pull the winning
+  // child up into the hole each level, and store the carried entry once.
+  const Entry moving = heap_[i];
   for (;;) {
     const size_t first = FirstChild(i);
     if (first >= n) {
-      return;
+      break;
     }
     size_t best = first;
     const size_t last = (first + 4 < n) ? first + 4 : n;
@@ -192,12 +237,13 @@ void EventQueue::SiftDown(size_t i) {
         best = c;
       }
     }
-    if (!Before(heap_[best], heap_[i])) {
-      return;
+    if (!Before(heap_[best], moving)) {
+      break;
     }
-    std::swap(heap_[i], heap_[best]);
+    heap_[i] = heap_[best];
     i = best;
   }
+  heap_[i] = moving;
 }
 
 bool EventQueue::SkimDead() {
@@ -235,7 +281,7 @@ void EventQueue::MaybeSweepDead() {
   }
 }
 
-bool EventQueue::PopNext(Entry& out, std::function<void()>& fn) {
+bool EventQueue::PopNext(Entry& out, EventFn& fn) {
   if (!SkimDead()) {
     return false;
   }

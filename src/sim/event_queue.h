@@ -29,8 +29,11 @@
 #ifndef XK_SRC_SIM_EVENT_QUEUE_H_
 #define XK_SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/core/types.h"
@@ -38,6 +41,100 @@
 namespace xk {
 
 class EventQueue;
+
+// Move-only callable holding an event closure. Closures up to kInlineSize
+// bytes are stored inside the object itself, so scheduling one costs no heap
+// traffic -- the slab slot below IS the storage. Larger closures (rare; none
+// on the simulation hot path) fall back to a single allocation. Unlike
+// std::function the wrapped callable may itself be move-only, which lets
+// timers own their captured state instead of sharing it.
+class EventFn {
+ public:
+  EventFn() = default;
+  /*implicit*/ EventFn(std::nullptr_t) {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> && std::is_invocable_v<D&>>>
+  /*implicit*/ EventFn(F&& f) {
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      new (static_cast<void*>(buf_)) (D*)(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  // Sized so every closure the simulator schedules in steady state (timer
+  // bodies wrapping a protocol callback, frame deliveries carrying a
+  // shared_ptr) fits inline; with the ops pointer the object is one 64-byte
+  // line.
+  static constexpr size_t kInlineSize = 56;
+
+  struct Ops {
+    void (*invoke)(void* p);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* p);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+      [](void* dst, void* src) {
+        D* s = std::launder(static_cast<D*>(src));
+        new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { std::launder(static_cast<D*>(p))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**std::launder(static_cast<D**>(p)))(); },
+      [](void* dst, void* src) {
+        new (dst) (D*)(*std::launder(static_cast<D**>(src)));
+      },
+      [](void* p) { delete *std::launder(static_cast<D**>(p)); },
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
 
 // Handle used to cancel a pending event. Copies share fate: cancelling or
 // firing the event makes every copy report !pending().
@@ -95,10 +192,10 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `at` (clamped to now()).
-  EventHandle ScheduleAt(SimTime at, std::function<void()> fn);
+  EventHandle ScheduleAt(SimTime at, EventFn fn);
 
   // Schedules `fn` to run `delay` from now.
-  EventHandle ScheduleIn(SimTime delay, std::function<void()> fn) {
+  EventHandle ScheduleIn(SimTime delay, EventFn fn) {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
@@ -124,6 +221,12 @@ class EventQueue {
   // instrumentation; has no effect on simulated time).
   uint64_t fired_total() const { return fired_total_; }
 
+  // Counts `n` additional logical firings. A batched frame delivery fires as
+  // one heap event but reports one firing per member, so event counts match
+  // the unbatched schedule exactly (the engine identity cross-check compares
+  // them).
+  void AddExtraFired(uint64_t n) { fired_total_ += n; }
+
   // Boot ids for kernels constructed over this queue. Per-queue (not
   // process-global) so a simulation's wire bytes depend only on its own
   // allocation order -- concurrent simulations in other threads can't
@@ -146,9 +249,18 @@ class EventQueue {
   // at an epoch barrier so heap insertion order matches its canonical order.
   static constexpr SimTime kNoHorizon = kSimTimeNever;
   void set_defer_horizon(SimTime horizon) { defer_horizon_ = horizon; }
+  SimTime defer_horizon() const { return defer_horizon_; }
 
-  // Moves a parked event into the heap. No-op if it was cancelled meanwhile.
+  // Moves a parked event into the heap. No-op if it was cancelled meanwhile,
+  // or if the slot was never parked (the engine replays every capture's
+  // schedule through here; in-window schedules were pushed directly).
   void CommitDeferred(uint32_t slot, uint32_t gen, SimTime at);
+
+  // Earliest still-parked (deferred, not yet committed or cancelled) event
+  // time, kSimTimeNever if none. The engine caps an LP's epoch window here:
+  // a parked event only enters the heap when its scheduling event replays at
+  // a barrier, so the LP must not fire past it in the meantime.
+  SimTime MinDeferredAt();
 
   // Earliest pending committed event time; false if the heap is drained.
   bool NextEventTime(SimTime* at);
@@ -172,7 +284,7 @@ class EventQueue {
   // (fires or is cancelled), so stale handles and stale heap entries are
   // recognized by mismatch. While free, `next_free` links the freelist.
   struct Slot {
-    std::function<void()> fn;
+    EventFn fn;
     uint32_t generation = 0;
     uint32_t next_free = kNil;
     bool deferred = false;  // parked past the defer horizon, not in the heap
@@ -208,7 +320,7 @@ class EventQueue {
   void MaybeSweepDead();
 
   // Pops the next live event, transferring its closure to `fn`.
-  bool PopNext(Entry& out, std::function<void()>& fn);
+  bool PopNext(Entry& out, EventFn& fn);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
@@ -223,6 +335,10 @@ class EventQueue {
   uint32_t free_head_ = kNil;
   std::vector<Entry> heap_;
   size_t dead_in_heap_ = 0;  // cancelled entries not yet skipped/swept
+
+  // Min-heap (by `at`) over parked events, with lazy deletion: entries whose
+  // slot was committed or cancelled are skimmed off in MinDeferredAt().
+  std::vector<Entry> deferred_heap_;
 };
 
 inline bool EventHandle::pending() const {

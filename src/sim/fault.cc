@@ -83,7 +83,14 @@ bool ParseClause(const std::string& token, FaultPlan* plan, std::string* error) 
   const std::string rest = colon == std::string::npos ? "" : token.substr(colon + 1);
 
   if (kind == "seed") {
-    plan->seed = std::strtoull(rest.c_str(), nullptr, 10);
+    char* end = nullptr;
+    plan->seed = std::strtoull(rest.c_str(), &end, 10);
+    if (end == rest.c_str() || *end != '\0') {
+      if (error != nullptr) {
+        *error = "bad value '" + rest + "' for seed";
+      }
+      return false;
+    }
     return true;
   }
 
@@ -121,7 +128,10 @@ bool ParseClause(const std::string& token, FaultPlan* plan, std::string* error) 
     const std::string val = pair.substr(eq + 1);
     bool ok = true;
     if (key == "seg") {
-      c.segment = std::atoi(val.c_str());
+      char* end = nullptr;
+      const long seg = std::strtol(val.c_str(), &end, 10);
+      ok = end != val.c_str() && *end == '\0' && seg >= -1;  // -1 = all segments
+      c.segment = static_cast<int>(seg);
     } else if (key == "from") {
       ok = ParseTime(val, &c.from);
     } else if (key == "until") {

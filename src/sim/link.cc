@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/object_pool.h"
 #include "src/stat/timeseries.h"
 #include "src/trace/pcap.h"
 #include "src/trace/trace.h"
@@ -72,7 +73,8 @@ void EthernetSegment::DeliverAt(SimTime at, std::shared_ptr<const EthFrame> fram
                      [this, receiver_id, f = std::move(frame)]() { FireDelivery(receiver_id, *f); });
 }
 
-void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) {
+void EthernetSegment::Transmit(int sender_id, std::shared_ptr<EthFrame> frame,
+                               SimTime ready_at) {
   if (transmit_sink_ != nullptr) {
     transmit_sink_->OnTransmit(*this, sender_id, std::move(frame), ready_at);
     return;
@@ -80,16 +82,22 @@ void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) 
   ProcessTransmit(sender_id, std::move(frame), ready_at, nullptr);
 }
 
-void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime ready_at,
-                                      FrameDeliverer* deliverer) {
+void EthernetSegment::Transmit(int sender_id, EthFrame frame, SimTime ready_at) {
+  auto pooled = AcquirePooled<EthFrame>();
+  *pooled = std::move(frame);
+  Transmit(sender_id, std::move(pooled), ready_at);
+}
+
+void EthernetSegment::ProcessTransmit(int sender_id, std::shared_ptr<EthFrame> frame,
+                                      SimTime ready_at, FrameDeliverer* deliverer) {
   assert(sender_id >= 0 && static_cast<size_t>(sender_id) < stations_.size());
   const SimTime start = ready_at > bus_free_at_ ? ready_at : bus_free_at_;
-  const SimTime tx = wire_.TransmitTime(frame.bytes.size());
+  const SimTime tx = wire_.TransmitTime(frame->bytes.size());
   const SimTime end = start + tx;
   bus_free_at_ = end;
   bus_busy_time_ += tx;
   ++frames_sent_;
-  bytes_sent_ += frame.bytes.size();
+  bytes_sent_ += frame->bytes.size();
 
   // Queueing statistics. Frames whose start is at or before our ready time
   // have begun transmitting; the rest (plus this frame, if it had to wait)
@@ -110,7 +118,7 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
   queue_wait_.Record(wait);
 
   // Receivers share one immutable buffer; only a corrupted delivery copies.
-  const auto shared = std::make_shared<const EthFrame>(std::move(frame));
+  const std::shared_ptr<const EthFrame> shared = std::move(frame);
   const EthAddr dst = shared->Dst();
   const bool broadcast = dst.IsBroadcast();
   const SimTime arrival = end + wire_.propagation;
@@ -121,6 +129,11 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
   if (stats_ != nullptr) {
     stats_->OnTransmit(start, tx, shared->bytes.size(), depth);
   }
+
+  // Serial path: collect this transmission's deliveries and fold same-time
+  // ones into a single heap event (FlushBatchedDeliveries). The parallel
+  // engine hands deliveries to `deliverer` per receiver and stays unbatched.
+  const bool batching = deliverer == nullptr && batched_delivery_;
 
   for (size_t i = 0; i < stations_.size(); ++i) {
     const int rid = static_cast<int>(i);
@@ -156,8 +169,13 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
         case LinkFault::kDuplicate:
           ++fault_duplicates_;
           verdict = CaptureVerdict::kDuplicated;
-          DeliverAt(at, shared, rid, deliverer);
-          DeliverAt(at + tx, shared, rid, deliverer);
+          if (batching) {
+            batch_scratch_.push_back(BatchMember{at, rid, shared});
+            batch_scratch_.push_back(BatchMember{at + tx, rid, shared});
+          } else {
+            DeliverAt(at, shared, rid, deliverer);
+            DeliverAt(at + tx, shared, rid, deliverer);
+          }
           break;
         case LinkFault::kCorrupt: {
           ++fault_corruptions_;
@@ -168,11 +186,21 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
                 fault.corrupt_offset < bad.bytes.size() ? fault.corrupt_offset : bad.bytes.size() - 1;
             bad.bytes[off] ^= 0xFF;
           }
-          DeliverAt(at, std::make_shared<const EthFrame>(std::move(bad)), rid, deliverer);
+          auto bad_frame = AcquirePooled<EthFrame>();
+          *bad_frame = std::move(bad);
+          if (batching) {
+            batch_scratch_.push_back(BatchMember{at, rid, std::move(bad_frame)});
+          } else {
+            DeliverAt(at, std::move(bad_frame), rid, deliverer);
+          }
           break;
         }
         case LinkFault::kDeliver:
-          DeliverAt(at, shared, rid, deliverer);
+          if (batching) {
+            batch_scratch_.push_back(BatchMember{at, rid, shared});
+          } else {
+            DeliverAt(at, shared, rid, deliverer);
+          }
           break;
       }
     }
@@ -180,6 +208,57 @@ void EthernetSegment::ProcessTransmit(int sender_id, EthFrame frame, SimTime rea
       capture_->Record(observer_id_, rid, start, arrival, shared->bytes, verdict);
     }
   }
+  if (batching && !batch_scratch_.empty()) {
+    FlushBatchedDeliveries();
+  }
+}
+
+void EthernetSegment::FlushBatchedDeliveries() {
+  // Greedy scan by first appearance: every member sharing a timestamp joins
+  // one event, fired in creation order -- which is exactly the order the
+  // unbatched schedule would fire them (they hold adjacent sequence numbers,
+  // and no other same-time event can sit between). Members folded into a
+  // group are marked rid = -1.
+  for (size_t i = 0; i < batch_scratch_.size(); ++i) {
+    BatchMember& head = batch_scratch_[i];
+    if (head.rid < 0) {
+      continue;
+    }
+    size_t n = 1;
+    for (size_t j = i + 1; j < batch_scratch_.size(); ++j) {
+      if (batch_scratch_[j].rid >= 0 && batch_scratch_[j].at == head.at) {
+        ++n;
+      }
+    }
+    if (n == 1) {
+      events_.ScheduleAt(head.at, [this, rid = head.rid, f = std::move(head.frame)]() {
+        FireDelivery(rid, *f);
+      });
+      head.rid = -1;
+      continue;
+    }
+    std::vector<BatchMember> group;
+    group.reserve(n);
+    group.push_back(std::move(head));
+    head.rid = -1;
+    for (size_t j = i + 1; j < batch_scratch_.size(); ++j) {
+      BatchMember& m = batch_scratch_[j];
+      if (m.rid >= 0 && m.at == group.front().at) {
+        group.push_back(std::move(m));
+        m.rid = -1;
+      }
+    }
+    const SimTime group_at = group.front().at;
+    events_.ScheduleAt(group_at, [this, g = std::move(group)]() {
+      for (const BatchMember& m : g) {
+        FireDelivery(m.rid, *m.frame);
+      }
+      // One scheduled event stands in for g.size() unbatched ones; keep the
+      // fired-event count identical to the unbatched schedule.
+      events_.AddExtraFired(g.size() - 1);
+    });
+  }
+  batch_scratch_.clear();
 }
 
 void EthernetSegment::ResetStats() {

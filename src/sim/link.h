@@ -66,8 +66,8 @@ class FrameSink {
 class TransmitSink {
  public:
   virtual ~TransmitSink() = default;
-  virtual void OnTransmit(EthernetSegment& segment, int sender_id, EthFrame frame,
-                          SimTime ready_at) = 0;
+  virtual void OnTransmit(EthernetSegment& segment, int sender_id,
+                          std::shared_ptr<EthFrame> frame, SimTime ready_at) = 0;
 };
 
 // How ProcessTransmit hands a (frame, receiver) delivery to the simulator:
@@ -114,14 +114,17 @@ class EthernetSegment {
 
   // Queues `frame` for transmission; the frame was handed to the controller
   // at `ready_at` (the sending CPU's task clock). Transmission starts when
-  // the bus frees up.
+  // the bus frees up. The frame buffer travels by shared_ptr the whole way
+  // (driver -> segment -> receivers), so a pooled frame is reused intact;
+  // the by-value overload wraps for callers that build frames ad hoc.
+  void Transmit(int sender_id, std::shared_ptr<EthFrame> frame, SimTime ready_at);
   void Transmit(int sender_id, EthFrame frame, SimTime ready_at);
 
   // The body of Transmit: bus arbitration, fault injection, statistics, and
   // observer records, handing each delivery to `deliverer` (null = schedule
   // on the segment's own event queue). The parallel engine calls this at
   // epoch barriers, in canonical transmit order.
-  void ProcessTransmit(int sender_id, EthFrame frame, SimTime ready_at,
+  void ProcessTransmit(int sender_id, std::shared_ptr<EthFrame> frame, SimTime ready_at,
                        FrameDeliverer* deliverer);
 
   // Diverts Transmit() to `sink` before any segment state is touched (null
@@ -137,10 +140,24 @@ class EthernetSegment {
   // is down still route to the right logical process.
   Kernel* station_kernel(int id) const { return stations_[id].kernel; }
 
+  // Stations ever attached (detached slots included; engine adjacency walks).
+  size_t num_stations() const { return stations_.size(); }
+
   // Fires one delivery: looks the sink up NOW (not at schedule time), so a
   // frame in flight toward a host that crashed meanwhile is dropped here
   // rather than delivered through a dangling pointer.
   void FireDelivery(int receiver_id, const EthFrame& frame);
+
+  // Batches the deliveries one transmission creates for the same arrival
+  // timestamp (a broadcast burst) into a single heap event that fires them
+  // in creation order. Provably invisible to the simulation: members occupy
+  // adjacent sequence numbers in the unbatched schedule (ProcessTransmit
+  // schedules them back-to-back with nothing in between), so no other
+  // same-time event can interleave, and fired-event counts are preserved via
+  // EventQueue::AddExtraFired. Serial path only; the parallel engine routes
+  // per-receiver to different host queues and stays unbatched. Default on.
+  void set_batched_delivery(bool on) { batched_delivery_ = on; }
+  bool batched_delivery() const { return batched_delivery_; }
 
   // Uniform random drop probability applied to every delivery.
   void set_drop_rate(double p) { drop_rate_ = p; }
@@ -219,6 +236,15 @@ class EthernetSegment {
   void DeliverAt(SimTime at, std::shared_ptr<const EthFrame> frame, int receiver_id,
                  FrameDeliverer* deliverer);
 
+  // One delivery pending inside the current ProcessTransmit call (batched
+  // serial path). rid < 0 marks a member already folded into a batch.
+  struct BatchMember {
+    SimTime at;
+    int rid;
+    std::shared_ptr<const EthFrame> frame;
+  };
+  void FlushBatchedDeliveries();
+
   EventQueue& events_;
   WireModel wire_;
   Rng rng_;
@@ -229,6 +255,11 @@ class EthernetSegment {
   FaultHookEx fault_hook_ex_;
   uint64_t delivery_index_ = 0;
   TransmitSink* transmit_sink_ = nullptr;
+  bool batched_delivery_ = true;
+  // Scratch for the batched path; reused across transmissions. Safe against
+  // reentrancy: it is drained before ProcessTransmit returns, and firing a
+  // batch iterates a captured copy, not this vector.
+  std::vector<BatchMember> batch_scratch_;
 
   TraceSink* trace_ = nullptr;
   PacketCapture* capture_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -15,6 +16,16 @@ namespace xk {
 
 namespace {
 thread_local int g_default_engine_threads = 1;
+
+// Adds sim times without wrapping past kSimTimeNever ("no bound").
+SimTime SatAdd(SimTime a, SimTime b) {
+  return a > kSimTimeNever - b ? kSimTimeNever : a + b;
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 }  // namespace
 
 int default_engine_threads() { return g_default_engine_threads; }
@@ -24,26 +35,31 @@ void set_default_engine_threads(int threads) {
 }
 
 // ---------------------------------------------------------------------------
-// EpochPool: a fork/join pool tuned for many short epochs. The caller
-// participates in each job; idle workers spin briefly on the job generation
-// before falling back to a condition variable, so back-to-back epochs don't
-// pay a futex round trip. All cross-thread handoff goes through acquire/
-// release atomics (publish body/args, then bump the generation).
+// WorkerTeam: persistent workers for many short epochs. Participant 0 is the
+// calling thread; workers 1..parts-1 are threads that live for the engine's
+// lifetime, so LP-to-participant affinity is static and an LP's queue stays
+// warm in one core's cache across epochs. Start is signalled by a generation
+// bump (spin briefly, then fall back to a condition variable); the join is a
+// central sense-reversing barrier -- each participant flips a padded local
+// sense and the last arriver releases the rest by flipping the shared sense,
+// so back-to-back epochs synchronize on one cache line with no futex round
+// trip and no per-worker "finished" counter scan.
 // ---------------------------------------------------------------------------
-class EpochPool {
+class WorkerTeam {
  public:
-  explicit EpochPool(int participants) {
-    const int workers = participants > 1 ? participants - 1 : 0;
-    workers_.reserve(static_cast<size_t>(workers));
-    for (int i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { WorkerMain(); });
+  explicit WorkerTeam(int participants) : parts_(participants > 1 ? participants : 1) {
+    local_ = std::make_unique<LocalSense[]>(static_cast<size_t>(parts_));
+    workers_.reserve(static_cast<size_t>(parts_ - 1));
+    for (int p = 1; p < parts_; ++p) {
+      workers_.emplace_back([this, p] { WorkerMain(p); });
     }
   }
 
-  ~EpochPool() {
+  ~WorkerTeam() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_.store(true, std::memory_order_release);
+      start_gen_.fetch_add(1, std::memory_order_release);
     }
     cv_.notify_all();
     for (std::thread& t : workers_) {
@@ -51,60 +67,65 @@ class EpochPool {
     }
   }
 
-  EpochPool(const EpochPool&) = delete;
-  EpochPool& operator=(const EpochPool&) = delete;
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
 
-  // Runs body(0..n-1) across the workers and the calling thread; returns when
-  // every item has finished. Jobs are fully joined: every worker passes
-  // through every job generation and reports back, so a straggler can never
-  // touch the next job's work counter.
-  void Run(const std::function<void(size_t)>& body, size_t n) {
-    if (n == 0) {
-      return;
-    }
-    if (workers_.empty() || n == 1) {
-      for (size_t i = 0; i < n; ++i) {
-        body(i);
-      }
+  int parts() const { return parts_; }
+
+  // Wall time participant 0 has spent waiting at the join barrier.
+  double main_wait_ms() const { return main_wait_ms_; }
+
+  // Runs body(p) on every participant (the caller is p == 0) and returns
+  // once all of them have passed the join barrier.
+  void RunEpoch(const std::function<void(int)>& body) {
+    if (parts_ == 1) {
+      body(0);
       return;
     }
     body_ = &body;
-    n_ = n;
     policy_ = Message::default_alloc_policy();
-    next_.store(0, std::memory_order_relaxed);
-    finished_.store(0, std::memory_order_relaxed);
-    job_gen_.fetch_add(1, std::memory_order_release);
+    start_gen_.fetch_add(1, std::memory_order_release);
     if (sleepers_.load(std::memory_order_acquire) > 0) {
       std::lock_guard<std::mutex> lock(mu_);
       cv_.notify_all();
     }
-    Drain(body, n);
-    size_t spins = 0;
-    while (finished_.load(std::memory_order_acquire) < workers_.size()) {
-      if (++spins % 256 == 0) {
-        std::this_thread::yield();
-      }
-    }
+    body(0);
+    const auto t0 = std::chrono::steady_clock::now();
+    Arrive(0);
+    main_wait_ms_ += MsSince(t0);
   }
 
  private:
-  void Drain(const std::function<void(size_t)>& body, size_t n) {
-    for (;;) {
-      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) {
-        return;
+  struct alignas(64) LocalSense {
+    bool sense = true;
+  };
+
+  void Arrive(int p) {
+    const bool my = local_[p].sense;
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) == parts_ - 1) {
+      // Last arriver: reset the count, then release everyone by flipping the
+      // shared sense. Spinners re-read arrived_ only after acquiring the
+      // flip, so the reset is never observed mid-epoch.
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my, std::memory_order_release);
+    } else {
+      size_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my) {
+        if (++spins % 1024 == 0) {
+          std::this_thread::yield();
+        }
       }
-      body(i);
     }
+    local_[p].sense = !my;
   }
 
-  void WorkerMain() {
+  void WorkerMain(int p) {
     uint64_t seen = 0;
     for (;;) {
       uint64_t gen;
       size_t spins = 0;
       for (;;) {
-        gen = job_gen_.load(std::memory_order_acquire);
+        gen = start_gen_.load(std::memory_order_acquire);
         if (gen != seen || stop_.load(std::memory_order_acquire)) {
           break;
         }
@@ -115,7 +136,7 @@ class EpochPool {
         {
           std::unique_lock<std::mutex> lock(mu_);
           cv_.wait(lock, [&] {
-            return job_gen_.load(std::memory_order_acquire) != seen ||
+            return start_gen_.load(std::memory_order_acquire) != seen ||
                    stop_.load(std::memory_order_acquire);
           });
         }
@@ -126,22 +147,24 @@ class EpochPool {
       }
       seen = gen;
       Message::set_default_alloc_policy(policy_);
-      Drain(*body_, n_);
-      finished_.fetch_add(1, std::memory_order_release);
+      (*body_)(p);
+      Arrive(p);
     }
   }
 
+  const int parts_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::atomic<uint64_t> job_gen_{0};
-  std::atomic<size_t> next_{0};
-  std::atomic<size_t> finished_{0};
+  std::atomic<uint64_t> start_gen_{0};
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> sense_{false};
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
-  // Published before the job_gen_ release bump, read after the acquire load.
-  const std::function<void(size_t)>* body_ = nullptr;
-  size_t n_ = 0;
+  std::unique_ptr<LocalSense[]> local_;
+  double main_wait_ms_ = 0;
+  // Published before the start_gen_ release bump, read after the acquire load.
+  const std::function<void(int)>* body_ = nullptr;
   HeaderAllocPolicy policy_ = HeaderAllocPolicy::kPointerAdjust;
 };
 
@@ -164,7 +187,7 @@ struct ParallelEngine::Lp final : EventQueue::Listener {
   struct PendingTransmit {
     EthernetSegment* segment;
     int sender_id;
-    EthFrame frame;
+    std::shared_ptr<EthFrame> frame;
     SimTime ready_at;
   };
 
@@ -191,12 +214,19 @@ struct ParallelEngine::Lp final : EventQueue::Listener {
   std::unique_ptr<TraceSink> shard;
   TraceSink::ShardNameMap name_map;
 
-  // Epoch capture, reset at each barrier.
+  // Epoch capture. With per-LP windows an LP may run ahead of the global
+  // replay horizon, so captures persist across barriers: `cursor` marks how
+  // far replay has consumed them, and the buffers are recycled only once
+  // everything has been replayed.
   std::vector<FiredEvent> events;
   std::vector<Item> items;
   std::vector<PendingTransmit> transmits;
   size_t cursor = 0;  // replay position in `events`
   bool in_event = false;
+
+  // This epoch's window end (exclusive), published by the engine before the
+  // team runs and read by whichever participant owns this LP.
+  SimTime window = 0;
 
   void OnSchedule(SimTime at, uint32_t slot, uint32_t gen) override {
     if (!in_event) {
@@ -282,8 +312,8 @@ void ParallelEngine::RegisterCanon(uint32_t lp, SimTime at, uint32_t slot, uint3
   canon_.push(CanonNode{at, next_canon_seq_++, lp, slot, gen});
 }
 
-void ParallelEngine::OnTransmit(EthernetSegment& segment, int sender_id, EthFrame frame,
-                                SimTime ready_at) {
+void ParallelEngine::OnTransmit(EthernetSegment& segment, int sender_id,
+                                std::shared_ptr<EthFrame> frame, SimTime ready_at) {
   Lp* lp = current_lp_;
   if (lp == nullptr) {
     // Setup phase (no epoch running): apply immediately, in call order --
@@ -334,6 +364,95 @@ SimTime ParallelEngine::ComputeLookahead() const {
   return lookahead;
 }
 
+void ParallelEngine::BuildAdjacency() {
+  // Pairwise lookahead distances: LPs that share a segment constrain each
+  // other by that segment's minimum frame latency, and effects relay -- an
+  // idle host can be woken by one neighbor and then disturb another, so the
+  // binding bound is the shortest lookahead PATH (Floyd-Warshall closure),
+  // not the direct edge. The closure keeps the diagonal meaningful too:
+  // D(i,i) is the cheapest round trip, the soonest LP i's own unreplayed
+  // work can echo back at it, which is what lets a host with an idle peer
+  // run ahead of its commit point -- but only by one round trip. LPs in
+  // different connected components never constrain each other at all. A
+  // station attached without a kernel (a bare test sink serviced by the
+  // control queue) has no LP of its own, so its segment conservatively
+  // couples every LP.
+  const size_t n = lps_.size();
+  std::vector<SimTime> la(n * n, kSimTimeNever);
+  auto tighten = [&la, n](size_t a, size_t b, SimTime l) {
+    if (a == b) {
+      return;
+    }
+    if (l < la[a * n + b]) {
+      la[a * n + b] = l;
+      la[b * n + a] = l;
+    }
+  };
+  std::vector<size_t> members;
+  for (const EthernetSegment* seg : segments_) {
+    const SimTime l = seg->wire().TransmitTime(0) + seg->wire().propagation;
+    members.clear();
+    bool opaque = false;
+    for (size_t s = 0; s < seg->num_stations(); ++s) {
+      Kernel* kernel = seg->station_kernel(static_cast<int>(s));
+      auto it = kernel == nullptr ? kernel_lp_.end() : kernel_lp_.find(kernel);
+      if (it == kernel_lp_.end()) {
+        opaque = true;
+        break;
+      }
+      members.push_back(it->second->index);
+    }
+    if (opaque) {
+      for (size_t a = 0; a < n; ++a) {
+        for (size_t b = a + 1; b < n; ++b) {
+          tighten(a, b, l);
+        }
+      }
+      continue;
+    }
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        tighten(members[a], members[b], l);
+      }
+    }
+  }
+  // Closure. The diagonal starts at "never", so D(i,i) comes out as the
+  // shortest nonempty cycle, not the empty path.
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t a = 0; a < n; ++a) {
+      const SimTime ak = la[a * n + k];
+      if (ak == kSimTimeNever) {
+        continue;
+      }
+      for (size_t b = 0; b < n; ++b) {
+        const SimTime through = SatAdd(ak, la[k * n + b]);
+        if (through < la[a * n + b]) {
+          la[a * n + b] = through;
+        }
+      }
+    }
+  }
+  nbrs_.assign(n, {});
+  SimTime lo = kSimTimeNever;
+  SimTime hi = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      const SimTime l = la[b * n + a];  // bound on a from b: D(b, a)
+      if (l != kSimTimeNever) {
+        nbrs_[a].emplace_back(static_cast<uint32_t>(b), l);
+        if (l < lo) {
+          lo = l;
+        }
+        if (l > hi) {
+          hi = l;
+        }
+      }
+    }
+  }
+  diag_.lookahead_min = lo == kSimTimeNever ? 0 : lo;
+  diag_.lookahead_max = hi;
+}
+
 void ParallelEngine::BeginRun() {
   if (master_trace_ != observers_bound_) {
     // New (or first) master sink: rebuild the shards against it.
@@ -354,11 +473,12 @@ void ParallelEngine::BeginRun() {
       lp->kernel->set_trace_sink(lp->shard.get());
     }
   }
-  if (pool_ == nullptr) {
+  if (team_ == nullptr) {
     const int participants =
         static_cast<int>(lps_.size()) < threads_ ? static_cast<int>(lps_.size()) : threads_;
-    pool_ = std::make_unique<EpochPool>(participants);
+    team_ = std::make_unique<WorkerTeam>(participants);
   }
+  BuildAdjacency();
 }
 
 void ParallelEngine::EndRun() {
@@ -379,93 +499,180 @@ void ParallelEngine::EndRun() {
 
 size_t ParallelEngine::Run() {
   BeginRun();
+  const auto t0 = std::chrono::steady_clock::now();
   const SimTime lookahead = ComputeLookahead();
-  const size_t fired = lookahead > 0 ? RunEpochs(lookahead) : RunSerialFallback();
+  const size_t fired = lookahead > 0 ? RunEpochs() : RunSerialFallback();
+  diag_.run_wall_ms += MsSince(t0);
+  diag_.fired += fired;
   EndRun();
   return fired;
 }
 
-size_t ParallelEngine::RunEpochs(SimTime lookahead) {
+size_t ParallelEngine::RunEpochs() {
   size_t fired = 0;
-  std::vector<SimTime> next_at(lps_.size(), kSimTimeNever);
+  const size_t n = lps_.size();
+  vt_.assign(n, kSimTimeNever);
+  win_.assign(n, kSimTimeNever);
+  SimTime prev_h = -1;  // previous replay horizon, for the span diagnostics
   for (;;) {
-    SimTime epoch = kSimTimeNever;
-    for (size_t i = 0; i < lps_.size(); ++i) {
-      SimTime t;
-      next_at[i] = lps_[i]->queue->NextEventTime(&t) ? t : kSimTimeNever;
-      if (next_at[i] < epoch) {
-        epoch = next_at[i];
+    // Virtual-time lower bound per LP: nothing this LP does from here on can
+    // happen before vt_i. Both its committed heap and its not-yet-replayed
+    // captures count -- a replayed capture's transmits take effect at the
+    // barrier, so neighbors may not run past capture time + lookahead.
+    SimTime vt_min = kSimTimeNever;
+    for (size_t i = 0; i < n; ++i) {
+      Lp& lp = *lps_[i];
+      SimTime t = kSimTimeNever;
+      lp.queue->NextEventTime(&t);
+      if (lp.cursor < lp.events.size() && lp.events[lp.cursor].at < t) {
+        t = lp.events[lp.cursor].at;
+      }
+      vt_[i] = t;
+      if (t < vt_min) {
+        vt_min = t;
       }
     }
-    if (epoch == kSimTimeNever) {
+    if (vt_min == kSimTimeNever) {
       break;
     }
-    const SimTime end =
-        epoch > kSimTimeNever - lookahead ? kSimTimeNever : epoch + lookahead;
+    if (prev_h < 0) {
+      prev_h = vt_min;
+    }
+    // Window per LP: the earliest instant any neighbor could still affect it,
+    // capped by its own earliest parked-but-uncommitted event (which must
+    // enter the heap -- via replay of its parent -- before the LP may pass
+    // it). H = min window is the replay horizon: every capture below H has
+    // its canonical position fully determined.
+    SimTime h = kSimTimeNever;
+    for (size_t i = 0; i < n; ++i) {
+      SimTime end = kSimTimeNever;
+      for (const auto& [j, la] : nbrs_[i]) {
+        const SimTime bound = SatAdd(vt_[j], la);
+        if (bound < end) {
+          end = bound;
+        }
+      }
+      const SimTime parked = lps_[i]->queue->MinDeferredAt();
+      if (parked < end) {
+        end = parked;
+      }
+      win_[i] = end;
+      if (end < h) {
+        h = end;
+      }
+    }
     active_.clear();
-    for (size_t i = 0; i < lps_.size(); ++i) {
-      if (next_at[i] < end) {
+    for (size_t i = 0; i < n; ++i) {
+      SimTime head;
+      if (lps_[i]->queue->NextEventTime(&head) && head < win_[i]) {
+        lps_[i]->window = win_[i];
         active_.push_back(lps_[i].get());
       }
     }
+    ++diag_.epochs;
+    diag_.active_lp_sum += active_.size();
+    if (h != kSimTimeNever && h > prev_h) {
+      const SimTime span = h - prev_h;
+      diag_.span_sum += span;
+      if (span > diag_.span_max) {
+        diag_.span_max = span;
+      }
+      prev_h = h;
+    }
     for (Lp* lp : active_) {
-      lp->queue->set_defer_horizon(end);
+      lp->queue->set_defer_horizon(lp->window);
     }
     epoch_fired_.assign(active_.size(), 0);
     if (active_.size() == 1) {
       current_lp_ = active_[0];
-      epoch_fired_[0] = active_[0]->queue->RunEpochWindow(end);
+      epoch_fired_[0] = active_[0]->queue->RunEpochWindow(active_[0]->window);
       current_lp_ = nullptr;
-    } else {
+    } else if (!active_.empty()) {
       std::vector<Lp*>& active = active_;
       std::vector<size_t>& counts = epoch_fired_;
-      pool_->Run(
-          [&active, &counts, end](size_t i) {
-            current_lp_ = active[i];
-            counts[i] = active[i]->queue->RunEpochWindow(end);
-            current_lp_ = nullptr;
-          },
-          active_.size());
+      const int parts = team_->parts();
+      team_->RunEpoch([&active, &counts, parts](int p) {
+        // Static affinity: LP index mod team size, so the same participant
+        // touches a given LP's queue every epoch.
+        for (size_t k = 0; k < active.size(); ++k) {
+          Lp* lp = active[k];
+          if (static_cast<int>(lp->index % static_cast<uint32_t>(parts)) != p) {
+            continue;
+          }
+          current_lp_ = lp;
+          counts[k] = lp->queue->RunEpochWindow(lp->window);
+          current_lp_ = nullptr;
+        }
+      });
     }
     for (size_t i = 0; i < active_.size(); ++i) {
       fired += epoch_fired_[i];
       active_[i]->queue->set_defer_horizon(EventQueue::kNoHorizon);
     }
-    barrier_floor_ = end == kSimTimeNever ? 0 : end;
-    ReplayBarrier(end);
+    if (canon_.size() > diag_.commit_peak) {
+      diag_.commit_peak = canon_.size();
+    }
+    barrier_floor_ = h == kSimTimeNever ? 0 : h;
+    ReplayBarrier(h);
     barrier_floor_ = 0;
+  }
+  if (team_ != nullptr) {
+    diag_.barrier_wait_ms = team_->main_wait_ms();
+  }
+  // Quiescence: every live event has fired and replayed; whatever is left in
+  // the canonical heap is a cancelled node.
+  while (!canon_.empty()) {
+    const CanonNode& top = canon_.top();
+    assert(!lps_[top.lp]->queue->SlotLive(top.slot, top.gen) &&
+           "live canonical node at quiescence");
+    (void)top;
+    canon_.pop();
   }
   return fired;
 }
 
 void ParallelEngine::ReplayBarrier(SimTime end) {
-  // Consume this epoch's canonical prefix. Every node with at < end either
-  // matches the owning LP's next fired event (replay it) or was cancelled
-  // (skip it); barrier insertions land at >= end, so the prefix is closed.
+  // Consume the canonical prefix below the replay horizon. Every node with
+  // at < end either matches the owning LP's next unreplayed capture (replay
+  // it) or was cancelled (skip it): a capture below the horizon must already
+  // have a registered node -- its parent replays first, in this same loop --
+  // and barrier insertions land at >= end, so the prefix is closed. Captures
+  // at or above the horizon stay parked for a later barrier.
   while (!canon_.empty() && canon_.top().at < end) {
     const CanonNode n = canon_.top();
-    canon_.pop();
     Lp& lp = *lps_[n.lp];
     if (lp.cursor < lp.events.size()) {
       const FiredEvent& fe = lp.events[lp.cursor];
       if (fe.at == n.at && fe.slot == n.slot && fe.gen == n.gen) {
+        canon_.pop();
+        ++diag_.commit_nodes;
         ++lp.cursor;
         if (n.at > global_now_) {
           global_now_ = n.at;
         }
-        ApplyFired(lp, fe, end);
+        ApplyFired(lp, fe);
         continue;
       }
     }
-    assert(!lp.queue->SlotLive(n.slot, n.gen) && "canonical order diverged from LP order");
+    if (lp.queue->SlotLive(n.slot, n.gen)) {
+      // A parked event committed earlier in this very replay, at a time the
+      // horizon has already passed: it has not fired yet (it enters its LP's
+      // next epoch), so nothing canonically after it may replay either. Stop
+      // here; the horizon cannot pass vt bounds, so it re-covers this node
+      // after the event fires.
+      break;
+    }
+    canon_.pop();  // cancelled while queued
+    ++diag_.commit_nodes;
   }
   for (auto& lp : lps_) {
-    assert(lp->cursor == lp->events.size() && "fired event missing from canonical order");
-    lp->ClearEpoch();
+    if (lp->cursor == lp->events.size()) {
+      lp->ClearEpoch();
+    }
   }
 }
 
-void ParallelEngine::ApplyFired(Lp& lp, const FiredEvent& fe, SimTime commit_from) {
+void ParallelEngine::ApplyFired(Lp& lp, const FiredEvent& fe) {
   for (uint32_t i = fe.item_begin; i < fe.item_end; ++i) {
     Lp::Item& item = lp.items[i];
     switch (item.kind) {
@@ -476,13 +683,12 @@ void ParallelEngine::ApplyFired(Lp& lp, const FiredEvent& fe, SimTime commit_fro
         break;
       case Lp::Item::Kind::kSchedule:
         // The canonical sequence this schedule would have received from the
-        // serial engine's single counter.
+        // serial engine's single counter. If the event was parked past its
+        // epoch window, push it into the LP heap now so its local sequence
+        // order agrees with the canonical order; if it ran inside the window
+        // it is already in (and out of) the heap and the commit is a no-op.
         RegisterCanon(lp.index, item.at, item.slot, item.gen);
-        if (item.at >= commit_from) {
-          // Parked past the epoch: push into the LP heap now, so its local
-          // sequence order agrees with the canonical order.
-          lp.queue->CommitDeferred(item.slot, item.gen, item.at);
-        }
+        lp.queue->CommitDeferred(item.slot, item.gen, item.at);
         break;
       case Lp::Item::Kind::kTransmit: {
         Lp::PendingTransmit& t = lp.transmits[item.tx];
@@ -518,7 +724,7 @@ size_t ParallelEngine::RunSerialFallback() {
       global_now_ = n.at;
     }
     assert(lp.events.size() == 1 && lp.events[0].slot == n.slot && lp.events[0].gen == n.gen);
-    ApplyFired(lp, lp.events[0], EventQueue::kNoHorizon);
+    ApplyFired(lp, lp.events[0]);
     lp.ClearEpoch();
   }
   return fired;

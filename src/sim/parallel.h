@@ -2,26 +2,43 @@
 // as surveyed in Fujimoto's "Parallel Discrete Event Simulation").
 //
 // An Internet built with --engine-threads=N > 1 gives every host its own
-// EventQueue (one logical process per kernel) and runs them on a thread pool
-// in lockstep epochs. The epoch length is the link lookahead: the minimum
-// over all segments of (minimum frame transmit time + propagation delay),
-// which is the soonest a frame sent at the start of an epoch can take effect
-// on another host. Within an epoch each LP drains its own queue with no
-// locks; the only cross-LP effects -- frame deliveries, including duplicates
-// from fault injection -- are intercepted at EthernetSegment::Transmit and
-// applied serially at the epoch barrier.
+// EventQueue (one logical process per kernel) and runs them on a team of
+// persistent worker threads in epochs. Lookahead is per LP pair: LP i's
+// epoch window ends at min over all LPs j of (vt_j + D(j,i)), where D is
+// the shortest-path distance through the segment graph with edge weights of
+// (minimum frame transmit time + propagation delay) -- the soonest anything
+// j does can take effect on i, possibly relayed through idle hosts -- and
+// vt_j is j's virtual-time lower bound (earliest committed event or
+// unreplayed capture). D(i,i) is the cheapest round trip, so a host with an
+// idle peer may run ahead of its own commit point by exactly one echo
+// delay. Hosts in different connected components never constrain each
+// other, so decoupled regions of the topology advance independently instead
+// of marching in lockstep with the globally slowest host. Within its window
+// each LP drains its own queue with no locks; the only cross-LP effects --
+// frame deliveries, including duplicates from fault injection -- are
+// intercepted at EthernetSegment::Transmit and applied serially at the
+// epoch barrier.
 //
 // Bit-identity with the serial engine is by construction, not by luck. Every
 // schedule is registered in a canonical min-heap ordered by (time, canonical
 // sequence), where canonical sequence numbers are assigned in exactly the
 // order the serial engine's single queue would have assigned them: setup
 // schedules at call time, run-time schedules during a serial *replay* of the
-// fired-event metadata at each barrier. The replay walks events in canonical
-// order and applies each event's emission list (trace records, schedules,
-// transmits) in execution order, so segment state (bus arbitration, fault
-// RNG draws, statistics), wire/pcap records, merged trace streams, and the
-// heap insertion order of future events all reproduce the serial engine
-// exactly, at any thread count.
+// fired-event metadata at each barrier. The replay consumes the canonical
+// prefix below the replay horizon H = min over LPs of their window end;
+// captures above H persist across barriers and replay once H catches up.
+// The replay walks events in canonical order and applies each event's
+// emission list (trace records, schedules, transmits) in execution order, so
+// segment state (bus arbitration, fault RNG draws, statistics), wire/pcap
+// records, merged trace streams, and the heap insertion order of future
+// events all reproduce the serial engine exactly, at any thread count.
+//
+// Threading (WorkerTeam): workers are persistent across epochs with static
+// LP affinity (LP index mod team size), and epochs join on a central
+// sense-reversing barrier -- each participant flips its local sense and the
+// last arriver releases the rest by flipping the shared sense, so
+// back-to-back short epochs synchronize on one cache line instead of a
+// futex round trip per epoch.
 //
 // Degenerate lookahead (<= 0, e.g. a WireModel with zero transmit time and
 // zero propagation) falls back to running one event at a time in canonical
@@ -44,7 +61,7 @@
 namespace xk {
 
 class Kernel;
-class EpochPool;
+class WorkerTeam;
 
 // Thread-default engine width, picked up by Internet at construction
 // (mirrors TraceSink::thread_default()). 1 = the serial engine.
@@ -80,9 +97,28 @@ class ParallelEngine : public TransmitSink, public FrameDeliverer {
 
   int threads() const { return threads_; }
 
+  // Engine diagnostics, accumulated across every Run() on this engine. All
+  // sim-time and count fields are deterministic -- they depend only on the
+  // topology and workload, not on thread count or host speed; the two *_ms
+  // fields are wall-clock and vary run to run.
+  struct Diag {
+    uint64_t epochs = 0;         // epoch barriers executed
+    uint64_t fired = 0;          // events fired inside epoch windows
+    uint64_t active_lp_sum = 0;  // sum over epochs of LPs with runnable work
+    SimTime span_sum = 0;        // sum of replay-horizon advances (sim time)
+    SimTime span_max = 0;        // largest single horizon advance
+    uint64_t commit_nodes = 0;   // canonical-order nodes consumed at barriers
+    uint64_t commit_peak = 0;    // deepest the canonical commit queue ever got
+    SimTime lookahead_min = 0;   // tightest per-segment-pair lookahead bound
+    SimTime lookahead_max = 0;   // loosest finite per-pair bound (0 if none)
+    double barrier_wait_ms = 0;  // main thread's time at the join barrier
+    double run_wall_ms = 0;      // wall time inside RunEpochs/fallback
+  };
+  const Diag& diag() const { return diag_; }
+
   // TransmitSink: buffers an in-epoch transmit on the issuing LP's emission
   // list (setup-phase transmits are applied immediately, in call order).
-  void OnTransmit(EthernetSegment& segment, int sender_id, EthFrame frame,
+  void OnTransmit(EthernetSegment& segment, int sender_id, std::shared_ptr<EthFrame> frame,
                   SimTime ready_at) override;
 
   // FrameDeliverer: inserts a delivery into the receiving host's queue.
@@ -110,12 +146,13 @@ class ParallelEngine : public TransmitSink, public FrameDeliverer {
 
   void RegisterCanon(uint32_t lp, SimTime at, uint32_t slot, uint32_t gen);
   SimTime ComputeLookahead() const;
+  void BuildAdjacency();
   void BeginRun();
   void EndRun();
-  size_t RunEpochs(SimTime lookahead);
+  size_t RunEpochs();
   size_t RunSerialFallback();
   void ReplayBarrier(SimTime end);
-  void ApplyFired(Lp& lp, const FiredEvent& fe, SimTime commit_from);
+  void ApplyFired(Lp& lp, const FiredEvent& fe);
 
   static thread_local Lp* current_lp_;
 
@@ -132,9 +169,18 @@ class ParallelEngine : public TransmitSink, public FrameDeliverer {
   SimTime global_now_ = 0;     // max fired event time across all LPs
   SimTime barrier_floor_ = 0;  // lookahead check: deliveries must land >= this
 
-  std::unique_ptr<EpochPool> pool_;
-  std::vector<Lp*> active_;          // LPs with events inside the epoch window
+  std::unique_ptr<WorkerTeam> team_;
+  std::vector<Lp*> active_;          // LPs with events inside their window
   std::vector<size_t> epoch_fired_;  // per-active fire counts (no atomics)
+
+  // Per-LP neighbor list: (neighbor LP index, lookahead) for every LP pair
+  // that shares at least one segment, with the pair's tightest bound.
+  // Rebuilt at BeginRun so segments added between runs are picked up.
+  std::vector<std::vector<std::pair<uint32_t, SimTime>>> nbrs_;
+  std::vector<SimTime> vt_;   // per-LP virtual-time lower bound, per epoch
+  std::vector<SimTime> win_;  // per-LP epoch window end, per epoch
+
+  Diag diag_;
 };
 
 }  // namespace xk

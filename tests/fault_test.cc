@@ -90,6 +90,78 @@ TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::Parse("drop:wibble=3", &plan, &error));
 }
 
+TEST(FaultPlanTest, ParseErrorsNameTheOffendingToken) {
+  FaultPlan plan;
+  std::string error;
+
+  // Unknown kind.
+  EXPECT_FALSE(FaultPlan::Parse("bogus:seg=0", &plan, &error));
+  EXPECT_NE(error.find("'bogus'"), std::string::npos) << error;
+
+  // Bare key without '='.
+  EXPECT_FALSE(FaultPlan::Parse("drop:seg", &plan, &error));
+  EXPECT_NE(error.find("'seg'"), std::string::npos) << error;
+
+  // Unknown key names both the key and the clause kind.
+  EXPECT_FALSE(FaultPlan::Parse("drop:wibble=3", &plan, &error));
+  EXPECT_NE(error.find("'wibble'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'drop'"), std::string::npos) << error;
+
+  // Bad time value.
+  EXPECT_FALSE(FaultPlan::Parse("drop:seg=0,from=10xs", &plan, &error));
+  EXPECT_NE(error.find("'10xs'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'from'"), std::string::npos) << error;
+
+  // Bad rate value.
+  EXPECT_FALSE(FaultPlan::Parse("drop:seg=0,rate=abc", &plan, &error));
+  EXPECT_NE(error.find("'abc'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'rate'"), std::string::npos) << error;
+}
+
+TEST(FaultPlanTest, ParseRejectsGarbageSeed) {
+  // std::strtoull with a null end pointer used to read "seed:banana" as 0.
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse("seed:banana", &plan, &error));
+  EXPECT_NE(error.find("'banana'"), std::string::npos) << error;
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(FaultPlan::Parse("seed:12x", &plan, &error));  // trailing garbage
+  EXPECT_NE(error.find("'12x'"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(FaultPlan::Parse("seed:", &plan, &error));  // empty value
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultPlanTest, ParseRejectsGarbageSegment) {
+  // std::atoi used to read seg=abc as segment 0 without complaint.
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse("drop:seg=abc,from=0ms,until=1ms,rate=0.5", &plan, &error));
+  EXPECT_NE(error.find("'abc'"), std::string::npos) << error;
+  EXPECT_NE(error.find("'seg'"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(FaultPlan::Parse("drop:seg=1x,from=0ms,until=1ms,rate=0.5", &plan, &error));
+  EXPECT_NE(error.find("'1x'"), std::string::npos) << error;
+
+  // -1 is the all-segments wildcard; other negatives don't exist.
+  error.clear();
+  EXPECT_FALSE(FaultPlan::Parse("drop:seg=-2,from=0ms,until=1ms,rate=0.5", &plan, &error));
+  EXPECT_NE(error.find("'-2'"), std::string::npos) << error;
+  ASSERT_TRUE(FaultPlan::Parse("drop:seg=-1,from=0ms,until=1ms,rate=0.5", &plan, &error))
+      << error;
+  EXPECT_EQ(plan.clauses.back().segment, -1);
+
+  // A valid segment still parses.
+  error.clear();
+  ASSERT_TRUE(FaultPlan::Parse("drop:seg=3,from=0ms,until=1ms,rate=0.5", &plan, &error))
+      << error;
+  EXPECT_EQ(plan.clauses.back().segment, 3);
+}
+
 // --- determinism --------------------------------------------------------------
 
 // Runs a fixed echo workload and returns (CountersJson, events_fired).

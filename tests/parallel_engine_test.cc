@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -310,6 +311,304 @@ TEST(ParallelEngineTest, DuplicateFaultSecondCopyLandsNextEpoch) {
     // the first instant of the following epoch.
     EXPECT_EQ(run.a_arrivals, (std::vector<SimTime>{Usec(250), Usec(300)}));
     EXPECT_EQ(run.duplicates, 1u);
+  }
+}
+
+// --- batched-delivery differential ---------------------------------------------
+
+// One shared-bus scenario with every workload knob drawn from a seeded RNG.
+// Run once with batched delivery (the default) and once with it disabled;
+// every observable artifact must be byte-identical. A raw-ETH broadcast
+// burst rides along with the RPC traffic: each broadcast lands on every
+// other station at the same instant -- the multi-receiver case batching
+// folds into one heap event -- while the RPC unicasts exercise the
+// singleton-batch path. (ARP must be warm: the synchronous open path the
+// RPC stack uses reports UNREACHABLE on a cold cache rather than resolving.)
+struct BatchDiffArtifacts {
+  std::string trace_jsonl;
+  std::string pcap_jsonl;
+  std::string counters_json;
+  uint64_t events_fired = 0;
+  SimTime sum_done_at = 0;
+  int completed = 0;
+  int failed = 0;
+};
+
+BatchDiffArtifacts RunBatchDiffScenario(uint64_t seed, bool batched) {
+  std::mt19937_64 rng(seed);
+  TraceSink sink;
+  PacketCapture capture;
+  TraceSink::set_thread_default(&sink);
+  PacketCapture::set_thread_default(&capture);
+  set_default_engine_threads(1);  // batching is the serial delivery path
+
+  BatchDiffArtifacts out;
+  {
+    auto net = std::make_unique<Internet>(HostEnv::kXKernel, 1);
+    WireModel wire;
+    wire.propagation = Usec(100 + static_cast<SimTime>(rng() % 1500));
+    const int seg = net->AddSegment(wire);
+    const int pairs = 2 + static_cast<int>(rng() % 3);  // 4..8 hosts on one bus
+    struct Pair {
+      HostStack* ch = nullptr;
+      HostStack* sh = nullptr;
+      RpcStack cstack, sstack;
+      RpcClient* client = nullptr;
+      RpcServer* server = nullptr;
+    };
+    std::vector<Pair> ps(static_cast<size_t>(pairs));
+    for (int p = 0; p < pairs; ++p) {
+      ps[p].ch = &net->AddHost("c" + std::to_string(p), seg,
+                               IpAddr(10, 0, 1, static_cast<uint8_t>(2 * p + 1)));
+      ps[p].sh = &net->AddHost("s" + std::to_string(p), seg,
+                               IpAddr(10, 0, 1, static_cast<uint8_t>(2 * p + 2)));
+    }
+    net->segment(seg).set_batched_delivery(batched);
+    net->WarmArp();
+    const double drop = static_cast<double>(rng() % 8) / 100.0;
+    if (drop > 0) {
+      net->segment(seg).set_drop_rate(drop);
+    }
+    std::vector<Kernel*> clients;
+    std::vector<CallFn> calls;
+    for (Pair& pr : ps) {
+      pr.cstack = BuildLRpc(*pr.ch, Delivery::kVip);
+      pr.sstack = BuildLRpc(*pr.sh, Delivery::kVip);
+      RunIn(*pr.ch->kernel, [&] {
+        pr.client = &pr.ch->kernel->Emplace<RpcClient>(*pr.ch->kernel, pr.cstack.top);
+      });
+      RunIn(*pr.sh->kernel, [&] {
+        pr.server = &pr.sh->kernel->Emplace<RpcServer>(*pr.sh->kernel, pr.sstack.top);
+        (void)pr.server->Export(RpcServer::kAny,
+                                [](uint16_t, Message& request) { return request; });
+      });
+      clients.push_back(pr.ch->kernel);
+      const IpAddr server_ip = pr.sh->kernel->ip_addr();
+      RpcClient* client = pr.client;
+      calls.push_back(
+          [client, server_ip](Message args, std::function<void(Result<Message>)> done) {
+            client->Call(server_ip, 1, std::move(args), std::move(done));
+          });
+    }
+    // Broadcast burst on a private ETH type: every station but the sender
+    // receives each frame at the same arrival time and echoes it back,
+    // contending on the bus with the RPC traffic. With >= 3 receivers per
+    // frame, multi-member batches form by construction.
+    constexpr EthType kBurstType = 0x3901;
+    for (Pair& pr : ps) {
+      for (HostStack* h : {pr.ch, pr.sh}) {
+        if (h == ps[0].ch) {
+          continue;
+        }
+        h->kernel->RunTask(net->events().now(), [&] {
+          auto& srv = h->kernel->Emplace<EchoAnchor>(*h->kernel, /*server_role=*/true);
+          srv.set_app_cost(0);
+          ParticipantSet enable;
+          enable.local.eth_type = kBurstType;
+          (void)h->eth->OpenEnable(srv, enable);
+        });
+      }
+    }
+    HostStack* burst_host = ps[0].ch;
+    hotloop_internal::Burst burst;
+    burst_host->kernel->RunTask(net->events().now(), [&] {
+      auto& sender =
+          burst_host->kernel->Emplace<EchoAnchor>(*burst_host->kernel, /*server_role=*/false);
+      sender.set_app_cost(0);
+      ParticipantSet parts;
+      parts.local.eth_type = kBurstType;
+      parts.peer.eth = EthAddr::Broadcast();
+      Result<SessionRef> r = burst_host->eth->Open(sender, parts);
+      burst.kernel = burst_host->kernel;
+      burst.anchor = &sender;
+      burst.sess = r.ok() ? *r : nullptr;
+      burst.remaining = 8 + static_cast<int>(rng() % 16);
+      burst.size = 2 + static_cast<int>(rng() % 3);
+      burst.bytes = static_cast<size_t>(64) << (rng() % 3);
+      burst.gap = Usec(200 + static_cast<SimTime>(rng() % 800));
+    });
+    if (burst.sess != nullptr) {
+      burst_host->kernel->RunTask(net->events().now(),
+                                  [&burst] { hotloop_internal::Fire(&burst); });
+    }
+    const size_t bytes = static_cast<size_t>(64) << (rng() % 6);  // 64..2048
+    ManyPairsResult r = RpcWorkload::MeasureManyPairs(*net, clients, calls, bytes, 3);
+    out.completed = r.completed;
+    out.failed = r.failed;
+    out.sum_done_at = r.sum_done_at;
+    out.events_fired = net->events_fired();
+    out.counters_json = net->CountersJson();
+  }
+
+  TraceSink::set_thread_default(nullptr);
+  PacketCapture::set_thread_default(nullptr);
+  out.trace_jsonl = sink.ToJsonl();
+  out.pcap_jsonl = capture.ToJsonl();
+  return out;
+}
+
+TEST(BatchedDeliveryTest, RandomizedDifferentialBatchedVsUnbatched) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const BatchDiffArtifacts with = RunBatchDiffScenario(seed, /*batched=*/true);
+    const BatchDiffArtifacts without = RunBatchDiffScenario(seed, /*batched=*/false);
+    EXPECT_GT(with.completed, 0);
+    EXPECT_EQ(with.completed, without.completed);
+    EXPECT_EQ(with.failed, without.failed);
+    EXPECT_EQ(with.sum_done_at, without.sum_done_at);
+    EXPECT_EQ(with.events_fired, without.events_fired);
+    EXPECT_EQ(with.counters_json, without.counters_json);
+    EXPECT_EQ(with.trace_jsonl, without.trace_jsonl);
+    EXPECT_EQ(with.pcap_jsonl, without.pcap_jsonl);
+  }
+}
+
+// --- barrier stress --------------------------------------------------------------
+
+// Background traffic for the barrier stress: each pair issues sequential
+// calls through a done-callback loop (re-armed via a plain function over a
+// stable pointer, so nothing captures itself).
+struct BgPair {
+  HostStack* ch = nullptr;
+  HostStack* sh = nullptr;
+  RpcStack cstack, sstack;
+  RpcClient* client = nullptr;
+  RpcServer* server = nullptr;
+  IpAddr server_ip{};
+  int remaining = 0;
+};
+
+void BgNext(BgPair* p) {
+  if (p->remaining-- <= 0) {
+    return;
+  }
+  p->client->Call(p->server_ip, 1, Message(64), [p](Result<Message>) { BgNext(p); });
+}
+
+// A near-degenerate wire (1us frame + 2us propagation = 3us lookahead) keeps
+// epochs a few microseconds long, so the whole campaign is thousands of
+// back-to-back barriers; the FaultPlan crashes the chaos server mid-epoch
+// and the oracle plus byte-identity checks must still hold. This is the test
+// check.sh runs under TSan for the sense-reversing barrier.
+struct StressArtifacts {
+  RunArtifacts run;
+  uint64_t epochs = 0;
+  uint64_t bg_completed = 0;
+};
+
+StressArtifacts RunBarrierStressScenario(int engine_threads) {
+  TraceSink sink;
+  PacketCapture capture;
+  TraceSink::set_thread_default(&sink);
+  PacketCapture::set_thread_default(&capture);
+  set_default_engine_threads(engine_threads);
+
+  StressArtifacts out;
+  {
+    WireModel wire;
+    wire.bits_per_usec = 1e12;
+    wire.per_frame_overhead = Usec(1);
+    wire.propagation = Usec(2);
+    auto net = std::make_unique<Internet>(HostEnv::kXKernel, 1);
+    const int seg0 = net->AddSegment(wire);
+    net->AddHost("client", seg0, IpAddr(10, 0, 1, 1));
+    net->AddHost("server", seg0, IpAddr(10, 0, 1, 2));
+    // Background pairs share segment 0 with the chaos pair: on one bus every
+    // LP constrains every other through the 3us lookahead, so as long as any
+    // pair has traffic in flight the whole team advances in ~one-RTT windows.
+    // (Disconnected segments would decouple in the per-LP window computation
+    // and give a few long epochs instead of many short ones.)
+    constexpr int kBgPairs = 3;
+    std::vector<BgPair> bg(kBgPairs);
+    for (int p = 0; p < kBgPairs; ++p) {
+      const uint8_t b = static_cast<uint8_t>(10 + 2 * p);
+      bg[p].ch = &net->AddHost("bc" + std::to_string(p), seg0, IpAddr(10, 0, 1, b));
+      bg[p].sh =
+          &net->AddHost("bs" + std::to_string(p), seg0, IpAddr(10, 0, 1, static_cast<uint8_t>(b + 1)));
+    }
+    net->WarmArp();
+
+    AmoOracle oracle;
+    RpcFixture fix(std::move(net));
+    EXPECT_EQ(fix.net->engine_threads(), engine_threads);
+    RpcFixture::Builder builder = [](HostStack& h) { return BuildLRpc(h, Delivery::kVip); };
+    fix.Build(builder, /*export_echo=*/false);
+    RunIn(*fix.sh->kernel, [&] {
+      EXPECT_TRUE(fix.server->Export(RpcServer::kAny, oracle.WrapEcho(fix.sh->kernel)).ok());
+    });
+    fix.net->set_restart_hook("server", [&fix, builder, &oracle](HostStack& h) {
+      fix.sstack = builder(h);
+      fix.server = &h.kernel->Emplace<RpcServer>(*h.kernel, fix.sstack.top);
+      (void)fix.server->Export(RpcServer::kAny, oracle.WrapEcho(h.kernel));
+    });
+    for (BgPair& p : bg) {
+      p.cstack = builder(*p.ch);
+      p.sstack = builder(*p.sh);
+      RunIn(*p.ch->kernel,
+            [&] { p.client = &p.ch->kernel->Emplace<RpcClient>(*p.ch->kernel, p.cstack.top); });
+      RunIn(*p.sh->kernel, [&] {
+        p.server = &p.sh->kernel->Emplace<RpcServer>(*p.sh->kernel, p.sstack.top);
+        (void)p.server->Export(RpcServer::kAny,
+                               [](uint16_t, Message& request) { return request; });
+      });
+      p.server_ip = p.sh->kernel->ip_addr();
+      p.remaining = 150;
+      RunIn(*p.ch->kernel, [&p] { BgNext(&p); });
+    }
+
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.DropWindow(0, Msec(8), Msec(16), 0.3).Crash("server", Msec(20), Msec(36));
+    FaultEngine faults(*fix.net, plan);
+
+    ChaosSpec spec;
+    spec.payload_bytes = 64;
+    spec.calls = 20;
+    spec.gap = Msec(2);
+    spec.crash_at = Msec(20);
+    CallFn call = [&fix](Message args, std::function<void(Result<Message>)> done) {
+      fix.client->Call(fix.server_addr(), 1, std::move(args), std::move(done));
+    };
+    ChaosResult r = RpcWorkload::RunChaos(*fix.net, *fix.ch->kernel, call, oracle, spec);
+    AmoOracle::Report rep = oracle.Finish();
+    EXPECT_TRUE(rep.clean());
+
+    out.run.per_call = r.elapsed + r.recovery_latency;
+    out.run.completed = r.completed;
+    out.run.failed = r.failed;
+    out.run.events_fired = fix.net->events_fired();
+    out.run.counters_json = fix.net->CountersJson();
+    for (const BgPair& p : bg) {
+      out.bg_completed += p.client->calls_completed();
+    }
+    if (const ParallelEngine::Diag* d = fix.net->engine_diag()) {
+      out.epochs = d->epochs;
+    }
+  }
+
+  set_default_engine_threads(1);
+  TraceSink::set_thread_default(nullptr);
+  PacketCapture::set_thread_default(nullptr);
+  out.run.trace_jsonl = sink.ToJsonl();
+  out.run.pcap_jsonl = capture.ToJsonl();
+  return out;
+}
+
+TEST(ParallelEngineTest, BarrierStressManyShortEpochsWithCrash) {
+  const StressArtifacts serial = RunBarrierStressScenario(1);
+  EXPECT_GT(serial.run.completed, 0);
+  // The drop window covers segment 0, so background calls can exhaust their
+  // retries; what matters is that traffic flowed and every engine width
+  // agrees on exactly how much.
+  EXPECT_GT(serial.bg_completed, 0u);
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("engine_threads=" + std::to_string(threads));
+    const StressArtifacts par = RunBarrierStressScenario(threads);
+    ExpectIdentical(serial.run, par.run, threads);
+    EXPECT_EQ(serial.bg_completed, par.bg_completed);
+    // The point of the scenario: a 3us lookahead over a ~40ms campaign means
+    // the barrier turned over thousands of short epochs.
+    EXPECT_GT(par.epochs, 1000u);
   }
 }
 
