@@ -20,6 +20,7 @@ struct Options {
   std::string stats_dir;   // per-job time-series JSONL (--stats=DIR)
   std::string filter;      // ECMAScript regex matched against "group.name"
   std::string faults;      // FaultPlan spec (--faults=): adds a chaos.custom job
+  std::string arrivals;    // ArrivalSpec (--arrivals=): adds a datacenter.custom job
   int engine_threads = 1;  // simulation-engine width for every job
   int speedup_threads = 0; // >1 runs the wall-clock speedup phase
   bool list = false;
@@ -74,6 +75,8 @@ inline bool ParseBenchArgs(int argc, char** argv, Options* opt, std::string* err
       opt->filter = arg + 9;
     } else if (std::strncmp(arg, "--faults=", 9) == 0) {
       opt->faults = arg + 9;
+    } else if (std::strncmp(arg, "--arrivals=", 11) == 0) {
+      opt->arrivals = arg + 11;
     } else if (std::strncmp(arg, "--engine-threads=", 17) == 0) {
       if (!ParseFlagInt("--engine-threads", arg + 17, 1, &n, error)) {
         return false;

@@ -24,6 +24,7 @@
 
 #include "bench/bench_flags.h"
 #include "bench/bench_util.h"
+#include "src/cluster/datacenter.h"
 
 namespace xk {
 namespace {
@@ -165,6 +166,13 @@ JobResult ManyHostResult(const ManyPairsBench& b) {
   // Per-segment link statistics, all integers: byte-stable and, like every
   // simulated metric, engine-invariant.
   std::string& seg_json = out.extra_json;
+  // IP forwarding totals over every host: zero here (no routers in the
+  // many-pairs topology), but reported so the datacenter jobs' forwarding
+  // accounting has an explicit off-path control.
+  seg_json += "\"ip\": {\"forwards\": " + std::to_string(b.ip_forwards);
+  seg_json += ", \"ttl_drops\": " + std::to_string(b.ip_ttl_drops);
+  seg_json += ", \"no_route_drops\": " + std::to_string(b.ip_no_route_drops);
+  seg_json += "}, ";
   seg_json += "\"segments\": [";
   for (size_t s = 0; s < b.segments.size(); ++s) {
     const SegmentStat& st = b.segments[s];
@@ -283,6 +291,123 @@ Job ChaosJob(std::string name, FaultPlan plan, ChaosSpec spec, bool adaptive_rto
   return Job{"chaos", std::move(name), std::move(fn)};
 }
 
+// A datacenter job: k client segments fanning through the core router into a
+// replica pool behind VPOOL, driven open-loop. Everything reported is
+// simulated and engine-invariant, so these jobs ride the --stable
+// byte-identity checks at every --engine-threads width.
+Job DatacenterJob(std::string name, DatacenterSpec spec) {
+  JobFn fn = [spec = std::move(spec)] {
+    const DatacenterResult r = MeasureDatacenter(spec);
+    JobResult out;
+    out.metrics = {
+        {"issued", static_cast<double>(r.issued)},
+        {"completed", static_cast<double>(r.completed)},
+        {"failed", static_cast<double>(r.failed)},
+        {"success_rate_ppm", static_cast<double>(r.success_ppm)},
+        {"offered_cps", r.offered_cps},
+        {"goodput_cps", r.goodput_cps},
+        {"share_spread_ppm", static_cast<double>(r.share_spread_ppm)},
+        {"down_marks", static_cast<double>(r.down_marks)},
+        {"readmits", static_cast<double>(r.readmits)},
+        {"rerouted_opens", static_cast<double>(r.rerouted_opens)},
+        {"all_down_failures", static_cast<double>(r.all_down_failures)},
+        {"session_flushes", static_cast<double>(r.session_flushes)},
+        {"late_replies", static_cast<double>(r.late_replies)},
+        {"sum_done_at_ns", static_cast<double>(r.sum_done_at)},
+        {"oracle_executions", static_cast<double>(r.oracle.executions)},
+        {"oracle_double_exec", static_cast<double>(r.oracle.double_executions)},
+        {"oracle_cross_boot_reexec",
+         static_cast<double>(r.oracle.cross_boot_reexecutions)},
+        {"oracle_silent", static_cast<double>(r.oracle.silent)},
+    };
+    out.events_fired = r.events_fired;
+    out.latency_hist = r.rtt;
+    std::string& ej = out.extra_json;
+    // Per-replica share, from the client-side VPOOL counters.
+    ej += "\"replica_calls\": {";
+    for (size_t i = 0; i < r.replica_calls.size(); ++i) {
+      if (i > 0) {
+        ej += ", ";
+      }
+      ej += "\"r" + std::to_string(i) + "_calls\": " + std::to_string(r.replica_calls[i]);
+    }
+    ej += "}";
+    // Failover timeline, attributed by issue time against the crash window.
+    if (spec.faults.HasCrashClauses() || spec.crash_at != 0 || spec.restart_at != 0) {
+      static const char* kPhaseNames[3] = {"pre", "outage", "post"};
+      ej += ", \"failover_phases\": {";
+      for (int p = 0; p < 3; ++p) {
+        const DatacenterResult::Phase& ph = r.phases[p];
+        if (p > 0) {
+          ej += ", ";
+        }
+        ej += std::string("\"") + kPhaseNames[p] + "\": {";
+        ej += "\"issued\": " + std::to_string(ph.issued);
+        ej += ", \"completed\": " + std::to_string(ph.completed);
+        ej += ", \"failed\": " + std::to_string(ph.failed);
+        ej += ", \"success_ppm\": " + std::to_string(ph.success_ppm);
+        ej += "}";
+      }
+      ej += "}";
+    }
+    // IP forwarding through the core router (satellite view of the multi-hop
+    // path: every request and reply crosses it).
+    ej += ", \"routers\": [";
+    for (size_t i = 0; i < r.routers.size(); ++i) {
+      const DatacenterResult::RouterStat& rt = r.routers[i];
+      if (i > 0) {
+        ej += ", ";
+      }
+      ej += "{\"name\": \"" + rt.name + "\"";
+      ej += ", \"forwards\": " + std::to_string(rt.forwards);
+      ej += ", \"ttl_drops\": " + std::to_string(rt.ttl_drops);
+      ej += ", \"no_route_drops\": " + std::to_string(rt.no_route_drops);
+      ej += "}";
+    }
+    ej += "], \"segments\": [";
+    for (size_t i = 0; i < r.segments.size(); ++i) {
+      const DatacenterResult::SegStat& st = r.segments[i];
+      if (i > 0) {
+        ej += ", ";
+      }
+      ej += "{\"segment\": " + std::to_string(st.segment);
+      ej += ", \"frames\": " + std::to_string(st.frames);
+      ej += ", \"bytes\": " + std::to_string(st.bytes);
+      ej += ", \"utilization_ppm\": " + std::to_string(st.utilization_ppm);
+      ej += ", \"queued_frames\": " + std::to_string(st.queued_frames);
+      ej += ", \"peak_queue_depth\": " + std::to_string(st.peak_queue_depth);
+      ej += ", \"wait_p99_ns\": " + std::to_string(st.wait_p99_ns);
+      ej += ", \"frames_dropped\": " + std::to_string(st.frames_dropped);
+      ej += ", \"down_drops\": " + std::to_string(st.down_drops);
+      ej += ", \"fault_drops\": " + std::to_string(st.fault_drops);
+      ej += "}";
+    }
+    ej += "]";
+    return out;
+  };
+  return Job{"datacenter", std::move(name), std::move(fn)};
+}
+
+// The shared saturation-sweep topology: 2 client segments x 2 clients each,
+// 4 replicas round-robin. Rates chosen from the measured load curve (see
+// EXPERIMENTS.md): 100 cps/client is comfortably sub-saturation, 160 is the
+// knee, 400 collapses the pool. The 600ms horizon gives each client enough
+// calls (~60 at the low rate) that the aligned round-robin remainders -- every
+// client starts at replica 0 -- stay under a 10% share spread.
+DatacenterSpec SaturationSpec(double rate_cps) {
+  DatacenterSpec spec;
+  spec.client_segments = 2;
+  spec.clients_per_segment = 2;
+  spec.replicas = 4;
+  std::string error;
+  const std::string text =
+      "poisson:rate=" + std::to_string(static_cast<int>(rate_cps)) + ",horizon=600ms,seed=7";
+  if (!ArrivalSpec::Parse(text, &spec.arrivals, &error)) {
+    std::abort();  // a literal spec above is malformed; unreachable
+  }
+  return spec;
+}
+
 std::vector<Job> BuildJobs() {
   auto m_eth = [](HostStack& h) { return BuildMRpc(h, Delivery::kEth); };
   auto m_ip = [](HostStack& h) { return BuildMRpc(h, Delivery::kIp); };
@@ -362,6 +487,43 @@ std::vector<Job> BuildJobs() {
     loss_plan.GilbertElliott(0, 0, 0, /*p_enter=*/0.02, /*p_exit=*/0.25,
                              /*loss_good=*/0.001, /*loss_bad=*/0.7);
     jobs.push_back(ChaosJob("bursty-loss", loss_plan, loss_spec));
+  }
+  // Datacenter cluster workloads: replica pools behind VPOOL, open-loop
+  // arrivals, all traffic through the core router. The saturation sweep
+  // brackets the pool's knee; the chaos variant crashes a replica mid-run
+  // and reports the failover timeline.
+  {
+    jobs.push_back(DatacenterJob("sat-low", SaturationSpec(100)));
+    jobs.push_back(DatacenterJob("sat-knee", SaturationSpec(160)));
+    jobs.push_back(DatacenterJob("sat-overload", SaturationSpec(400)));
+
+    // Bursty on-off arrivals: 280 cps during the on phase (past the knee),
+    // idle during the off phase. The mean load (140 cps) is comfortably
+    // sub-saturation, yet the on-phase queueing stretches p99 to ~2x what a
+    // Poisson process at the same mean produces -- the open-loop burst story.
+    DatacenterSpec bursty = SaturationSpec(100);
+    std::string error;
+    if (!ArrivalSpec::Parse(
+            "onoff:rate=280,off_rate=0,on=25ms,off=25ms,horizon=600ms,seed=7",
+            &bursty.arrivals, &error)) {
+      std::abort();  // literal spec; unreachable
+    }
+    jobs.push_back(DatacenterJob("bursty-onoff", std::move(bursty)));
+
+    // Replica crash and restart, verified by the at-most-once oracle; the
+    // restart gap exceeds CHANNEL's retry budget so in-flight calls fail over
+    // rather than ride it out. Mirrors ReplicaCrashFailoverRecoversAfterRestart.
+    DatacenterSpec crash;
+    crash.client_segments = 2;
+    crash.clients_per_segment = 1;
+    crash.replicas = 3;
+    crash.readmit_after = Msec(120);
+    if (!ArrivalSpec::Parse("poisson:rate=100,horizon=900ms,seed=17", &crash.arrivals,
+                            &error)) {
+      std::abort();  // literal spec; unreachable
+    }
+    crash.faults.Crash("s0", Msec(80), Msec(500));
+    jobs.push_back(DatacenterJob("replica-crash-failover", std::move(crash)));
   }
   return jobs;
 }
@@ -539,7 +701,8 @@ std::string JobFileStem(const Job& job) {
 
 // Options lives in bench/bench_flags.h so ParseBenchArgs is unit-testable.
 
-std::vector<Job> SelectJobs(const Options& opt, std::string* fault_error) {
+std::vector<Job> SelectJobs(const Options& opt, std::string* fault_error,
+                            std::string* arrivals_error) {
   std::vector<Job> jobs = BuildJobs();
   if (!opt.faults.empty()) {
     // --faults=SPEC runs the user's own campaign as chaos.custom. The first
@@ -559,6 +722,15 @@ std::vector<Job> SelectJobs(const Options& opt, std::string* fault_error) {
     }
     jobs.push_back(ChaosJob("custom", std::move(plan), spec));
   }
+  if (!opt.arrivals.empty()) {
+    // --arrivals=SPEC runs the user's own arrival process against the
+    // standard saturation topology as datacenter.custom.
+    DatacenterSpec spec = SaturationSpec(100);
+    if (!ArrivalSpec::Parse(opt.arrivals, &spec.arrivals, arrivals_error)) {
+      return {};
+    }
+    jobs.push_back(DatacenterJob("custom", std::move(spec)));
+  }
   if (opt.filter.empty()) {
     return jobs;
   }
@@ -576,14 +748,19 @@ int Run(const Options& opt) {
   const unsigned threads = opt.threads;
   std::vector<Job> jobs;
   std::string fault_error;
+  std::string arrivals_error;
   try {
-    jobs = SelectJobs(opt, &fault_error);
+    jobs = SelectJobs(opt, &fault_error, &arrivals_error);
   } catch (const std::regex_error& e) {
     std::fprintf(stderr, "bench_suite: bad --filter regex: %s\n", e.what());
     return 2;
   }
   if (!fault_error.empty()) {
     std::fprintf(stderr, "bench_suite: bad --faults spec: %s\n", fault_error.c_str());
+    return 2;
+  }
+  if (!arrivals_error.empty()) {
+    std::fprintf(stderr, "bench_suite: bad --arrivals spec: %s\n", arrivals_error.c_str());
     return 2;
   }
   if (opt.list) {
@@ -735,7 +912,10 @@ int main(int argc, char** argv) {
                  "          [--stats=DIR] [--list] [--filter=REGEX] [--stable]\n"
                  "          [--engine-threads=N] [--engine-speedup[=N]]\n"
                  "          [--faults=PLAN]   (e.g. crash:host=server,at=300ms,restart=700ms;\n"
-                 "                             drop:seg=0,from=0ms,until=200ms,rate=0.05)\n",
+                 "                             drop:seg=0,from=0ms,until=200ms,rate=0.05)\n"
+                 "          [--arrivals=SPEC] (e.g. poisson:rate=200,horizon=200ms,seed=7 or\n"
+                 "                             onoff:rate=400,off_rate=0,on=25ms,off=25ms,\n"
+                 "                             horizon=200ms -- runs datacenter.custom)\n",
                  argv[0]);
     return 2;
   }

@@ -386,6 +386,13 @@ struct ManyPairsBench {
   Histogram rtt;      // per-call round trips, merged across pairs
   Histogram service;  // server-side service times, merged across pairs
   std::vector<SegmentStat> segments;
+  // IP forwarding totals summed over every host. The pairs here share a
+  // segment, so these stay zero -- the point is that the same accounting the
+  // datacenter jobs gate on is observable (and observed zero) off the routed
+  // path too.
+  uint64_t ip_forwards = 0;
+  uint64_t ip_ttl_drops = 0;
+  uint64_t ip_no_route_drops = 0;
   // Parallel-engine diagnostics (valid only when the run used the parallel
   // engine). Everything but the *_ms fields is deterministic.
   bool engine_diag_valid = false;
@@ -464,6 +471,12 @@ inline ManyPairsBench MeasureManyPairsBench(int pairs, size_t bytes, int iters,
   out.rtt = r.rtt;
   for (const Pair& pr : ps) {
     out.service.Merge(pr.server->service_histogram());
+    for (const HostStack* h : {pr.ch, pr.sh}) {
+      const IpProtocol::Stats& ip = h->ip->stats();
+      out.ip_forwards += ip.forwards;
+      out.ip_ttl_drops += ip.ttl_drops;
+      out.ip_no_route_drops += ip.no_route_drops;
+    }
   }
   const SimTime elapsed_sim = net->events().now();
   for (size_t s = 0; s < net->num_segments(); ++s) {

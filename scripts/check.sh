@@ -119,6 +119,35 @@ grep -q '"oracle_silent": 0' "$obs/chaos_custom.json"
 echo "server-crash and --faults= campaigns oracle-clean"
 
 echo
+echo "== datacenter cluster: round-robin balance + oracle-clean failover =="
+# The sub-saturation saturation-sweep job must complete every call with the
+# round-robin share spread across the 4 replicas inside 10% (100000 ppm).
+sat_line=$(grep '"name": "sat-low"' "$obs/r1.json")
+echo "$sat_line" | grep -q '"success_rate_ppm": 1000000' \
+  || { echo "FAIL: datacenter.sat-low dropped calls below saturation"; exit 1; }
+spread=$(echo "$sat_line" | sed -nE 's/.*"share_spread_ppm": ([0-9]+).*/\1/p')
+[ -n "$spread" ] && [ "$spread" -le 100000 ] \
+  || { echo "FAIL: datacenter.sat-low replica share spread ${spread:-?} ppm > 10%"; exit 1; }
+# The replica-crash job must stay oracle-clean, mark the dead replica down,
+# readmit it, and fully recover in the post-restart phase of the timeline.
+dc_line=$(grep '"name": "replica-crash-failover"' "$obs/r1.json")
+echo "$dc_line" | grep -q '"oracle_double_exec": 0' \
+  || { echo "FAIL: datacenter.replica-crash-failover reported double executions"; exit 1; }
+echo "$dc_line" | grep -q '"oracle_silent": 0' \
+  || { echo "FAIL: datacenter.replica-crash-failover reported silent failures"; exit 1; }
+echo "$dc_line" | grep -Eq '"readmits": [1-9]' \
+  || { echo "FAIL: datacenter.replica-crash-failover never readmitted the replica"; exit 1; }
+post_ppm=$(echo "$dc_line" | sed -nE 's/.*"post": \{[^}]*"success_ppm": ([0-9]+).*/\1/p')
+[ "${post_ppm:-0}" -eq 1000000 ] \
+  || { echo "FAIL: post-restart phase success ${post_ppm:-?} ppm != 1000000"; exit 1; }
+# A custom arrival process from the command line drives the same machinery.
+./build/bench/bench_suite --arrivals='poisson:rate=120,horizon=300ms,seed=3' \
+  --filter='^datacenter\.custom' --stable --out="$obs/dc_custom.json" >/dev/null
+grep -q '"success_rate_ppm": 1000000' "$obs/dc_custom.json"
+grep -q '"oracle_silent": 0' "$obs/dc_custom.json"
+echo "saturation balance, replica-crash failover, and --arrivals= campaigns clean"
+
+echo
 echo "== parallel engine: wall-clock speedup on the many-host workload =="
 # --engine-speedup times the many-host workload serially and at 4 engine
 # threads and fails if the simulated results differ at all. The >= 1.8x

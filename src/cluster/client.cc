@@ -1,0 +1,119 @@
+#include "src/cluster/client.h"
+
+#include "src/app/oracle.h"
+
+namespace xk {
+
+ClusterClient::ClusterClient(Kernel& kernel, Protocol* rpc, std::string name)
+    : Protocol(kernel, std::move(name), {rpc}), rpc_(rpc) {}
+
+void ClusterClient::Call(IpAddr service, uint16_t command, uint64_t id, Message args,
+                         RpcDone done) {
+  kernel().Charge(app_cost_);
+  SessionRef sess;
+  auto it = session_cache_.find({service, command});
+  if (it != session_cache_.end()) {
+    sess = it->second;
+  } else {
+    ParticipantSet parts;
+    parts.peer.host = service;
+    parts.peer.command = command;
+    Result<SessionRef> r = rpc_->Open(*this, parts);
+    if (!r.ok()) {
+      ++calls_failed_;
+      done(r.status());
+      return;
+    }
+    sess = *r;
+    session_cache_[{service, command}] = sess;
+  }
+  outstanding_[sess.get()][id] = std::move(done);
+  Status pushed = sess->Push(args);
+  if (!pushed.ok()) {
+    // Synchronous failure (e.g. every replica down): nothing went out, so the
+    // id is still ours to complete directly.
+    auto oit = outstanding_.find(sess.get());
+    if (oit != outstanding_.end()) {
+      auto cit = oit->second.find(id);
+      if (cit != oit->second.end()) {
+        RpcDone cb = std::move(cit->second);
+        oit->second.erase(cit);
+        ++calls_failed_;
+        cb(pushed);
+      }
+    }
+  }
+}
+
+void ClusterClient::Evict(IpAddr service, uint16_t command) {
+  auto it = session_cache_.find({service, command});
+  if (it == session_cache_.end()) {
+    return;
+  }
+  ControlArgs args;
+  (void)it->second->Control(ControlOp::kFlushSessions, args);
+  // Keep the outstanding_ entry: in-flight replies still demux through the
+  // session object until they drain; only the cache forgets it.
+  session_cache_.erase(it);
+}
+
+Status ClusterClient::DoDemux(Session* lls, Message& msg) {
+  kernel().Charge(app_cost_);
+  auto it = outstanding_.find(lls);
+  if (it == outstanding_.end()) {
+    return ErrStatus(StatusCode::kNotFound);
+  }
+  const uint64_t id = AmoOracle::ExtractId(msg);
+  auto cit = it->second.find(id);
+  if (cit == it->second.end()) {
+    // The reply beat us here after its call already failed (retransmit raced
+    // a slow reply, or an error surfaced first). Count it; don't misdeliver.
+    ++late_replies_;
+    return OkStatus();
+  }
+  RpcDone done = std::move(cit->second);
+  it->second.erase(cit);
+  ++calls_completed_;
+  done(msg);
+  return OkStatus();
+}
+
+void ClusterClient::SessionError(Session& lls, Status error) {
+  auto it = outstanding_.find(&lls);
+  if (it == outstanding_.end() || it->second.empty()) {
+    return;
+  }
+  // Errors carry no id; CHANNEL surfaces call failures in issue order, so the
+  // oldest (smallest) outstanding id is the one that just died.
+  auto cit = it->second.begin();
+  RpcDone done = std::move(cit->second);
+  it->second.erase(cit);
+  ++calls_failed_;
+  done(error);
+}
+
+void ClusterClient::ExportCounters(const CounterEmit& emit) const {
+  Protocol::ExportCounters(emit);
+  emit("calls_completed", calls_completed_);
+  emit("calls_failed", calls_failed_);
+  emit("late_replies", late_replies_);
+}
+
+void ClusterClient::ExportGauges(const CounterEmit& emit) const {
+  uint64_t outstanding = 0;
+  for (const auto& [sess, by_id] : outstanding_) {
+    (void)sess;
+    outstanding += by_id.size();
+  }
+  emit("outstanding_calls", outstanding);
+}
+
+Status ClusterClient::DoControl(ControlOp op, ControlArgs& args) {
+  if (op == ControlOp::kGetMaxSendSize) {
+    args.u64 = max_send_size_;
+    return OkStatus();
+  }
+  return ErrStatus(StatusCode::kUnsupported);
+}
+
+}  // namespace xk

@@ -1,0 +1,72 @@
+// ClusterClient: an RPC client anchor for replicated pools.
+//
+// RpcClient pairs completions FIFO per session, which is correct when every
+// reply returns in issue order. Through VPOOL that no longer holds: calls on
+// one session fan out over several replicas (and several CHANNEL channels per
+// replica), so replies complete out of order. ClusterClient therefore pairs
+// replies by the 8-byte big-endian call id at the head of every oracle-format
+// request/reply (AmoOracle::MakeRequest layout) instead of by queue position.
+//
+// Errors carry no reply bytes, so an asynchronous SessionError completes the
+// OLDEST (smallest-id) outstanding call -- CHANNEL surfaces errors per call in
+// issue order. A reply for an id that already failed that way is counted in
+// `late_replies` and dropped; at-most-once stays observable because failure
+// outcomes need no echo match.
+
+#ifndef XK_SRC_CLUSTER_CLIENT_H_
+#define XK_SRC_CLUSTER_CLIENT_H_
+
+#include <map>
+#include <utility>
+
+#include "src/app/anchor.h"
+#include "src/core/kernel.h"
+#include "src/core/protocol.h"
+
+namespace xk {
+
+class ClusterClient : public Protocol {
+ public:
+  // `rpc` is whatever addresses procedures with (host, command) -- normally a
+  // VpoolProtocol, but any SELECT-shaped protocol works.
+  ClusterClient(Kernel& kernel, Protocol* rpc, std::string name = "cluclient");
+
+  // Invokes `command` at `service` (a VPOOL virtual address or a real host).
+  // `args` must be in oracle format: its first 8 bytes are `id`, big-endian.
+  // Must be called from within a task.
+  void Call(IpAddr service, uint16_t command, uint64_t id, Message args, RpcDone done);
+
+  // Connection churn: drops the cached session for (service, command) and
+  // asks it to flush its idle lower sessions first.
+  void Evict(IpAddr service, uint16_t command);
+
+  void set_app_cost(SimTime t) { app_cost_ = t; }
+  void set_max_send_size(uint64_t n) { max_send_size_ = n; }
+
+  uint64_t calls_completed() const { return calls_completed_; }
+  uint64_t calls_failed() const { return calls_failed_; }
+  uint64_t late_replies() const { return late_replies_; }
+
+  void ExportCounters(const CounterEmit& emit) const override;
+  void ExportGauges(const CounterEmit& emit) const override;
+  void SessionError(Session& lls, Status error) override;
+
+ protected:
+  Status DoDemux(Session* lls, Message& msg) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+
+ private:
+  Protocol* rpc_;
+  SimTime app_cost_ = Usec(45);
+  uint64_t max_send_size_ = UINT64_MAX;
+  std::map<std::pair<IpAddr, uint16_t>, SessionRef> session_cache_;
+  // Ordered by id within each session, so "oldest outstanding" = begin().
+  std::map<Session*, std::map<uint64_t, RpcDone>> outstanding_;
+  uint64_t calls_completed_ = 0;
+  uint64_t calls_failed_ = 0;
+  uint64_t late_replies_ = 0;
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_CLUSTER_CLIENT_H_

@@ -1,0 +1,106 @@
+// Datacenter-shaped topology + workload: k client segments fan in through an
+// IP router to a replica-pool segment, driven by open-loop arrival processes.
+//
+// This is the growth step from "32 independent pairs" to a cluster-shaped
+// experiment: every client runs a VPOOL (virtual service address over the
+// replica pool) and an open-loop generator, all traffic funnels through the
+// core router's IP forwarding, and the replicas serve an oracle-checked echo.
+// Everything reported is simulated and engine-invariant: byte-identical at
+// any --engine-threads width.
+
+#ifndef XK_SRC_CLUSTER_DATACENTER_H_
+#define XK_SRC_CLUSTER_DATACENTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/app/oracle.h"
+#include "src/cluster/arrivals.h"
+#include "src/cluster/vpool.h"
+#include "src/sim/fault.h"
+#include "src/stat/histogram.h"
+
+namespace xk {
+
+struct DatacenterSpec {
+  int client_segments = 4;     // k: segments of load generators
+  int clients_per_segment = 2; // m: hosts per client segment
+  int replicas = 4;            // N: server pool size (all on the server segment)
+  VpoolPolicy policy = VpoolPolicy::kRoundRobin;
+  std::vector<uint32_t> weights;  // kWeighted only
+  ArrivalSpec arrivals;        // per-client arrival process
+  size_t payload_bytes = 64;   // request payload after the 8-byte oracle id
+  SimTime service_delay = 0;   // per-request replica service time
+  SimTime readmit_after = Msec(150);
+  FaultPlan faults;            // optional campaign (replica crash, partition...)
+  SimTime crash_at = 0;        // failover-timeline window for phase attribution
+  SimTime restart_at = 0;      //   (0,0 = no window; normally from the plan)
+  int engine_threads = 0;      // 0 = thread default
+  uint64_t seed = 1;
+};
+
+struct DatacenterResult {
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t success_ppm = 0;          // completed / issued, parts per million
+  double offered_cps = 0;            // issued / horizon (calls per second)
+  double goodput_cps = 0;            // completed / last completion time
+  Histogram rtt;                     // per-call round trips, merged client order
+  SimTime last_done_at = 0;
+  SimTime sum_done_at = 0;           // determinism probe
+  uint64_t events_fired = 0;
+
+  // Per-replica request share, from the client-side VPOOL counters (summed
+  // over clients; survives replica crashes, unlike server-side counts).
+  std::vector<uint64_t> replica_calls;
+  uint64_t share_spread_ppm = 0;     // (max - min) / mean over replica_calls
+
+  // VPOOL health aggregates (summed over clients).
+  uint64_t down_marks = 0;
+  uint64_t readmits = 0;
+  uint64_t rerouted_opens = 0;
+  uint64_t all_down_failures = 0;
+  uint64_t session_flushes = 0;
+  uint64_t late_replies = 0;         // summed over ClusterClients
+
+  // Failover timeline (issue-time attribution against [crash_at, restart_at)).
+  struct Phase {
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t success_ppm = 0;
+  };
+  Phase phases[3];                   // 0 = pre, 1 = outage, 2 = post
+
+  AmoOracle::Report oracle;
+
+  struct RouterStat {
+    std::string name;
+    uint64_t forwards = 0;
+    uint64_t ttl_drops = 0;
+    uint64_t no_route_drops = 0;
+  };
+  std::vector<RouterStat> routers;
+
+  struct SegStat {
+    int segment = 0;
+    uint64_t frames = 0;
+    uint64_t bytes = 0;
+    uint64_t utilization_ppm = 0;
+    uint64_t queued_frames = 0;
+    uint64_t peak_queue_depth = 0;
+    int64_t wait_p99_ns = 0;
+    uint64_t frames_dropped = 0;
+    uint64_t down_drops = 0;
+    uint64_t fault_drops = 0;
+  };
+  std::vector<SegStat> segments;
+};
+
+// Builds the topology, runs the workload to quiescence, tears it down.
+DatacenterResult MeasureDatacenter(const DatacenterSpec& spec);
+
+}  // namespace xk
+
+#endif  // XK_SRC_CLUSTER_DATACENTER_H_

@@ -1,0 +1,146 @@
+// VPOOL: a load-spreading virtual protocol (the paper's VIP technique pointed
+// at replicas instead of routes).
+//
+// VIP demonstrates that a header-less virtual protocol can make a ROUTING
+// decision -- ethernet or IP -- for the cost of a single test at push time.
+// VPOOL makes a REPLICA decision the same way: it binds one virtual service
+// address to a pool of N replica server stacks, and each push picks a replica
+// through a pluggable deterministic policy, then rides the cached lower
+// session (SELECT or any (host, command)-addressed RPC protocol) toward it.
+// Like every virtual protocol it adds no header: replies demultiplex back by
+// lower-session identity alone.
+//
+// Health: a replica is marked down when an open toward it fails or when a
+// call through it errors asynchronously (CHANNEL retransmissions exhausted --
+// how a crashed host manifests to its clients). Down replicas are skipped by
+// every policy and readmitted on probation after `readmit_after`; a replica
+// that is still dead just fails its next probe call and is marked down again.
+// Per-replica balance and failover counters export through the standard
+// ExportCounters/ExportGauges observability hooks.
+
+#ifndef XK_SRC_CLUSTER_VPOOL_H_
+#define XK_SRC_CLUSTER_VPOOL_H_
+
+#include <map>
+#include <vector>
+
+#include "src/core/kernel.h"
+#include "src/core/map.h"
+#include "src/core/protocol.h"
+
+namespace xk {
+
+class VpoolSession;
+
+// How VPOOL spreads calls over the up replicas.
+enum class VpoolPolicy : uint8_t {
+  kRoundRobin,        // strict rotation; exact balance when all replicas are up
+  kWeighted,          // smooth weighted round-robin over the bound weights
+  kLeastOutstanding,  // fewest calls in flight, lowest index on ties
+  kHashAffinity,      // consistent-hash ring keyed per session (client, command)
+};
+
+const char* VpoolPolicyName(VpoolPolicy policy);
+
+class VpoolProtocol final : public Protocol {
+ public:
+  // `rpc` is the real procedure-addressed protocol below (normally SELECT).
+  VpoolProtocol(Kernel& kernel, Protocol* rpc, std::string name = "vpool");
+
+  // Binds the virtual service address to its replica pool. `weights` applies
+  // to kWeighted (empty = all 1). One service per VPOOL instance: opens for
+  // any other peer host pass through to `rpc` untouched.
+  void BindService(IpAddr vip, std::vector<IpAddr> replicas, VpoolPolicy policy,
+                   std::vector<uint32_t> weights = {});
+
+  // Probation delay before a down replica is tried again (0 = never readmit).
+  void set_readmit_after(SimTime t) { readmit_after_ = t; }
+
+  IpAddr service_addr() const { return vip_; }
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  bool replica_up(int i) const { return replicas_[static_cast<size_t>(i)].up; }
+  uint64_t replica_calls(int i) const { return replicas_[static_cast<size_t>(i)].calls; }
+  uint64_t replica_errors(int i) const { return replicas_[static_cast<size_t>(i)].errors; }
+  uint64_t replica_outstanding(int i) const {
+    return replicas_[static_cast<size_t>(i)].outstanding;
+  }
+  uint64_t down_marks() const { return down_marks_; }
+  uint64_t readmits() const { return readmits_; }
+  uint64_t rerouted_opens() const { return rerouted_opens_; }
+  uint64_t all_down_failures() const { return all_down_failures_; }
+  uint64_t session_flushes() const { return session_flushes_; }
+
+  void SessionError(Session& lls, Status error) override;
+  void ExportCounters(const CounterEmit& emit) const override;
+  void ExportGauges(const CounterEmit& emit) const override;
+
+ protected:
+  Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
+  Status DoDemux(Session* lls, Message& msg) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+
+ private:
+  friend class VpoolSession;
+
+  struct Replica {
+    IpAddr addr{};
+    uint32_t weight = 1;
+    bool up = true;
+    int64_t wrr_current = 0;  // smooth-WRR running credit
+    uint64_t calls = 0;       // calls routed here (client-side ground truth)
+    uint64_t errors = 0;      // open failures + asynchronous call errors
+    uint64_t outstanding = 0; // in flight now (least-outstanding input)
+    EventHandle readmit_timer;
+  };
+
+  // Picks an up replica per the bound policy; -1 when every replica is down.
+  int PickUp(uint64_t affinity_key);
+  void MarkDown(int idx);
+  void Readmit(int idx);
+
+  Protocol* rpc_;
+  IpAddr vip_{};
+  VpoolPolicy policy_ = VpoolPolicy::kRoundRobin;
+  SimTime readmit_after_ = Msec(200);
+  std::vector<Replica> replicas_;
+  // Consistent-hash ring: kVnodesPerReplica points per replica, sorted.
+  std::vector<std::pair<uint64_t, int>> ring_;
+  size_t rr_next_ = 0;
+  uint64_t down_marks_ = 0;
+  uint64_t readmits_ = 0;
+  uint64_t rerouted_opens_ = 0;     // picks abandoned because the open failed
+  uint64_t all_down_failures_ = 0;  // pushes failed with every replica down
+  uint64_t session_flushes_ = 0;    // lower sessions dropped by kFlushSessions
+  uint64_t flush_skipped_busy_ = 0;
+
+  DemuxMap<uint16_t> active_;              // command -> VPOOL session
+  DemuxMap<Session*, SessionRef> by_lls_;  // lower session -> VPOOL session
+  std::map<Session*, int> lls_replica_;    // lower session -> replica index
+  std::map<Session*, uint64_t> lls_inflight_;  // flush guard (host bookkeeping)
+};
+
+class VpoolSession final : public Session {
+ public:
+  VpoolSession(VpoolProtocol& owner, Protocol* hlp, uint16_t command, uint64_t affinity_key);
+
+ protected:
+  Status DoPush(Message& msg) override;
+  Status DoPop(Message& msg, Session* lls) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+  Session* lower_for_control() const override;
+
+ private:
+  friend class VpoolProtocol;
+
+  // The cached lower session toward replica `idx`, opened on first use.
+  Result<SessionRef> LowerFor(int idx);
+
+  VpoolProtocol& pool_;
+  uint16_t command_;
+  uint64_t affinity_key_;
+  std::vector<SessionRef> lowers_;  // per replica; null until first routed call
+};
+
+}  // namespace xk
+
+#endif  // XK_SRC_CLUSTER_VPOOL_H_

@@ -55,6 +55,11 @@ enum class ControlOp : uint8_t {
   kGetTimeouts,        // out u64: retransmit timer expirations (stats)
   kSetAdaptiveTimeout, // in u64(bool): SRTT/RTTVAR adaptive RTO instead of the
                        // paper's step-function timeout (default off)
+  kFlushSessions,      // drop idle cached lower sessions (connection churn);
+                       // out u64: sessions actually dropped
+
+  // --- load spreading (VPOOL) -------------------------------------------------
+  kGetReplicasUp,      // out u64: replicas currently considered up
 
   // --- auth (Sun RPC optional layers) -----------------------------------------
   kSetCredentials,  // in u64: packed uid<<32|gid

@@ -295,11 +295,14 @@ inline Direction DirectionFor(std::string_view path) {
     return leaf.find(needle) != std::string_view::npos;
   };
   if (contains("throughput") || contains("kbytes_per_sec") || contains("speedup") ||
-      contains("completed") || contains("success")) {
+      contains("completed") || contains("success") || contains("goodput")) {
     return Direction::kHigherBetter;
   }
+  // "offered"/"issued" are workload inputs and "calls" are per-replica routing
+  // counts: drift in either direction is a real change, not an improvement.
   if (contains("util") || contains("frames") || contains("bytes") || contains("count") ||
-      contains("depth") || contains("busy")) {
+      contains("depth") || contains("busy") || contains("offered") || contains("issued") ||
+      contains("calls")) {
     return Direction::kTwoSided;
   }
   return Direction::kLowerBetter;  // *_ms, *_ns, failed, drops, ...

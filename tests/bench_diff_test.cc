@@ -82,6 +82,44 @@ TEST(BenchDiff, UtilizationDriftIsTwoSided) {
   EXPECT_EQ(down.regressions[0].direction, Direction::kTwoSided);
 }
 
+// Datacenter-job metric directions: goodput is higher-better (a drop
+// regresses, a rise does not), while offered load and per-replica call
+// counts are workload/routing facts -- drift either way is flagged.
+std::string DatacenterJson(double goodput, double offered, int r0_calls) {
+  return R"({
+  "schema_version": 2,
+  "results": [
+    {"group": "datacenter", "name": "sat-low",
+     "metrics": {"goodput_cps": )" + std::to_string(goodput) + R"(,
+                 "offered_cps": )" + std::to_string(offered) + R"(},
+     "replica_calls": {"r0_calls": )" + std::to_string(r0_calls) + R"(, "r1_calls": 60}}
+  ]
+}
+)";
+}
+
+TEST(BenchDiff, GoodputDropIsRegressionRiseIsNot) {
+  const Report drop = Compare(DatacenterJson(400, 500, 60), DatacenterJson(300, 500, 60));
+  ASSERT_FALSE(drop.regressions.empty());
+  EXPECT_EQ(drop.regressions[0].direction, Direction::kHigherBetter);
+  const Report rise = Compare(DatacenterJson(400, 500, 60), DatacenterJson(500, 500, 60));
+  EXPECT_TRUE(rise.ok());
+}
+
+TEST(BenchDiff, OfferedLoadDriftIsTwoSided) {
+  const Report down = Compare(DatacenterJson(400, 500, 60), DatacenterJson(400, 400, 60));
+  ASSERT_FALSE(down.regressions.empty());
+  EXPECT_EQ(down.regressions[0].direction, Direction::kTwoSided);
+  const Report up = Compare(DatacenterJson(400, 500, 60), DatacenterJson(400, 600, 60));
+  EXPECT_FALSE(up.regressions.empty());
+}
+
+TEST(BenchDiff, ReplicaCallShareDriftIsTwoSided) {
+  const Report down = Compare(DatacenterJson(400, 500, 60), DatacenterJson(400, 500, 40));
+  ASSERT_FALSE(down.regressions.empty());
+  EXPECT_EQ(down.regressions[0].direction, Direction::kTwoSided);
+}
+
 TEST(BenchDiff, SmallDriftWithinThresholdPasses) {
   const Report r = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(2.02, 396, 9050));
   EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0].path);

@@ -27,6 +27,7 @@ TEST(BenchFlagsTest, ParsesEveryFlag) {
   std::string error;
   ASSERT_TRUE(Parse({"--threads=3", "--out=o.json", "--trace=td", "--pcap=pd",
                      "--stats=sd", "--filter=^manyhost", "--faults=seed:7",
+                     "--arrivals=poisson:rate=200,horizon=100ms",
                      "--engine-threads=2", "--engine-speedup=8", "--list",
                      "--stable"},
                     &opt, &error))
@@ -38,6 +39,7 @@ TEST(BenchFlagsTest, ParsesEveryFlag) {
   EXPECT_EQ(opt.stats_dir, "sd");
   EXPECT_EQ(opt.filter, "^manyhost");
   EXPECT_EQ(opt.faults, "seed:7");
+  EXPECT_EQ(opt.arrivals, "poisson:rate=200,horizon=100ms");
   EXPECT_EQ(opt.engine_threads, 2);
   EXPECT_EQ(opt.speedup_threads, 8);
   EXPECT_TRUE(opt.list);

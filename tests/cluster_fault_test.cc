@@ -1,0 +1,106 @@
+// Multi-hop routed RPC under faults: datacenter topologies (client segments
+// fanning through the core router into a replica pool) driven through
+// partition and crash/restart campaigns, with the at-most-once oracle and the
+// router/segment accounting checked end to end.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/cluster/datacenter.h"
+#include "src/sim/fault.h"
+
+namespace xk {
+namespace {
+
+ArrivalSpec Arrivals(const std::string& text) {
+  ArrivalSpec spec;
+  std::string error;
+  EXPECT_TRUE(ArrivalSpec::Parse(text, &spec, &error)) << error;
+  return spec;
+}
+
+TEST(ClusterFaultTest, RouterAdjacentPartitionHealsOracleClean) {
+  // Partition the second client segment (net segment 2: the server segment is
+  // 0, client segments follow) for 40ms mid-run. Calls issued through the
+  // partition retransmit; CHANNEL's 50ms base timeout puts the first retry
+  // past the heal, so every call still completes -- no replica is ever
+  // suspected, because the fault is on the client side of the router.
+  DatacenterSpec spec;
+  spec.client_segments = 2;
+  spec.clients_per_segment = 1;
+  spec.replicas = 2;
+  spec.arrivals = Arrivals("poisson:rate=200,horizon=120ms,seed=21");
+  spec.faults.Partition(2, Msec(20), Msec(60));
+
+  const DatacenterResult r = MeasureDatacenter(spec);
+
+  EXPECT_GT(r.issued, 0u);
+  EXPECT_EQ(r.success_ppm, 1000000u);
+  EXPECT_TRUE(r.oracle.clean())
+      << "double=" << r.oracle.double_executions << " silent=" << r.oracle.silent;
+  EXPECT_EQ(r.down_marks, 0u);
+
+  // The partition dropped frames at the wire on the partitioned segment only,
+  // and a partition is not a crash: no station ever detached.
+  ASSERT_EQ(r.segments.size(), 3u);
+  EXPECT_GT(r.segments[2].fault_drops, 0u);
+  EXPECT_EQ(r.segments[0].fault_drops, 0u);
+  EXPECT_EQ(r.segments[1].fault_drops, 0u);
+  for (const DatacenterResult::SegStat& seg : r.segments) {
+    EXPECT_EQ(seg.down_drops, 0u) << "segment " << seg.segment;
+  }
+
+  // Multi-hop accounting: every completed call was forwarded at least twice
+  // (request in, reply out), and the retransmissions through the healed
+  // partition were forwarded too.
+  ASSERT_EQ(r.routers.size(), 1u);
+  EXPECT_GE(r.routers[0].forwards, 2 * r.completed);
+  EXPECT_EQ(r.routers[0].no_route_drops, 0u);
+  EXPECT_EQ(r.routers[0].ttl_drops, 0u);
+}
+
+TEST(ClusterFaultTest, ReplicaCrashFailoverRecoversAfterRestart) {
+  // Crash replica s0 at 80ms and restart it at 500ms -- longer than CHANNEL's
+  // retry budget, so calls in flight toward it fail rather than ride it out.
+  // Every client discovers the crash through its own failed call, marks s0
+  // down, fails over to the survivors, and readmits s0 on probation; calls
+  // issued after the restart all complete.
+  DatacenterSpec spec;
+  spec.client_segments = 2;
+  spec.clients_per_segment = 1;
+  spec.replicas = 3;
+  spec.readmit_after = Msec(120);
+  spec.arrivals = Arrivals("poisson:rate=100,horizon=900ms,seed=17");
+  spec.faults.Crash("s0", Msec(80), Msec(500));
+
+  const DatacenterResult r = MeasureDatacenter(spec);
+
+  EXPECT_GT(r.issued, 0u);
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GE(r.failed, 1u);  // the calls that discovered the dead replica
+  EXPECT_GE(r.down_marks, 1u);
+  EXPECT_GE(r.readmits, 1u);
+  EXPECT_GT(r.replica_calls[0], 0u);
+
+  // At-most-once held across the crash/restart cycle.
+  EXPECT_TRUE(r.oracle.clean())
+      << "double=" << r.oracle.double_executions << " unknown=" << r.oracle.unknown_replies
+      << " silent=" << r.oracle.silent;
+  EXPECT_GT(r.oracle.executions, 0u);
+
+  // Failover timeline (attributed by issue time against [80ms, 500ms)): the
+  // outage window saw failures, the post-restart phase saw none.
+  EXPECT_GT(r.phases[1].issued, 0u);
+  EXPECT_GE(r.phases[1].failed, 1u);
+  EXPECT_LT(r.phases[1].success_ppm, 1000000u);
+  EXPECT_GT(r.phases[2].issued, 0u);
+  EXPECT_EQ(r.phases[2].failed, 0u);
+  EXPECT_EQ(r.phases[2].success_ppm, 1000000u);
+
+  // The crash detached s0's station: frames toward it died at the wire.
+  EXPECT_GT(r.segments[0].down_drops, 0u);
+}
+
+}  // namespace
+}  // namespace xk
