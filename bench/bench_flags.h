@@ -23,6 +23,7 @@ struct Options {
   std::string arrivals;    // ArrivalSpec (--arrivals=): adds a datacenter.custom job
   int engine_threads = 1;  // simulation-engine width for every job
   int speedup_threads = 0; // >1 runs the wall-clock speedup phase
+  int session_scale = 0;   // >0 adds a session_scale.nN job at this size
   bool list = false;
   bool stable = false;     // omit wall-clock fields from the JSON
 };
@@ -77,6 +78,11 @@ inline bool ParseBenchArgs(int argc, char** argv, Options* opt, std::string* err
       opt->faults = arg + 9;
     } else if (std::strncmp(arg, "--arrivals=", 11) == 0) {
       opt->arrivals = arg + 11;
+    } else if (std::strncmp(arg, "--session-scale=", 16) == 0) {
+      if (!ParseFlagInt("--session-scale", arg + 16, 1, &n, error)) {
+        return false;
+      }
+      opt->session_scale = n;
     } else if (std::strncmp(arg, "--engine-threads=", 17) == 0) {
       if (!ParseFlagInt("--engine-threads", arg + 17, 1, &n, error)) {
         return false;

@@ -24,6 +24,7 @@
 
 #include "bench/bench_flags.h"
 #include "bench/bench_util.h"
+#include "bench/session_scale.h"
 #include "src/cluster/datacenter.h"
 
 namespace xk {
@@ -388,6 +389,47 @@ Job DatacenterJob(std::string name, DatacenterSpec spec) {
   return Job{"datacenter", std::move(name), std::move(fn)};
 }
 
+// Connection-scale: N live sessions per side on pooled storage, a strided
+// echo sample with the population resident, then a timer-driven idle drain.
+// All simulated metrics (charged cost, evictions, slab and map geometry) are
+// engine-invariant; the wall-clock and RSS observations ride host_metrics so
+// --stable byte-identity is preserved.
+Job SessionScaleJob(std::string name, SessionScaleSpec spec) {
+  JobFn fn = [spec] {
+    const SessionScaleBench b = MeasureSessionScale(spec);
+    JobResult out;
+    out.metrics = {
+        {"sessions", static_cast<double>(b.sessions)},
+        {"cycles", static_cast<double>(b.cycles)},
+        {"completed", static_cast<double>(b.completed)},
+        {"sim_cpu_ns_per_call", b.sim_cpu_ns_per_call},
+        {"client_evicted", static_cast<double>(b.client_evicted)},
+        {"server_evicted", static_cast<double>(b.server_evicted)},
+        {"client_live_peak", static_cast<double>(b.client_live_peak)},
+        {"client_live_after", static_cast<double>(b.client_live_after)},
+        {"server_live_after", static_cast<double>(b.server_live_after)},
+        {"client_slots", static_cast<double>(b.client_slots)},
+        {"client_high_water", static_cast<double>(b.client_high_water)},
+        {"map_capacity_peak", static_cast<double>(b.map_capacity_peak)},
+        {"map_tombstones_after", static_cast<double>(b.map_tombstones_after)},
+        {"map_max_probe_peak", static_cast<double>(b.map_max_probe_peak)},
+        {"elapsed_sim_ms", ToMsec(b.elapsed)},
+    };
+    out.host_metrics = {
+        {"setup_wall_ms", b.setup_wall_ms},
+        {"call_wall_ns", b.call_wall_ns},
+        {"call_wall_cold_ns", b.call_wall_cold_ns},
+        {"rss_mb_after_setup", b.rss_mb_after_setup},
+        {"rss_mb_first_cycle", b.rss_mb_first_cycle},
+        {"rss_mb_after_drain", b.rss_mb_after_drain},
+    };
+    out.events_fired = b.events_fired;
+    out.latency_hist = b.rtt;
+    return out;
+  };
+  return Job{"session_scale", std::move(name), std::move(fn)};
+}
+
 // The shared saturation-sweep topology: 2 client segments x 2 clients each,
 // 4 replicas round-robin. Rates chosen from the measured load curve (see
 // EXPERIMENTS.md): 100 cps/client is comfortably sub-saturation, 160 is the
@@ -524,6 +566,26 @@ std::vector<Job> BuildJobs() {
     }
     crash.faults.Crash("s0", Msec(80), Msec(500));
     jobs.push_back(DatacenterJob("replica-crash-failover", std::move(crash)));
+  }
+  // Connection scale: pooled session storage under growing populations, plus
+  // a churn soak whose slab capacity (and RSS) must plateau across cycles.
+  // 10^6 sessions run the same harness via --session-scale=1000000 (too heavy
+  // for the default suite, which check.sh replays under ASan).
+  {
+    SessionScaleSpec n1e3;
+    n1e3.sessions = 1000;
+    jobs.push_back(SessionScaleJob("n1e3", n1e3));
+    SessionScaleSpec n1e4;
+    n1e4.sessions = 10000;
+    jobs.push_back(SessionScaleJob("n1e4", n1e4));
+    SessionScaleSpec n1e5;
+    n1e5.sessions = 100000;
+    jobs.push_back(SessionScaleJob("n1e5", n1e5));
+    SessionScaleSpec soak;
+    soak.sessions = 20000;
+    soak.calls = 64;
+    soak.cycles = 3;
+    jobs.push_back(SessionScaleJob("soak", soak));
   }
   return jobs;
 }
@@ -731,6 +793,13 @@ std::vector<Job> SelectJobs(const Options& opt, std::string* fault_error,
     }
     jobs.push_back(DatacenterJob("custom", std::move(spec)));
   }
+  if (opt.session_scale > 0) {
+    // --session-scale=N runs the connection-scale harness at any population
+    // (e.g. 1000000 for the full curve in EXPERIMENTS.md).
+    SessionScaleSpec spec;
+    spec.sessions = static_cast<size_t>(opt.session_scale);
+    jobs.push_back(SessionScaleJob("n" + std::to_string(opt.session_scale), spec));
+  }
   if (opt.filter.empty()) {
     return jobs;
   }
@@ -911,6 +980,7 @@ int main(int argc, char** argv) {
                  "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n"
                  "          [--stats=DIR] [--list] [--filter=REGEX] [--stable]\n"
                  "          [--engine-threads=N] [--engine-speedup[=N]]\n"
+                 "          [--session-scale=N] (adds a session_scale.nN job at N sessions)\n"
                  "          [--faults=PLAN]   (e.g. crash:host=server,at=300ms,restart=700ms;\n"
                  "                             drop:seg=0,from=0ms,until=200ms,rate=0.05)\n"
                  "          [--arrivals=SPEC] (e.g. poisson:rate=200,horizon=200ms,seed=7 or\n"

@@ -148,6 +148,31 @@ grep -q '"oracle_silent": 0' "$obs/dc_custom.json"
 echo "saturation balance, replica-crash failover, and --arrivals= campaigns clean"
 
 echo
+echo "== session scale: churn soak evicts everything and RSS plateaus =="
+# Three open -> drain cycles of 20k sessions each. The sweep timer must
+# reclaim every session (live_after = 0, evictions > 0) and the resident set
+# after the last drain must sit at the first cycle's plateau -- the slab
+# high-water from cycle 1 serves every later cycle, so memory does not grow
+# with total sessions ever created. Byte-identity of the simulated fields is
+# already enforced by the r*/g* cmp gates above, which include this group;
+# this run is deliberately non---stable so the host-side RSS fields exist.
+./build/bench/bench_suite --filter='^session_scale\.soak' \
+  --out="$obs/ss_soak.json" >/dev/null
+soak_line=$(grep '"name": "soak"' "$obs/ss_soak.json")
+echo "$soak_line" | grep -Eq '"client_evicted": [1-9]' \
+  || { echo "FAIL: session_scale.soak never evicted a session"; exit 1; }
+echo "$soak_line" | grep -q '"client_live_after": 0' \
+  || { echo "FAIL: session_scale.soak left client sessions live after drain"; exit 1; }
+echo "$soak_line" | grep -q '"server_live_after": 0' \
+  || { echo "FAIL: session_scale.soak left server sessions live after drain"; exit 1; }
+rss_first=$(echo "$soak_line" | sed -nE 's/.*"rss_mb_first_cycle": ([0-9.]+).*/\1/p')
+rss_drain=$(echo "$soak_line" | sed -nE 's/.*"rss_mb_after_drain": ([0-9.]+).*/\1/p')
+awk -v a="$rss_drain" -v b="$rss_first" 'BEGIN { exit !(b > 0 && a <= b * 1.35) }' \
+  || { echo "FAIL: session_scale.soak RSS grew across cycles" \
+              "(first=${rss_first:-?} MB, after=${rss_drain:-?} MB)"; exit 1; }
+echo "soak: full reclamation, RSS plateau ${rss_first} MB -> ${rss_drain} MB"
+
+echo
 echo "== parallel engine: wall-clock speedup on the many-host workload =="
 # --engine-speedup times the many-host workload serially and at 4 engine
 # threads and fails if the simulated results differ at all. The >= 1.8x

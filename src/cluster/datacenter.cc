@@ -73,6 +73,25 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
   }
   net.WarmArp();
 
+  // Arms idle-session eviction on every idle-capable layer of one stack.
+  // Runs inside a configuration task (Control charges the calling kernel).
+  auto arm_idle = [&spec](const RpcStack& stack) {
+    if (spec.idle_timeout == 0) {
+      return;
+    }
+    ControlArgs args;
+    args.u64 = static_cast<uint64_t>(spec.idle_timeout);
+    if (stack.select != nullptr) {
+      (void)stack.select->Control(ControlOp::kSetIdleTimeout, args);
+    }
+    if (stack.channel != nullptr) {
+      (void)stack.channel->Control(ControlOp::kSetIdleTimeout, args);
+    }
+    if (stack.vip != nullptr) {
+      (void)stack.vip->Control(ControlOp::kSetIdleTimeout, args);
+    }
+  };
+
   // Replica stacks: the standard layered L_RPC serving the oracle's echo.
   // The restart hook rebuilds the same configuration on the fresh substrate
   // (it runs inside the host's reboot task, so no RunTask wrapper there).
@@ -84,12 +103,14 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
       auto& server = h.kernel->Emplace<RpcServer>(*h.kernel, stack.top);
       server.set_service_delay(spec.service_delay);
       (void)server.Export(kEchoCommand, oracle.WrapEcho(h.kernel));
+      arm_idle(stack);
     });
-    net.set_restart_hook(name, [&oracle, &spec](HostStack& fresh) {
+    net.set_restart_hook(name, [&oracle, &spec, &arm_idle](HostStack& fresh) {
       RpcStack rebuilt = BuildLRpc(fresh, Delivery::kVip);
       auto& server = fresh.kernel->Emplace<RpcServer>(*fresh.kernel, rebuilt.top);
       server.set_service_delay(spec.service_delay);
       (void)server.Export(kEchoCommand, oracle.WrapEcho(fresh.kernel));
+      arm_idle(rebuilt);
     });
   }
 
@@ -102,6 +123,12 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
       node.vpool->BindService(kVip, replica_ips, spec.policy, spec.weights);
       node.vpool->set_readmit_after(spec.readmit_after);
       node.client = &k->Emplace<ClusterClient>(*k, node.vpool);
+      if (spec.idle_timeout != 0) {
+        ControlArgs args;
+        args.u64 = static_cast<uint64_t>(spec.idle_timeout);
+        (void)node.vpool->Control(ControlOp::kSetIdleTimeout, args);
+      }
+      arm_idle(node.stack);
     });
   }
 
@@ -158,6 +185,16 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
     out.all_down_failures += node.vpool->all_down_failures();
     out.session_flushes += node.vpool->session_flushes();
     out.late_replies += node.client->late_replies();
+    out.idle_evictions += node.vpool->idle_evictions();
+    if (node.stack.select != nullptr) {
+      out.idle_evictions += node.stack.select->idle_evictions();
+    }
+    if (node.stack.channel != nullptr) {
+      out.idle_evictions += node.stack.channel->idle_evictions();
+    }
+    if (node.stack.vip != nullptr) {
+      out.idle_evictions += node.stack.vip->idle_evictions();
+    }
   }
   out.success_ppm = out.issued > 0 ? out.completed * 1000000u / out.issued : 0;
   for (int p = 0; p < 3; ++p) {

@@ -32,6 +32,11 @@ struct DatacenterSpec {
   size_t payload_bytes = 64;   // request payload after the 8-byte oracle id
   SimTime service_delay = 0;   // per-request replica service time
   SimTime readmit_after = Msec(150);
+  // Nonzero: arm idle-session eviction (kSetIdleTimeout) on every
+  // session-owning layer -- client VPOOL/SELECT/CHANNEL/VIP and the replicas'
+  // stacks, including rebuilt stacks after a crash/restart. Cold sessions are
+  // then reclaimed mid-run, racing retransmissions and failover.
+  SimTime idle_timeout = 0;
   FaultPlan faults;            // optional campaign (replica crash, partition...)
   SimTime crash_at = 0;        // failover-timeline window for phase attribution
   SimTime restart_at = 0;      //   (0,0 = no window; normally from the plan)
@@ -63,6 +68,9 @@ struct DatacenterResult {
   uint64_t all_down_failures = 0;
   uint64_t session_flushes = 0;
   uint64_t late_replies = 0;         // summed over ClusterClients
+  // Idle evictions summed over the client-side stacks (VPOOL + SELECT +
+  // CHANNEL + VIP); 0 unless spec.idle_timeout was set.
+  uint64_t idle_evictions = 0;
 
   // Failover timeline (issue-time attribution against [crash_at, restart_at)).
   struct Phase {

@@ -34,7 +34,9 @@ VpoolProtocol::VpoolProtocol(Kernel& kernel, Protocol* rpc, std::string name)
     : Protocol(kernel, std::move(name), {rpc}),
       rpc_(rpc),
       active_(*this),
-      by_lls_(*this) {}
+      by_lls_(*this) {
+  MarkIdleCapable();
+}
 
 void VpoolProtocol::BindService(IpAddr vip, std::vector<IpAddr> replicas, VpoolPolicy policy,
                                 std::vector<uint32_t> weights) {
@@ -171,7 +173,8 @@ Result<SessionRef> VpoolProtocol::DoOpen(Protocol& hlp, const ParticipantSet& pa
   const uint64_t affinity_key =
       HashCombine(XkHash<IpAddr>{}(kernel().ip_addr()), command);
   kernel().ChargeSessionCreate();
-  auto sess = std::make_shared<VpoolSession>(*this, &hlp, command, affinity_key);
+  auto sess = sessions_.Create(*this, &hlp, command, affinity_key);
+  TrackIdle(*sess);
   active_.Bind(command, sess);
   return SessionRef(sess);
 }
@@ -233,9 +236,64 @@ Status VpoolProtocol::DoControl(ControlOp op, ControlArgs& args) {
       args.u64 = up;
       return OkStatus();
     }
-    default:
+    default: {
+      // Idle-eviction ops are handled generically (this protocol is
+      // idle-capable); anything else stays transparent to the stack below.
+      Status s = Protocol::DoControl(op, args);
+      if (s.ok() || s.code() != StatusCode::kUnsupported) {
+        return s;
+      }
       return rpc_->Control(op, args);
+    }
   }
+}
+
+uint64_t VpoolProtocol::FlushLowers(VpoolSession& vs) {
+  uint64_t dropped = 0;
+  for (size_t i = 0; i < vs.lowers_.size(); ++i) {
+    SessionRef& lower = vs.lowers_[i];
+    if (lower == nullptr) {
+      continue;
+    }
+    auto iit = lls_inflight_.find(lower.get());
+    if (iit != lls_inflight_.end() && iit->second > 0) {
+      ++flush_skipped_busy_;
+      continue;
+    }
+    by_lls_.Unbind(lower.get());
+    lls_replica_.erase(lower.get());
+    lls_inflight_.erase(lower.get());
+    lower.reset();
+    ++session_flushes_;
+    ++dropped;
+  }
+  return dropped;
+}
+
+bool VpoolProtocol::EvictSession(Session& s) {
+  auto& vs = static_cast<VpoolSession&>(s);
+  // References this protocol's own maps hold: the command binding plus one
+  // by_lls_ entry per bound lower. Anything beyond that is a client cache
+  // (e.g. ClusterClient) still holding the session -- decline.
+  long expected = active_.Peek(vs.command_).get() == &vs ? 1 : 0;
+  for (const SessionRef& lower : vs.lowers_) {
+    if (lower != nullptr && by_lls_.Peek(lower.get()).get() == &vs) {
+      ++expected;
+    }
+  }
+  if (static_cast<long>(vs.weak_from_this().use_count()) > expected) {
+    return false;
+  }
+  // Pin the session so dropping the map references one by one cannot destroy
+  // it mid-function; the pin releases (and ~VpoolSession runs) on return.
+  SessionRef pin = vs.weak_from_this().lock();
+  // CanEvict already established nothing is in flight, so every cached lower
+  // flushes; then drop the command binding (the last owning reference).
+  FlushLowers(vs);
+  if (active_.Peek(vs.command_).get() == &vs) {
+    active_.Unbind(vs.command_);
+  }
+  return true;
 }
 
 void VpoolProtocol::ExportCounters(const CounterEmit& emit) const {
@@ -259,6 +317,7 @@ void VpoolProtocol::ExportGauges(const CounterEmit& emit) const {
     up += r.up ? 1 : 0;
   }
   emit("replicas_up", up);
+  emit("live_sessions", sessions_.live());
   for (size_t i = 0; i < replicas_.size(); ++i) {
     emit("r" + std::to_string(i) + "_outstanding", replicas_[i].outstanding);
   }
@@ -349,33 +408,28 @@ Status VpoolSession::DoControl(ControlOp op, ControlArgs& args) {
     case ControlOp::kGetMyHost:
       args.ip = kernel().ip_addr();
       return OkStatus();
-    case ControlOp::kFlushSessions: {
+    case ControlOp::kFlushSessions:
       // Connection churn: drop cached lower sessions that have nothing in
       // flight. Busy ones are skipped -- their replies still have to demux.
-      uint64_t dropped = 0;
-      for (size_t i = 0; i < lowers_.size(); ++i) {
-        SessionRef& lower = lowers_[i];
-        if (lower == nullptr) {
-          continue;
-        }
-        auto iit = pool_.lls_inflight_.find(lower.get());
-        if (iit != pool_.lls_inflight_.end() && iit->second > 0) {
-          ++pool_.flush_skipped_busy_;
-          continue;
-        }
-        pool_.by_lls_.Unbind(lower.get());
-        pool_.lls_replica_.erase(lower.get());
-        pool_.lls_inflight_.erase(lower.get());
-        lower.reset();
-        ++pool_.session_flushes_;
-        ++dropped;
-      }
-      args.u64 = dropped;
+      // Same path idle eviction takes (FlushLowers).
+      args.u64 = pool_.FlushLowers(*this);
       return OkStatus();
-    }
     default:
       return Session::DoControl(op, args);
   }
+}
+
+bool VpoolSession::CanEvict() const {
+  for (const SessionRef& lower : lowers_) {
+    if (lower == nullptr) {
+      continue;
+    }
+    auto iit = pool_.lls_inflight_.find(lower.get());
+    if (iit != pool_.lls_inflight_.end() && iit->second > 0) {
+      return false;  // a reply still has to demux through this session
+    }
+  }
+  return true;
 }
 
 Session* VpoolSession::lower_for_control() const {

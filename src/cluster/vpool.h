@@ -17,6 +17,12 @@
 // that is still dead just fails its next probe call and is marked down again.
 // Per-replica balance and failover counters export through the standard
 // ExportCounters/ExportGauges observability hooks.
+//
+// Sessions are slab-pooled and idle-tracked (the session class precedes the
+// protocol so the pool member sees a complete type). Eviction reuses the same
+// flush path kFlushSessions exposes to clients: a VPOOL session with nothing
+// in flight drops its cached lower sessions and its command binding; one with
+// a call outstanding -- or one still referenced by a client cache -- refuses.
 
 #ifndef XK_SRC_CLUSTER_VPOOL_H_
 #define XK_SRC_CLUSTER_VPOOL_H_
@@ -27,10 +33,11 @@
 #include "src/core/kernel.h"
 #include "src/core/map.h"
 #include "src/core/protocol.h"
+#include "src/sim/slab_pool.h"
 
 namespace xk {
 
-class VpoolSession;
+class VpoolProtocol;
 
 // How VPOOL spreads calls over the up replicas.
 enum class VpoolPolicy : uint8_t {
@@ -41,6 +48,29 @@ enum class VpoolPolicy : uint8_t {
 };
 
 const char* VpoolPolicyName(VpoolPolicy policy);
+
+class VpoolSession final : public Session {
+ public:
+  VpoolSession(VpoolProtocol& owner, Protocol* hlp, uint16_t command, uint64_t affinity_key);
+
+ protected:
+  Status DoPush(Message& msg) override;
+  Status DoPop(Message& msg, Session* lls) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+  Session* lower_for_control() const override;
+  bool CanEvict() const override;  // false while any lower has a call in flight
+
+ private:
+  friend class VpoolProtocol;
+
+  // The cached lower session toward replica `idx`, opened on first use.
+  Result<SessionRef> LowerFor(int idx);
+
+  VpoolProtocol& pool_;
+  uint16_t command_;
+  uint64_t affinity_key_;
+  std::vector<SessionRef> lowers_;  // per replica; null until first routed call
+};
 
 class VpoolProtocol final : public Protocol {
  public:
@@ -70,6 +100,9 @@ class VpoolProtocol final : public Protocol {
   uint64_t all_down_failures() const { return all_down_failures_; }
   uint64_t session_flushes() const { return session_flushes_; }
 
+  // Live VpoolSessions (slab-pooled).
+  size_t live_sessions() const { return sessions_.live(); }
+
   void SessionError(Session& lls, Status error) override;
   void ExportCounters(const CounterEmit& emit) const override;
   void ExportGauges(const CounterEmit& emit) const override;
@@ -78,6 +111,7 @@ class VpoolProtocol final : public Protocol {
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoDemux(Session* lls, Message& msg) override;
   Status DoControl(ControlOp op, ControlArgs& args) override;
+  bool EvictSession(Session& s) override;
 
  private:
   friend class VpoolSession;
@@ -98,6 +132,10 @@ class VpoolProtocol final : public Protocol {
   void MarkDown(int idx);
   void Readmit(int idx);
 
+  // Drops `vs`'s cached lower sessions that have nothing in flight (the
+  // kFlushSessions body; idle eviction reuses it). Returns sessions dropped.
+  uint64_t FlushLowers(VpoolSession& vs);
+
   Protocol* rpc_;
   IpAddr vip_{};
   VpoolPolicy policy_ = VpoolPolicy::kRoundRobin;
@@ -110,35 +148,14 @@ class VpoolProtocol final : public Protocol {
   uint64_t readmits_ = 0;
   uint64_t rerouted_opens_ = 0;     // picks abandoned because the open failed
   uint64_t all_down_failures_ = 0;  // pushes failed with every replica down
-  uint64_t session_flushes_ = 0;    // lower sessions dropped by kFlushSessions
+  uint64_t session_flushes_ = 0;    // lower sessions dropped by flush/eviction
   uint64_t flush_skipped_busy_ = 0;
 
+  SlabPool<VpoolSession> sessions_;
   DemuxMap<uint16_t> active_;              // command -> VPOOL session
   DemuxMap<Session*, SessionRef> by_lls_;  // lower session -> VPOOL session
   std::map<Session*, int> lls_replica_;    // lower session -> replica index
   std::map<Session*, uint64_t> lls_inflight_;  // flush guard (host bookkeeping)
-};
-
-class VpoolSession final : public Session {
- public:
-  VpoolSession(VpoolProtocol& owner, Protocol* hlp, uint16_t command, uint64_t affinity_key);
-
- protected:
-  Status DoPush(Message& msg) override;
-  Status DoPop(Message& msg, Session* lls) override;
-  Status DoControl(ControlOp op, ControlArgs& args) override;
-  Session* lower_for_control() const override;
-
- private:
-  friend class VpoolProtocol;
-
-  // The cached lower session toward replica `idx`, opened on first use.
-  Result<SessionRef> LowerFor(int idx);
-
-  VpoolProtocol& pool_;
-  uint16_t command_;
-  uint64_t affinity_key_;
-  std::vector<SessionRef> lowers_;  // per replica; null until first routed call
 };
 
 }  // namespace xk

@@ -61,6 +61,16 @@ enum class ControlOp : uint8_t {
   // --- load spreading (VPOOL) -------------------------------------------------
   kGetReplicasUp,      // out u64: replicas currently considered up
 
+  // --- session lifecycle (idle eviction) ---------------------------------------
+  // Handled generically by any session-owning protocol (UDP, CHANNEL, SELECT,
+  // VIP, VPOOL); forwarded down the stack until one accepts, so each layer is
+  // configured individually.
+  kSetIdleTimeout,  // in u64: ns of inactivity before a session may be
+                    // evicted (0 = disable; see Protocol idle-LRU)
+  kGetIdleTimeout,  // out u64
+  kEvictIdle,       // in u64: minimum idle ns (0 = every evictable session);
+                    // out u64: sessions evicted now
+
   // --- auth (Sun RPC optional layers) -----------------------------------------
   kSetCredentials,  // in u64: packed uid<<32|gid
   kGetCredentials,  // out u64

@@ -160,6 +160,14 @@ class DemuxMap {
     buckets_[i].value = Value{};
     --size_;
     ++tombstones_;
+    // Amortized compaction: unbind-heavy phases (idle eviction draining a
+    // million-session table) never insert, so the insert-side rehash in
+    // MaybeGrow can't fire and probe chains would rot behind tombstones.
+    // Rehash once a quarter of the table is tombstones; RehashForSize also
+    // shrinks, so a drained table gives its memory back.
+    if (tombstones_ * 4 >= buckets_.size() && buckets_.size() > kMinCapacity) {
+      RehashForSize();
+    }
   }
 
   size_t ProbeStart(const Key& key) const {
@@ -234,7 +242,14 @@ class DemuxMap {
     if ((size_ + tombstones_ + 1) * 10 <= buckets_.size() * 7) {
       return;
     }
-    size_t new_cap = buckets_.size();
+    RehashForSize();
+  }
+
+  // Rebuilds the table at the smallest power-of-two capacity keeping the live
+  // load (with one insertion of headroom) at or under 70%, dropping every
+  // tombstone. Both grows and shrinks.
+  void RehashForSize() {
+    size_t new_cap = kMinCapacity;
     while ((size_ + 1) * 10 > new_cap * 7) {
       new_cap *= 2;
     }

@@ -34,6 +34,7 @@
 #include "src/core/message.h"
 #include "src/core/participant.h"
 #include "src/core/types.h"
+#include "src/sim/event_queue.h"
 
 namespace xk {
 
@@ -113,10 +114,25 @@ class Session : public std::enable_shared_from_this<Session> {
   // Trace identity, assigned lazily by a TraceSink (0 = never traced).
   uint64_t trace_id() const { return trace_id_; }
 
+  // Sim time of the last Push/Pop/NoteActivity through this session.
+  // Meaningful only for sessions the owner registered with TrackIdle.
+  SimTime last_active() const { return last_active_; }
+
  protected:
   virtual Status DoPush(Message& msg) = 0;
   virtual Status DoPop(Message& msg, Session* lls) = 0;
   virtual Status DoControl(ControlOp op, ControlArgs& args);
+
+  // Veto for the owner's idle eviction: a session with externally visible
+  // state in flight (an outstanding call, an un-acked reply) says no here and
+  // is skipped until the state drains. Consulted only for tracked sessions.
+  virtual bool CanEvict() const { return true; }
+
+  // Stamps activity on this session for idle tracking. Push/Pop call it
+  // automatically; subclasses whose traffic bypasses those entry points
+  // (e.g. CHANNEL delivers packets straight to HandlePacket) call it at their
+  // own activity points. No-op for untracked sessions; never charged.
+  void NoteActivity();
 
   // The session below this one, used to forward control ops this level does
   // not understand. Null for sessions that sit directly on a device.
@@ -128,11 +144,20 @@ class Session : public std::enable_shared_from_this<Session> {
 
  private:
   friend class TraceSink;
+  friend class Protocol;  // idle-LRU intrusive links
 
   Protocol& owner_;
   Protocol* hlp_;
   Kernel& kernel_;
   uint64_t trace_id_ = 0;
+
+  // Intrusive idle-LRU state, owned by the owning protocol (head = least
+  // recently active). Host bookkeeping only; never charged.
+  Session* idle_prev_ = nullptr;
+  Session* idle_next_ = nullptr;
+  SimTime last_active_ = 0;
+  bool idle_eligible_ = false;  // owner called TrackIdle on this session
+  bool idle_linked_ = false;    // currently on the owner's LRU list
 };
 
 // ---------------------------------------------------------------------------
@@ -216,17 +241,75 @@ class Protocol {
   // nothing.
   virtual void ExportGauges(const CounterEmit& emit) const { (void)emit; }
 
+  // --- idle-session eviction --------------------------------------------------
+  //
+  // Generic sim-clock LRU over this protocol's sessions. Session-owning
+  // protocols register each created session with TrackIdle; Push/Pop (and
+  // explicit NoteActivity calls) move it to the hot end. With a nonzero
+  // timeout (ControlOp::kSetIdleTimeout) a one-shot sweep timer fires at the
+  // cold end's deadline and asks the protocol to drop its owning references
+  // (EvictSession); ControlOp::kEvictIdle sweeps immediately. Each eviction
+  // is charged as a session destroy and counted in ExportCounters. A session
+  // that declines (CanEvict / EvictSession veto) is parked off the list until
+  // its next activity relinks it, so an unevictable session never keeps the
+  // sweep timer -- or the simulation -- alive.
+
+  // Idle time after which a tracked session may be evicted (0 = disabled).
+  SimTime idle_timeout() const { return idle_.timeout; }
+  uint64_t idle_evictions() const { return idle_.evicted; }
+  uint64_t idle_declined() const { return idle_.declined; }
+  // Sessions currently on the LRU list (linked, not yet parked/evicted).
+  size_t idle_tracked() const { return idle_.tracked; }
+
  protected:
   virtual Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts);
   virtual Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts);
   virtual Status DoDemux(Session* lls, Message& msg) = 0;
   virtual Status DoControl(ControlOp op, ControlArgs& args);
 
+  // Opts this protocol into kSetIdleTimeout/kEvictIdle handling in the base
+  // DoControl. Protocols that never call TrackIdle leave it off so the ops
+  // forward down the stack to the first session-owning layer.
+  void MarkIdleCapable() { idle_.capable = true; }
+
+  // Registers a session for idle tracking (call once after creating it).
+  void TrackIdle(Session& s);
+
+  // Drops every owning reference this protocol holds on `s` (map bindings,
+  // caches), making the session destructible; returns false to decline --
+  // e.g. when something outside the protocol still holds a reference.
+  // Overridden by every protocol that calls TrackIdle; must not be charged
+  // (the sweep charges session_destroy on success).
+  virtual bool EvictSession(Session& s);
+
+  // Evicts every tracked session idle for at least `min_idle` (front of the
+  // LRU first). Returns the number evicted. Must run within a task.
+  uint64_t EvictIdle(SimTime min_idle);
+
  private:
+  friend class Session;
+
+  void TouchIdle(Session& s);   // append/move to the hot end, arm sweep
+  void UnlinkIdle(Session& s);  // detach from the LRU list
+  void ArmIdleSweep();          // one-shot timer at the cold end's deadline
+  void IdleSweep();
+
   Kernel& kernel_;
   std::string name_;
   std::vector<Protocol*> lowers_;
   ProtoCounters counters_;
+
+  struct IdleState {
+    bool capable = false;
+    SimTime timeout = 0;
+    Session* head = nullptr;  // least recently active
+    Session* tail = nullptr;
+    size_t tracked = 0;
+    uint64_t evicted = 0;
+    uint64_t declined = 0;
+    bool sweep_armed = false;
+    EventHandle sweep;
+  } idle_;
 };
 
 // Typed convenience wrappers over common control ops.

@@ -33,9 +33,25 @@ uint16_t UdpChecksum(IpAddr src, IpAddr dst, uint16_t src_port, uint16_t dst_por
 
 UdpProtocol::UdpProtocol(Kernel& kernel, Protocol* ip, std::string name)
     : Protocol(kernel, std::move(name), {ip}), active_(*this), passive_(*this) {
+  MarkIdleCapable();
   ParticipantSet enable;
   enable.local.ip_proto = kIpProtoUdp;
   (void)lower(0)->OpenEnable(*this, enable);
+}
+
+void UdpProtocol::ExportGauges(const CounterEmit& emit) const {
+  emit("live_sessions", pool_.live());
+}
+
+bool UdpProtocol::EvictSession(Session& s) {
+  auto& us = static_cast<UdpSession&>(s);
+  // Only the active map may hold the session; an anchor protocol caching its
+  // own ref (or a call still walking the stack) vetoes eviction.
+  if (us.weak_from_this().use_count() > 1) {
+    return false;
+  }
+  active_.Unbind(Key{us.peer_, us.peer_port_, us.local_port_});
+  return true;
 }
 
 Result<SessionRef> UdpProtocol::DoOpen(Protocol& hlp, const ParticipantSet& parts) {
@@ -56,9 +72,10 @@ Result<SessionRef> UdpProtocol::DoOpen(Protocol& hlp, const ParticipantSet& part
     return lower_sess.status();
   }
   kernel().ChargeSessionCreate();
-  auto sess = std::make_shared<UdpSession>(*this, &hlp, *lower_sess, *parts.peer.host,
-                                           *parts.peer.port, *parts.local.port);
+  auto sess = pool_.Create(*this, &hlp, *lower_sess, *parts.peer.host, *parts.peer.port,
+                           *parts.local.port);
   active_.Bind(key, sess);
+  TrackIdle(*sess);
   return SessionRef(sess);
 }
 
@@ -122,9 +139,9 @@ Status UdpProtocol::DoDemux(Session* lls, Message& msg) {
       return ErrStatus(StatusCode::kInvalidArgument);
     }
     kernel().ChargeSessionCreate();
-    auto created =
-        std::make_shared<UdpSession>(*this, hlp, lls->Ref(), src, src_port, dst_port);
+    auto created = pool_.Create(*this, hlp, lls->Ref(), src, src_port, dst_port);
     active_.Bind(key, created);
+    TrackIdle(*created);
     ParticipantSet parts;
     parts.local.port = dst_port;
     parts.peer.host = src;
@@ -149,7 +166,7 @@ Status UdpProtocol::DoControl(ControlOp op, ControlArgs& args) {
       return OkStatus();
     }
     default:
-      return ErrStatus(StatusCode::kUnsupported);
+      return Protocol::DoControl(op, args);
   }
 }
 

@@ -12,6 +12,11 @@
 // source/destination hosts through control operations (kGetMyHost /
 // kGetPeerHost) when computing the pseudo-header checksum, so it composes
 // with anything offering IP semantics -- including VIP.
+//
+// Sessions are slab-pooled (SlabPool) and idle-tracked: create/destroy is
+// allocation-free at steady state and kSetIdleTimeout/kEvictIdle reclaim
+// cold connections. The session class is defined before the protocol so the
+// pool member sees a complete type.
 
 #ifndef XK_SRC_PROTO_UDP_H_
 #define XK_SRC_PROTO_UDP_H_
@@ -21,8 +26,32 @@
 #include "src/core/kernel.h"
 #include "src/core/map.h"
 #include "src/core/protocol.h"
+#include "src/sim/slab_pool.h"
 
 namespace xk {
+
+class UdpProtocol;
+
+class UdpSession : public Session {
+ public:
+  UdpSession(UdpProtocol& owner, Protocol* hlp, SessionRef lower, IpAddr peer, uint16_t peer_port,
+             uint16_t local_port);
+
+ protected:
+  Status DoPush(Message& msg) override;
+  Status DoPop(Message& msg, Session* lls) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+  Session* lower_for_control() const override { return lower_.get(); }
+
+ private:
+  friend class UdpProtocol;  // eviction needs the demux key
+
+  UdpProtocol& udp_;
+  SessionRef lower_;
+  IpAddr peer_;
+  uint16_t peer_port_;
+  uint16_t local_port_;
+};
 
 class UdpProtocol : public Protocol {
  public:
@@ -38,39 +67,32 @@ class UdpProtocol : public Protocol {
 
   uint64_t checksum_failures() const { return checksum_failures_; }
 
+  // Live UdpSessions (slab-pooled; also exported as the live_sessions gauge).
+  size_t live_sessions() const { return pool_.live(); }
+
+  // Demux-table and slab introspection for the session_scale bench.
+  const DemuxMap<std::tuple<IpAddr, uint16_t, uint16_t>>& active_map() const { return active_; }
+  size_t session_slots() const { return pool_.capacity(); }
+  size_t session_high_water() const { return pool_.high_water(); }
+
+  void ExportGauges(const CounterEmit& emit) const override;
+
  protected:
   Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoDemux(Session* lls, Message& msg) override;
   Status DoControl(ControlOp op, ControlArgs& args) override;
+  bool EvictSession(Session& s) override;
 
  private:
   friend class UdpSession;
   using Key = std::tuple<IpAddr, uint16_t, uint16_t>;  // (peer, peer port, local port)
 
+  SlabPool<UdpSession> pool_;
   DemuxMap<Key> active_;
   DemuxMap<uint16_t, Protocol*> passive_;  // local port -> hlp
   bool checksum_enabled_ = true;
   uint64_t checksum_failures_ = 0;
-};
-
-class UdpSession : public Session {
- public:
-  UdpSession(UdpProtocol& owner, Protocol* hlp, SessionRef lower, IpAddr peer, uint16_t peer_port,
-             uint16_t local_port);
-
- protected:
-  Status DoPush(Message& msg) override;
-  Status DoPop(Message& msg, Session* lls) override;
-  Status DoControl(ControlOp op, ControlArgs& args) override;
-  Session* lower_for_control() const override { return lower_.get(); }
-
- private:
-  UdpProtocol& udp_;
-  SessionRef lower_;
-  IpAddr peer_;
-  uint16_t peer_port_;
-  uint16_t local_port_;
 };
 
 }  // namespace xk

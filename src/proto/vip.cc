@@ -12,7 +12,9 @@ VipProtocol::VipProtocol(Kernel& kernel, Protocol* eth, Protocol* ip, ArpProtoco
       arp_(arp),
       active_(*this),
       passive_(*this),
-      by_lls_(*this) {}
+      by_lls_(*this) {
+  MarkIdleCapable();
+}
 
 size_t VipProtocol::EthMtu() {
   ControlArgs args;
@@ -51,7 +53,9 @@ Result<SessionRef> VipProtocol::FinishOpen(Protocol& hlp, IpAddr peer, IpProtoNu
   }
 
   kernel().ChargeSessionCreate();
-  auto sess = std::make_shared<VipSession>(*this, &hlp, peer, proto, eth_sess, ip_sess, eth_mtu);
+  auto sess = pool_.Create(*this, &hlp, std::optional<IpAddr>(peer), proto, eth_sess, ip_sess,
+                           eth_mtu);
+  TrackIdle(*sess);
   active_.Bind(Key{peer, proto}, sess);
   if (eth_sess != nullptr) {
     by_lls_.Bind(eth_sess.get(), sess);
@@ -162,7 +166,8 @@ Status VipProtocol::OpenDoneUp(Protocol& llp, SessionRef lls, const ParticipantS
     return ErrStatus(StatusCode::kNotFound);
   }
   kernel().ChargeSessionCreate();
-  auto sess = std::make_shared<VipSession>(*this, hlp, peer, proto, eth_sess, ip_sess, EthMtu());
+  auto sess = pool_.Create(*this, hlp, peer, proto, eth_sess, ip_sess, EthMtu());
+  TrackIdle(*sess);
   by_lls_.Bind(lls.get(), sess);
   if (peer.has_value()) {
     active_.Bind(Key{*peer, proto}, sess);
@@ -195,8 +200,42 @@ Status VipProtocol::DoControl(ControlOp op, ControlArgs& args) {
       // Optimal = what the local wire carries without fragmentation.
       return eth()->Control(ControlOp::kGetMaxPacket, args);
     default:
-      return ErrStatus(StatusCode::kUnsupported);
+      return Protocol::DoControl(op, args);
   }
+}
+
+bool VipProtocol::EvictSession(Session& s) {
+  auto& vs = static_cast<VipSession&>(s);
+  // Count the references this protocol's own maps hold; anything beyond those
+  // (an upper session using us as its lower, a caller mid-open) vetoes.
+  long expected = 0;
+  if (vs.eth_sess_ != nullptr && by_lls_.Peek(vs.eth_sess_.get()).get() == &vs) {
+    ++expected;
+  }
+  if (vs.ip_sess_ != nullptr && by_lls_.Peek(vs.ip_sess_.get()).get() == &vs) {
+    ++expected;
+  }
+  bool active_bound = false;
+  if (vs.peer_.has_value() && active_.Peek(Key{*vs.peer_, vs.proto_}).get() == &vs) {
+    active_bound = true;
+    ++expected;
+  }
+  if (static_cast<long>(vs.weak_from_this().use_count()) > expected) {
+    return false;
+  }
+  // Pin: dropping the map references one by one must not destroy the session
+  // mid-function; the pin releases (and ~VipSession runs) on return.
+  SessionRef pin = vs.weak_from_this().lock();
+  if (vs.eth_sess_ != nullptr) {
+    by_lls_.Unbind(vs.eth_sess_.get());
+  }
+  if (vs.ip_sess_ != nullptr) {
+    by_lls_.Unbind(vs.ip_sess_.get());
+  }
+  if (active_bound) {
+    active_.Unbind(Key{*vs.peer_, vs.proto_});
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,11 @@
 // Because VIP adds no header, the peer's VIP must be able to recognize
 // VIP-routed Ethernet frames: VIP maps the 8-bit IP protocol number onto a
 // reserved range of 256 Ethernet types (kEthTypeVipBase + proto).
+//
+// Sessions are slab-pooled and idle-tracked (the session class precedes the
+// protocol so the pool member sees a complete type). An upper session holding
+// a VIP session as its lower keeps it referenced, so VIP sessions age out
+// bottom-up only after their users have been evicted.
 
 #ifndef XK_SRC_PROTO_VIP_H_
 #define XK_SRC_PROTO_VIP_H_
@@ -25,6 +30,7 @@
 #include "src/core/map.h"
 #include "src/core/protocol.h"
 #include "src/proto/arp.h"
+#include "src/sim/slab_pool.h"
 
 namespace xk {
 
@@ -34,41 +40,7 @@ constexpr EthType VipEthTypeFor(IpProtoNum proto) {
   return static_cast<EthType>(kEthTypeVipBase + proto);
 }
 
-class VipSession;
-
-class VipProtocol final : public Protocol {
- public:
-  VipProtocol(Kernel& kernel, Protocol* eth, Protocol* ip, ArpProtocol* arp,
-              std::string name = "vip");
-
-  void OpenAsync(Protocol& hlp, const ParticipantSet& parts, OpenCallback done) override;
-
-  Status OpenDoneUp(Protocol& llp, SessionRef lls, const ParticipantSet& parts) override;
-
- protected:
-  Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
-  Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;
-  Status DoDemux(Session* lls, Message& msg) override;
-  Status DoControl(ControlOp op, ControlArgs& args) override;
-
- private:
-  friend class VipSession;
-  using Key = std::tuple<IpAddr, IpProtoNum>;
-
-  Protocol* eth() const { return lower(0); }
-  Protocol* ip() const { return lower(1); }
-
-  // Builds the session once locality (local_eth set => on-link) is known.
-  Result<SessionRef> FinishOpen(Protocol& hlp, IpAddr peer, IpProtoNum proto,
-                                std::optional<EthAddr> local_eth, uint64_t max_send);
-
-  size_t EthMtu();
-
-  ArpProtocol* arp_;
-  DemuxMap<Key> active_;
-  DemuxMap<IpProtoNum, Protocol*> passive_;
-  DemuxMap<Session*, SessionRef> by_lls_;  // lower session -> VIP session
-};
+class VipProtocol;
 
 class VipSession final : public Session {
  public:
@@ -94,6 +66,49 @@ class VipSession final : public Session {
   SessionRef eth_sess_;  // null when the peer is off-link
   SessionRef ip_sess_;   // null when every message fits on the local wire
   size_t eth_mtu_;
+};
+
+class VipProtocol final : public Protocol {
+ public:
+  VipProtocol(Kernel& kernel, Protocol* eth, Protocol* ip, ArpProtocol* arp,
+              std::string name = "vip");
+
+  void OpenAsync(Protocol& hlp, const ParticipantSet& parts, OpenCallback done) override;
+
+  Status OpenDoneUp(Protocol& llp, SessionRef lls, const ParticipantSet& parts) override;
+
+  // Live VipSessions (slab-pooled).
+  size_t live_sessions() const { return pool_.live(); }
+
+  void ExportGauges(const CounterEmit& emit) const override {
+    emit("live_sessions", pool_.live());
+  }
+
+ protected:
+  Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
+  Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;
+  Status DoDemux(Session* lls, Message& msg) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+  bool EvictSession(Session& s) override;
+
+ private:
+  friend class VipSession;
+  using Key = std::tuple<IpAddr, IpProtoNum>;
+
+  Protocol* eth() const { return lower(0); }
+  Protocol* ip() const { return lower(1); }
+
+  // Builds the session once locality (local_eth set => on-link) is known.
+  Result<SessionRef> FinishOpen(Protocol& hlp, IpAddr peer, IpProtoNum proto,
+                                std::optional<EthAddr> local_eth, uint64_t max_send);
+
+  size_t EthMtu();
+
+  ArpProtocol* arp_;
+  SlabPool<VipSession> pool_;
+  DemuxMap<Key> active_;
+  DemuxMap<IpProtoNum, Protocol*> passive_;
+  DemuxMap<Session*, SessionRef> by_lls_;  // lower session -> VIP session
 };
 
 }  // namespace xk

@@ -21,10 +21,51 @@ constexpr SimTime kRtoCap = Msec(2000);
 
 ChannelProtocol::ChannelProtocol(Kernel& kernel, Protocol* lower, std::string name)
     : Protocol(kernel, std::move(name), {lower}), active_(*this), passive_(*this) {
+  MarkIdleCapable();
   ParticipantSet enable;
   enable.local.ip_proto = kIpProtoChannel;
   enable.local.rel_proto = kRelProtoChannel;
   (void)this->lower(0)->OpenEnable(*this, enable);
+}
+
+bool ChannelProtocol::EvictSession(Session& s) {
+  auto& cs = static_cast<ChannelSession&>(s);
+  // SELECT's pre-opened channel pools (and any other upper layer caching the
+  // channel) hold their own refs; such channels stay until their owner lets
+  // go. CanEvict already vetoed in-flight calls and quarantined saved
+  // replies.
+  if (cs.weak_from_this().use_count() > 1) {
+    return false;
+  }
+  active_.Unbind(Key{cs.peer_, cs.channel_, cs.proto_});
+  return true;
+}
+
+SimTime ChannelProtocol::EvictQuarantine() const {
+  // Worst-case wait before one retransmission: the step-function timeout
+  // grows with the request's fragment count (covered up to 8 fragments here,
+  // beyond every workload in the repo) and quadruples once the server has
+  // explicitly acked; the adaptive path is bounded by the backoff cap plus
+  // its 1/8 jitter. The peer gives up after retry_limit_ retries, so after
+  // (retry_limit_ + 1) such waits of silence no duplicate can still arrive.
+  SimTime per_try = base_timeout_ * 8 * 4;
+  if (adaptive_timeout_) {
+    const SimTime capped = kRtoCap + kRtoCap / 8;
+    if (capped * 4 > per_try) {
+      per_try = capped * 4;
+    }
+  }
+  return static_cast<SimTime>(retry_limit_ + 1) * per_try;
+}
+
+bool ChannelSession::CanEvict() const {
+  if (pending_.has_value() || in_progress_) {
+    return false;
+  }
+  if (!saved_reply_.has_value()) {
+    return true;  // fully acknowledged: a late duplicate cannot exist
+  }
+  return kernel().now() - last_active() >= chan_.EvictQuarantine();
 }
 
 Result<SessionRef> ChannelProtocol::DoOpen(Protocol& hlp, const ParticipantSet& parts) {
@@ -48,10 +89,10 @@ Result<SessionRef> ChannelProtocol::DoOpen(Protocol& hlp, const ParticipantSet& 
     return lower_sess.status();
   }
   kernel().ChargeSessionCreate();
-  auto sess = std::make_shared<ChannelSession>(*this, &hlp, *parts.peer.host,
-                                               channel_id, *parts.local.rel_proto,
-                                               *lower_sess);
+  auto sess = pool_.Create(*this, &hlp, *parts.peer.host, channel_id, *parts.local.rel_proto,
+                           *lower_sess);
   active_.Bind(key, sess);
+  TrackIdle(*sess);
   return SessionRef(sess);
 }
 
@@ -102,9 +143,9 @@ Status ChannelProtocol::DoDemux(Session* lls, Message& msg) {
       return ErrStatus(StatusCode::kNotFound);
     }
     kernel().ChargeSessionCreate();
-    auto created =
-        std::make_shared<ChannelSession>(*this, hlp, peer, channel, proto, lls->Ref());
+    auto created = pool_.Create(*this, hlp, peer, channel, proto, lls->Ref());
     active_.Bind(key, created);
+    TrackIdle(*created);
     ParticipantSet up;
     up.local.rel_proto = proto;
     up.local.channel = channel;
@@ -145,7 +186,7 @@ Status ChannelProtocol::DoControl(ControlOp op, ControlArgs& args) {
       // below to carry (or split) what its own clients push.
       return lower(0)->Control(ControlOp::kGetMaxPacket, args);
     default:
-      return ErrStatus(StatusCode::kUnsupported);
+      return Protocol::DoControl(op, args);
   }
 }
 
@@ -229,6 +270,9 @@ void ChannelSession::OnTimeout() {
   if (pending_->retries >= chan_.retry_limit_) {
     ++chan_.stats_.call_failures;
     pending_.reset();
+    // A sweep may have parked this session while the call pinned it; relink
+    // so the now-idle channel ages out normally.
+    NoteActivity();
     if (hlp() != nullptr) {
       hlp()->SessionError(*this, ErrStatus(StatusCode::kTimeout));
     }
@@ -348,6 +392,7 @@ Status ChannelSession::HandleReply(uint16_t flags, uint32_t seq, uint16_t error,
 
 Status ChannelSession::HandlePacket(uint16_t flags, uint32_t seq, uint16_t error,
                                     uint32_t boot_id, Message& payload, Session* lls) {
+  NoteActivity();  // packet arrival bypasses Session::Pop
   if (flags & kFlagRequest) {
     return HandleRequest(seq, boot_id, payload, lls);
   }

@@ -25,6 +25,13 @@
 //   flags(2) channel(2) protocol_num(4) sequence_num(4) error(2) boot_id(4)
 //   -- 18 bytes. Note the deliberate duplication the paper discusses: both
 //   FRAGMENT and CHANNEL carry their own sequence number and protocol number.
+//
+// Sessions are slab-pooled and idle-tracked. A channel with a call in flight
+// (client pending_ or server in_progress_) refuses eviction; one that only
+// holds a saved reply may be evicted, which narrows the duplicate-suppression
+// window -- configure the idle timeout well above the peers' full
+// retransmission budget (retry_limit x timeout) so an evicted channel cannot
+// see a late retransmit as a fresh request.
 
 #ifndef XK_SRC_RPC_CHANNEL_H_
 #define XK_SRC_RPC_CHANNEL_H_
@@ -37,81 +44,11 @@
 #include "src/core/map.h"
 #include "src/core/protocol.h"
 #include "src/sim/rng.h"
+#include "src/sim/slab_pool.h"
 
 namespace xk {
 
-class ChannelProtocol final : public Protocol {
- public:
-  static constexpr size_t kHeaderSize = 18;
-
-  // `lower` is FRAGMENT, VIP_SIZE, VIP, or IP -- anything host-addressed.
-  ChannelProtocol(Kernel& kernel, Protocol* lower, std::string name = "channel");
-
-  void set_base_timeout(SimTime t) { base_timeout_ = t; }
-  void set_retry_limit(int n) { retry_limit_ = n; }
-
-  // Adaptive retransmission (kSetAdaptiveTimeout): per-session SRTT/RTTVAR
-  // estimation with Karn's rule and capped exponential backoff, instead of the
-  // paper's step-function timeout. Off by default so the paper's Table I-III
-  // timing behavior is untouched.
-  void set_adaptive_timeout(bool on) { adaptive_timeout_ = on; }
-  bool adaptive_timeout() const { return adaptive_timeout_; }
-
-  struct Stats {
-    uint64_t calls_sent = 0;
-    uint64_t replies_received = 0;
-    uint64_t requests_executed = 0;
-    uint64_t retransmissions = 0;
-    uint64_t duplicates_suppressed = 0;  // duplicate requests NOT re-executed
-    uint64_t replies_resent = 0;         // answered from the saved reply
-    uint64_t explicit_acks_sent = 0;
-    uint64_t explicit_acks_received = 0;
-    uint64_t call_failures = 0;  // retries exhausted
-    uint64_t boot_resets = 0;
-    uint64_t stale_drops = 0;  // old-sequence packets discarded
-    uint64_t timeouts = 0;     // retransmit timer expirations
-  };
-  const Stats& stats() const { return stats_; }
-
-  void ExportCounters(const CounterEmit& emit) const override {
-    Protocol::ExportCounters(emit);
-    emit("calls_sent", stats_.calls_sent);
-    emit("replies_received", stats_.replies_received);
-    emit("requests_executed", stats_.requests_executed);
-    emit("retransmissions", stats_.retransmissions);
-    emit("duplicates_suppressed", stats_.duplicates_suppressed);
-    emit("replies_resent", stats_.replies_resent);
-    emit("explicit_acks_sent", stats_.explicit_acks_sent);
-    emit("explicit_acks_received", stats_.explicit_acks_received);
-    emit("call_failures", stats_.call_failures);
-    emit("boot_resets", stats_.boot_resets);
-    emit("stale_drops", stats_.stale_drops);
-    emit("timeouts", stats_.timeouts);
-  }
-
-  void ExportGauges(const CounterEmit& emit) const override {
-    const uint64_t settled = stats_.replies_received + stats_.call_failures;
-    emit("calls_in_flight", stats_.calls_sent > settled ? stats_.calls_sent - settled : 0);
-    emit("retransmissions", stats_.retransmissions);
-  }
-
- protected:
-  Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
-  Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;
-  Status DoDemux(Session* lls, Message& msg) override;
-  Status DoControl(ControlOp op, ControlArgs& args) override;
-
- private:
-  friend class ChannelSession;
-  using Key = std::tuple<IpAddr, uint16_t, RelProtoNum>;  // (peer, channel, proto)
-
-  DemuxMap<Key> active_;
-  DemuxMap<RelProtoNum, Protocol*> passive_;
-  SimTime base_timeout_ = Msec(50);
-  int retry_limit_ = 5;
-  bool adaptive_timeout_ = false;
-  Stats stats_;
-};
+class ChannelProtocol;
 
 class ChannelSession final : public Session {
  public:
@@ -133,7 +70,16 @@ class ChannelSession final : public Session {
   Status DoControl(ControlOp op, ControlArgs& args) override;
   Session* lower_for_control() const override { return lower_.get(); }
 
+  // An outstanding call -- in either direction -- pins the channel. A saved
+  // (not yet implicitly acknowledged) reply pins it too until the peer's
+  // whole retransmission budget has lapsed since the last packet: evicting
+  // sooner would let a late retransmit of the answered request hit a fresh
+  // channel and re-execute -- an at-most-once violation.
+  bool CanEvict() const override;
+
  private:
+  friend class ChannelProtocol;  // eviction needs the demux key
+
   struct PendingCall {
     Message request;  // saved for retransmission
     uint32_t seq = 0;
@@ -176,6 +122,89 @@ class ChannelSession final : public Session {
   bool in_progress_ = false;
   std::optional<Message> saved_reply_;
   uint32_t client_boot_id_ = 0;
+};
+
+class ChannelProtocol final : public Protocol {
+ public:
+  static constexpr size_t kHeaderSize = 18;
+
+  // `lower` is FRAGMENT, VIP_SIZE, VIP, or IP -- anything host-addressed.
+  ChannelProtocol(Kernel& kernel, Protocol* lower, std::string name = "channel");
+
+  void set_base_timeout(SimTime t) { base_timeout_ = t; }
+  void set_retry_limit(int n) { retry_limit_ = n; }
+
+  // Adaptive retransmission (kSetAdaptiveTimeout): per-session SRTT/RTTVAR
+  // estimation with Karn's rule and capped exponential backoff, instead of the
+  // paper's step-function timeout. Off by default so the paper's Table I-III
+  // timing behavior is untouched.
+  void set_adaptive_timeout(bool on) { adaptive_timeout_ = on; }
+  bool adaptive_timeout() const { return adaptive_timeout_; }
+
+  struct Stats {
+    uint64_t calls_sent = 0;
+    uint64_t replies_received = 0;
+    uint64_t requests_executed = 0;
+    uint64_t retransmissions = 0;
+    uint64_t duplicates_suppressed = 0;  // duplicate requests NOT re-executed
+    uint64_t replies_resent = 0;         // answered from the saved reply
+    uint64_t explicit_acks_sent = 0;
+    uint64_t explicit_acks_received = 0;
+    uint64_t call_failures = 0;  // retries exhausted
+    uint64_t boot_resets = 0;
+    uint64_t stale_drops = 0;  // old-sequence packets discarded
+    uint64_t timeouts = 0;     // retransmit timer expirations
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Live ChannelSessions (slab-pooled).
+  size_t live_sessions() const { return pool_.live(); }
+
+  // Idle age after which no retransmission of an already-answered request can
+  // still arrive, so a channel holding a saved reply becomes safe to evict.
+  SimTime EvictQuarantine() const;
+
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("calls_sent", stats_.calls_sent);
+    emit("replies_received", stats_.replies_received);
+    emit("requests_executed", stats_.requests_executed);
+    emit("retransmissions", stats_.retransmissions);
+    emit("duplicates_suppressed", stats_.duplicates_suppressed);
+    emit("replies_resent", stats_.replies_resent);
+    emit("explicit_acks_sent", stats_.explicit_acks_sent);
+    emit("explicit_acks_received", stats_.explicit_acks_received);
+    emit("call_failures", stats_.call_failures);
+    emit("boot_resets", stats_.boot_resets);
+    emit("stale_drops", stats_.stale_drops);
+    emit("timeouts", stats_.timeouts);
+  }
+
+  void ExportGauges(const CounterEmit& emit) const override {
+    const uint64_t settled = stats_.replies_received + stats_.call_failures;
+    emit("calls_in_flight", stats_.calls_sent > settled ? stats_.calls_sent - settled : 0);
+    emit("retransmissions", stats_.retransmissions);
+    emit("live_sessions", pool_.live());
+  }
+
+ protected:
+  Result<SessionRef> DoOpen(Protocol& hlp, const ParticipantSet& parts) override;
+  Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;
+  Status DoDemux(Session* lls, Message& msg) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+  bool EvictSession(Session& s) override;
+
+ private:
+  friend class ChannelSession;
+  using Key = std::tuple<IpAddr, uint16_t, RelProtoNum>;  // (peer, channel, proto)
+
+  SlabPool<ChannelSession> pool_;
+  DemuxMap<Key> active_;
+  DemuxMap<RelProtoNum, Protocol*> passive_;
+  SimTime base_timeout_ = Msec(50);
+  int retry_limit_ = 5;
+  bool adaptive_timeout_ = false;
+  Stats stats_;
 };
 
 }  // namespace xk

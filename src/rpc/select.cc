@@ -16,9 +16,28 @@ SelectProtocol::SelectProtocol(Kernel& kernel, Protocol* lower, std::string name
       passive_(*this),
       calls_(*this),
       server_sessions_(*this) {
+  MarkIdleCapable();
   ParticipantSet enable;
   enable.local.rel_proto = rel_proto_;
   (void)this->lower(0)->OpenEnable(*this, enable);
+}
+
+bool SelectProtocol::EvictSession(Session& s) {
+  if (auto* client = dynamic_cast<SelectSession*>(&s)) {
+    // CanEvict vetoed outstanding calls; anything else holding the session
+    // (the anchor's cached ref) vetoes here.
+    if (client->weak_from_this().use_count() > 1) {
+      return false;
+    }
+    active_.Unbind(Key{client->server_, client->command_});
+    return true;
+  }
+  auto* server = static_cast<SelectServerSession*>(&s);
+  if (server->weak_from_this().use_count() > 1) {
+    return false;
+  }
+  server_sessions_.Unbind(server->channel_.get());
+  return true;
 }
 
 Result<SelectProtocol::ChannelPool*> SelectProtocol::PoolFor(IpAddr server) {
@@ -77,9 +96,9 @@ Result<SessionRef> SelectProtocol::DoOpen(Protocol& hlp, const ParticipantSet& p
     return pool.status();
   }
   kernel().ChargeSessionCreate();
-  auto sess =
-      std::make_shared<SelectSession>(*this, &hlp, *parts.peer.host, *parts.peer.command);
+  auto sess = client_pool_.Create(*this, &hlp, *parts.peer.host, *parts.peer.command);
   active_.Bind(key, sess);
+  TrackIdle(*sess);
   return SessionRef(sess);
 }
 
@@ -134,8 +153,9 @@ Status SelectProtocol::DoDemux(Session* lls, Message& msg) {
     SessionRef server_sess = server_sessions_.Resolve(lls);
     if (server_sess == nullptr) {
       kernel().ChargeSessionCreate();
-      server_sess = std::make_shared<SelectServerSession>(*this, hlp, lls->Ref());
+      server_sess = server_pool_.Create(*this, hlp, lls->Ref());
       server_sessions_.Bind(lls, server_sess);
+      TrackIdle(*server_sess);
       ParticipantSet up;
       up.local.command = command;
       Status s = hlp->OpenDoneUp(*this, server_sess, up);
@@ -180,6 +200,7 @@ void SelectProtocol::SessionError(Session& lls, Status error) {
       }
     }
   }
+  sess->CallFinished();
   if (sess->hlp() != nullptr) {
     sess->hlp()->SessionError(*sess, error);
   }
@@ -193,7 +214,7 @@ Status SelectProtocol::DoControl(ControlOp op, ControlArgs& args) {
     case ControlOp::kGetMaxSendSize:
       return lower(0)->Control(ControlOp::kGetMaxSendSize, args);
     default:
-      return ErrStatus(StatusCode::kUnsupported);
+      return Protocol::DoControl(op, args);
   }
 }
 
@@ -213,6 +234,7 @@ Status SelectSession::DoPush(Message& msg) {
   SelectProtocol::ChannelPool* pool = *pool_r;
   last_request_ = msg;
   forward_hops_ = 0;
+  ++outstanding_;  // pins the session against eviction until settled
   ++sel_.stats_.calls;
   if (pool->available->count() == 0) {
     ++sel_.stats_.blocked_on_channel;
@@ -239,7 +261,17 @@ Status SelectSession::DoPush(Message& msg) {
   return OkStatus();
 }
 
+void SelectSession::CallFinished() {
+  if (outstanding_ > 0) {
+    --outstanding_;
+  }
+  // A sweep may have parked this session while the call pinned it; relink so
+  // the now-idle session ages out normally.
+  NoteActivity();
+}
+
 Status SelectSession::CompleteCall(Session* channel, uint8_t status, Message& reply) {
+  CallFinished();
   // Unbind BEFORE releasing: V() may run a blocked caller inline, and that
   // caller immediately re-binds this channel to its own call.
   sel_.calls_.Unbind(channel);

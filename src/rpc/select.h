@@ -13,6 +13,12 @@
 //
 // Header (paper appendix, SELECT_HDR): type(1) command(2) status(1) -- 4
 // bytes, the cheapest layer (0.11 ms on a Sun 3/75, the per-layer floor).
+//
+// Sessions are slab-pooled and idle-tracked (session classes are defined
+// before the protocol so its pools see complete types). A client session with
+// calls outstanding -- including one queued on the channel semaphore or mid-
+// forward -- refuses eviction. The pre-opened channels themselves are owned
+// here, never evicted by CHANNEL (their extra reference vetoes it).
 
 #ifndef XK_SRC_RPC_SELECT_H_
 #define XK_SRC_RPC_SELECT_H_
@@ -26,12 +32,77 @@
 #include "src/core/kernel.h"
 #include "src/core/map.h"
 #include "src/core/protocol.h"
+#include "src/sim/slab_pool.h"
 #include "src/tools/semaphore.h"
 
 namespace xk {
 
-class SelectSession;
-class SelectServerSession;
+class SelectProtocol;
+
+// Client-side session: one per (server, command).
+class SelectSession : public Session {
+ public:
+  SelectSession(SelectProtocol& owner, Protocol* hlp, IpAddr server, uint16_t command);
+
+  uint16_t command() const { return command_; }
+  IpAddr server() const { return server_; }
+
+  // The most recent request pushed through this session (kept so a
+  // forwarding selector can re-issue the call toward a new host) and the
+  // forward-hop budget of the current call.
+  const Message& last_request() const { return last_request_; }
+  int forward_hops() const { return forward_hops_; }
+  void set_forward_hops(int n) { forward_hops_ = n; }
+
+  // Completes a call: releases the channel and delivers `reply` (or an error)
+  // to the high-level protocol.
+  Status CompleteCall(Session* channel, uint8_t status, Message& reply);
+
+  // Settles one outstanding call without a reply (selector-layer error
+  // paths). Keeps the eviction pin (CanEvict) balanced with DoPush.
+  void CallFinished();
+
+  int calls_outstanding() const { return outstanding_; }
+
+ protected:
+  Status DoPush(Message& msg) override;
+  Status DoPop(Message& msg, Session* lls) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+  bool CanEvict() const override { return outstanding_ == 0; }
+
+ private:
+  friend class SelectProtocol;  // eviction needs the demux key
+
+  SelectProtocol& sel_;
+  IpAddr server_;
+  uint16_t command_;
+  Message last_request_;
+  int forward_hops_ = 0;
+  int outstanding_ = 0;  // calls issued and not yet settled
+};
+
+// Server-side session: wraps the channel a request arrived on; the server
+// anchor pushes its reply into it.
+class SelectServerSession : public Session {
+ public:
+  SelectServerSession(SelectProtocol& owner, Protocol* hlp, SessionRef channel);
+
+  uint16_t last_command() const { return last_command_; }
+  void set_last_command(uint16_t c) { last_command_ = c; }
+
+ protected:
+  Status DoPush(Message& msg) override;  // send the reply
+  Status DoPop(Message& msg, Session* lls) override;
+  Status DoControl(ControlOp op, ControlArgs& args) override;
+  Session* lower_for_control() const override { return channel_.get(); }
+
+ private:
+  friend class SelectProtocol;  // eviction needs the channel key
+
+  SelectProtocol& sel_;
+  SessionRef channel_;
+  uint16_t last_command_ = 0;
+};
 
 class SelectProtocol : public Protocol {
  public:
@@ -65,6 +136,9 @@ class SelectProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  // Live client + server SelectSessions (slab-pooled).
+  size_t live_sessions() const { return client_pool_.live() + server_pool_.live(); }
+
   void ExportCounters(const CounterEmit& emit) const override {
     Protocol::ExportCounters(emit);
     emit("calls", stats_.calls);
@@ -74,6 +148,10 @@ class SelectProtocol : public Protocol {
     emit("blocked_on_channel", stats_.blocked_on_channel);
   }
 
+  void ExportGauges(const CounterEmit& emit) const override {
+    emit("live_sessions", live_sessions());
+  }
+
   int free_channels(IpAddr server) const;
 
  protected:
@@ -81,6 +159,7 @@ class SelectProtocol : public Protocol {
   Status DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) override;
   Status DoDemux(Session* lls, Message& msg) override;
   Status DoControl(ControlOp op, ControlArgs& args) override;
+  bool EvictSession(Session& s) override;
 
   friend class SelectSession;
   friend class SelectServerSession;
@@ -99,6 +178,8 @@ class SelectProtocol : public Protocol {
   using Key = std::tuple<IpAddr, uint16_t>;  // (server host, command)
 
   RelProtoNum rel_proto_;
+  SlabPool<SelectSession> client_pool_;
+  SlabPool<SelectServerSession> server_pool_;
   DemuxMap<Key> active_;                      // client sessions
   DemuxMap<uint16_t, Protocol*> passive_;     // command -> server hlp
   std::map<IpAddr, ChannelPool> pools_;
@@ -107,59 +188,6 @@ class SelectProtocol : public Protocol {
   // Server-side sessions, one per delivering channel session.
   DemuxMap<Session*, SessionRef> server_sessions_;
   Stats stats_;
-};
-
-// Client-side session: one per (server, command).
-class SelectSession : public Session {
- public:
-  SelectSession(SelectProtocol& owner, Protocol* hlp, IpAddr server, uint16_t command);
-
-  uint16_t command() const { return command_; }
-  IpAddr server() const { return server_; }
-
-  // The most recent request pushed through this session (kept so a
-  // forwarding selector can re-issue the call toward a new host) and the
-  // forward-hop budget of the current call.
-  const Message& last_request() const { return last_request_; }
-  int forward_hops() const { return forward_hops_; }
-  void set_forward_hops(int n) { forward_hops_ = n; }
-
-  // Completes a call: releases the channel and delivers `reply` (or an error)
-  // to the high-level protocol.
-  Status CompleteCall(Session* channel, uint8_t status, Message& reply);
-
- protected:
-  Status DoPush(Message& msg) override;
-  Status DoPop(Message& msg, Session* lls) override;
-  Status DoControl(ControlOp op, ControlArgs& args) override;
-
- private:
-  SelectProtocol& sel_;
-  IpAddr server_;
-  uint16_t command_;
-  Message last_request_;
-  int forward_hops_ = 0;
-};
-
-// Server-side session: wraps the channel a request arrived on; the server
-// anchor pushes its reply into it.
-class SelectServerSession : public Session {
- public:
-  SelectServerSession(SelectProtocol& owner, Protocol* hlp, SessionRef channel);
-
-  uint16_t last_command() const { return last_command_; }
-  void set_last_command(uint16_t c) { last_command_ = c; }
-
- protected:
-  Status DoPush(Message& msg) override;  // send the reply
-  Status DoPop(Message& msg, Session* lls) override;
-  Status DoControl(ControlOp op, ControlArgs& args) override;
-  Session* lower_for_control() const override { return channel_.get(); }
-
- private:
-  SelectProtocol& sel_;
-  SessionRef channel_;
-  uint16_t last_command_ = 0;
 };
 
 }  // namespace xk

@@ -53,6 +53,7 @@ Status SelectFwdProtocol::FollowForward(Session* lls, uint16_t command, Message&
   const IpAddr target = r.GetIpAddr();
 
   if (sess->forward_hops() >= kMaxHops) {
+    sess->CallFinished();
     if (sess->hlp() != nullptr) {
       sess->hlp()->SessionError(*sess, ErrStatus(StatusCode::kUnreachable));
     }
@@ -66,6 +67,7 @@ Status SelectFwdProtocol::FollowForward(Session* lls, uint16_t command, Message&
   // reaches the caller who started it (the forwarding is transparent).
   Result<ChannelPool*> pool_r = PoolFor(target);
   if (!pool_r.ok()) {
+    sess->CallFinished();
     if (sess->hlp() != nullptr) {
       sess->hlp()->SessionError(*sess, pool_r.status());
     }

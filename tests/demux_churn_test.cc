@@ -54,6 +54,50 @@ TEST_F(ChurnFixture, FixedSizeChurnKeepsTableAndProbesBounded) {
   }
 }
 
+TEST_F(ChurnFixture, MassUnbindCompactsAndShrinksTheTable) {
+  // The idle-eviction drain pattern: a large population is bound once, then
+  // unbound en masse with no intervening inserts. The insert-side rehash in
+  // MaybeGrow never fires on this path, so the unbind-side amortized
+  // compaction must both reclaim tombstones and give the memory back.
+  constexpr uint64_t kKeys = 1u << 17;  // 131072 live keys
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    map.Bind(k, k);
+  }
+  const size_t peak_capacity = map.capacity();
+  ASSERT_GE(peak_capacity, kKeys);  // table actually grew to hold them
+
+  size_t worst_probe_during_drain = 0;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    map.Unbind(k);
+    // Tombstones never exceed the compaction threshold's grace window: a
+    // quarter of the (current) table triggers an in-place rehash. The floor
+    // capacity (16) is exempt -- compaction there would thrash, and 16
+    // buckets cannot rot meaningfully.
+    if (map.capacity() > 16) {
+      ASSERT_LT(map.tombstones() * 4, map.capacity() + 4);
+    }
+    if ((k & 0xFFF) == 0) {
+      worst_probe_during_drain =
+          std::max(worst_probe_during_drain, map.MaxProbeLength());
+    }
+  }
+
+  // Fully drained: the rehash-on-unbind shrank the table back to its floor
+  // instead of leaving a 256k-bucket array holding nothing.
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_LT(map.capacity(), peak_capacity / 4);
+  EXPECT_LE(map.capacity(), 64u);  // within a couple doublings of kMinCapacity
+  // Residual tombstones fit inside the (possibly floor-sized) table.
+  EXPECT_LE(map.tombstones(), map.capacity());
+  // Probes stayed bounded all the way down -- the half-drained table never
+  // degenerated into tombstone crawls.
+  EXPECT_LE(worst_probe_during_drain, 64u);
+
+  // The shrunken table is still a working map.
+  map.Bind(7, 77);
+  EXPECT_EQ(map.Peek(7), 77u);
+}
+
 TEST_F(ChurnFixture, ProbeLengthReportsActualChainLengths) {
   EXPECT_EQ(map.ProbeLength(7), 0u);  // empty table: no buckets visited
   map.Bind(1, 10);
