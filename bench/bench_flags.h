@@ -18,6 +18,7 @@ struct Options {
   std::string trace_dir;
   std::string pcap_dir;
   std::string stats_dir;   // per-job time-series JSONL (--stats=DIR)
+  std::string flow_dir;    // per-job causal flow + folded stacks (--flow=DIR)
   std::string filter;      // ECMAScript regex matched against "group.name"
   std::string faults;      // FaultPlan spec (--faults=): adds a chaos.custom job
   std::string arrivals;    // ArrivalSpec (--arrivals=): adds a datacenter.custom job
@@ -72,6 +73,8 @@ inline bool ParseBenchArgs(int argc, char** argv, Options* opt, std::string* err
       opt->pcap_dir = arg + 7;
     } else if (std::strncmp(arg, "--stats=", 8) == 0) {
       opt->stats_dir = arg + 8;
+    } else if (std::strncmp(arg, "--flow=", 7) == 0) {
+      opt->flow_dir = arg + 7;
     } else if (std::strncmp(arg, "--filter=", 9) == 0) {
       opt->filter = arg + 9;
     } else if (std::strncmp(arg, "--faults=", 9) == 0) {

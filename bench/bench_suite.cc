@@ -24,6 +24,7 @@
 
 #include "bench/bench_flags.h"
 #include "bench/bench_util.h"
+#include "src/trace/causal.h"
 #include "bench/session_scale.h"
 #include "src/cluster/datacenter.h"
 
@@ -216,6 +217,74 @@ Job ManyHostFaultsJob() {
                                                 kManyHostIters, 0, /*drop_rate=*/0.005));
   };
   return Job{"manyhost", "L_RPC-VIP-32pairs-faults", std::move(fn)};
+}
+
+// Trace-overhead microbench: the same many-pairs workload twice back to
+// back -- bare, then with a TraceSink capturing and the causal stitcher
+// consuming its output -- so the host-time cost of --trace + --flow is a
+// measured number. Recording charges zero simulated cost, so every simulated
+// metric must be identical across the two passes: trace_mismatch counts the
+// fields that differed (always 0) and rides the baseline so any tracing
+// Heisenberg effect fails the regression gate. The wall-clock overhead goes
+// to host_metrics, which --stable omits and the differ skips.
+Job ManyHostTracedJob() {
+  JobFn fn = [] {
+    constexpr int kTracedPairs = 8;
+    constexpr int kTracedIters = 25;
+    // The worker may have installed a suite-wide sink (--trace/--flow); park
+    // it so the bare pass is genuinely untraced and the traced pass is
+    // measured against a sink this job owns.
+    TraceSink* outer = TraceSink::thread_default();
+    TraceSink::set_thread_default(nullptr);
+    const auto t0 = std::chrono::steady_clock::now();
+    const ManyPairsBench bare = MeasureManyPairsBench(kTracedPairs, kManyHostBytes, kTracedIters);
+    const auto t1 = std::chrono::steady_clock::now();
+    TraceSink sink;
+    TraceSink::set_thread_default(&sink);
+    const ManyPairsBench traced =
+        MeasureManyPairsBench(kTracedPairs, kManyHostBytes, kTracedIters);
+    const auto t2 = std::chrono::steady_clock::now();
+    TraceSink::set_thread_default(outer);
+    const std::string jsonl = sink.ToJsonl();
+    const tracetool::TraceFile tf = tracetool::Parse(jsonl);
+    const causal::FlowAnalysis fa = causal::Stitch(tf);
+    const auto t3 = std::chrono::steady_clock::now();
+    double mismatch = 0;
+    mismatch += bare.completed != traced.completed ? 1 : 0;
+    mismatch += bare.failed != traced.failed ? 1 : 0;
+    mismatch += bare.sum_done_at != traced.sum_done_at ? 1 : 0;
+    mismatch += bare.events_fired != traced.events_fired ? 1 : 0;
+    mismatch += bare.rtt.count() != traced.rtt.count() ? 1 : 0;
+    mismatch += bare.rtt.sum() != traced.rtt.sum() ? 1 : 0;
+    JobResult out;
+    out.metrics = {
+        {"completed", static_cast<double>(traced.completed)},
+        {"failed", static_cast<double>(traced.failed)},
+        {"sum_done_at_ns", static_cast<double>(traced.sum_done_at)},
+        {"trace_mismatch", mismatch},
+        {"trace_span_count", static_cast<double>(tf.spans.size())},
+        {"trace_wire_count", static_cast<double>(tf.wires.size())},
+        {"trace_event_count", static_cast<double>(tf.events.size())},
+        // Zero here -- RpcClient calls carry no oracle ids -- which is the
+        // control: only cluster-tier workloads produce call graphs.
+        {"flow_calls", static_cast<double>(fa.calls.size())},
+    };
+    out.events_fired = traced.events_fired;
+    out.latency_hist = traced.rtt;
+    out.service_hist = traced.service;
+    const auto ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    const double bare_ms = ms(t0, t1);
+    out.host_metrics = {
+        {"untraced_ms", bare_ms},
+        {"traced_ms", ms(t1, t2)},
+        {"stitch_ms", ms(t2, t3)},
+        {"trace_overhead_pct", bare_ms > 0 ? 100.0 * (ms(t1, t3) - bare_ms) / bare_ms : 0.0},
+    };
+    return out;
+  };
+  return Job{"manyhost", "traced", std::move(fn)};
 }
 
 // Engine hot-path microbench: pure event churn plus frame-burst delivery,
@@ -497,6 +566,7 @@ std::vector<Job> BuildJobs() {
   // The many-host parallel-engine workload, clean and with link faults.
   jobs.push_back(ManyHostJob());
   jobs.push_back(ManyHostFaultsJob());
+  jobs.push_back(ManyHostTracedJob());
   // The engine hot-path microbench (event churn + frame bursts).
   jobs.push_back(HotLoopJob());
   // Chaos campaigns: availability under declared fault plans, verified by the
@@ -761,6 +831,16 @@ std::string JobFileStem(const Job& job) {
   return s;
 }
 
+// Flow/folded artifacts are plain strings built off-thread; write-all-or-log.
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  return std::fclose(f) == 0 && n == text.size();
+}
+
 // Options lives in bench/bench_flags.h so ParseBenchArgs is unit-testable.
 
 std::vector<Job> SelectJobs(const Options& opt, std::string* fault_error,
@@ -842,6 +922,7 @@ int Run(const Options& opt) {
   const std::string& trace_dir = opt.trace_dir;
   const std::string& pcap_dir = opt.pcap_dir;
   const std::string& stats_dir = opt.stats_dir;
+  const std::string& flow_dir = opt.flow_dir;
   std::vector<JobResult> results(jobs.size());
   std::atomic<size_t> next{0};
 
@@ -863,7 +944,9 @@ int Run(const Options& opt) {
       std::unique_ptr<TraceSink> sink;
       std::unique_ptr<PacketCapture> capture;
       std::unique_ptr<StatSampler> sampler;
-      if (!trace_dir.empty()) {
+      // --flow= needs the same records --trace= records, so either flag
+      // brings the sink up; --flow alone just skips writing the raw trace.
+      if (!trace_dir.empty() || !flow_dir.empty()) {
         sink = std::make_unique<TraceSink>();
         TraceSink::set_thread_default(sink.get());
       }
@@ -881,8 +964,16 @@ int Run(const Options& opt) {
       TraceSink::set_thread_default(nullptr);
       PacketCapture::set_thread_default(nullptr);
       StatSampler::set_thread_default(nullptr);
-      if (sink != nullptr) {
+      if (sink != nullptr && !trace_dir.empty()) {
         (void)sink->WriteFile(trace_dir + "/" + JobFileStem(jobs[i]) + ".trace.jsonl");
+      }
+      if (sink != nullptr && !flow_dir.empty()) {
+        // Stitch the per-call causal graphs observer-side and write both flow
+        // artifacts; both are deterministic functions of the (deterministic)
+        // trace, so they join the byte-identity gates in scripts/check.sh.
+        const causal::FlowAnalysis fa = causal::Stitch(tracetool::Parse(sink->ToJsonl()));
+        WriteTextFile(flow_dir + "/" + JobFileStem(jobs[i]) + ".flow.jsonl", causal::ToFlowJsonl(fa));
+        WriteTextFile(flow_dir + "/" + JobFileStem(jobs[i]) + ".folded.txt", causal::ToFolded(fa));
       }
       if (capture != nullptr) {
         (void)capture->WriteFile(pcap_dir + "/" + JobFileStem(jobs[i]) + ".pcap.jsonl");
@@ -978,7 +1069,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", argv[0], flag_error.c_str());
     std::fprintf(stderr,
                  "usage: %s [--threads=N] [--out=FILE] [--trace=DIR] [--pcap=DIR]\n"
-                 "          [--stats=DIR] [--list] [--filter=REGEX] [--stable]\n"
+                 "          [--stats=DIR] [--flow=DIR] [--list] [--filter=REGEX] [--stable]\n"
                  "          [--engine-threads=N] [--engine-speedup[=N]]\n"
                  "          [--session-scale=N] (adds a session_scale.nN job at N sessions)\n"
                  "          [--faults=PLAN]   (e.g. crash:host=server,at=300ms,restart=700ms;\n"
@@ -998,6 +1089,9 @@ int main(int argc, char** argv) {
   }
   if (!opt.stats_dir.empty()) {
     std::filesystem::create_directories(opt.stats_dir, ec);
+  }
+  if (!opt.flow_dir.empty()) {
+    std::filesystem::create_directories(opt.flow_dir, ec);
   }
   return xk::Run(opt);
 }

@@ -55,7 +55,8 @@ echo "== observability determinism: bench_suite bit-identical at 1/2/4 threads =
 # across worker thread counts, no normalization needed.
 for t in 1 2 4; do
   ./build/bench/bench_suite --threads="$t" --stable --out="$obs/r$t.json" \
-    --trace="$obs/trace$t" --pcap="$obs/pcap$t" --stats="$obs/stats$t" >/dev/null
+    --trace="$obs/trace$t" --pcap="$obs/pcap$t" --stats="$obs/stats$t" \
+    --flow="$obs/flow$t" >/dev/null
 done
 cmp "$obs/r1.json" "$obs/r2.json"
 cmp "$obs/r1.json" "$obs/r4.json"
@@ -68,6 +69,8 @@ diff -r "$obs/pcap1" "$obs/pcap2"
 diff -r "$obs/pcap1" "$obs/pcap4"
 diff -r "$obs/stats1" "$obs/stats2"
 diff -r "$obs/stats1" "$obs/stats4"
+diff -r "$obs/flow1" "$obs/flow2"
+diff -r "$obs/flow1" "$obs/flow4"
 
 echo
 echo "== parallel engine: bit-identical at --engine-threads=1 vs 4 =="
@@ -76,12 +79,41 @@ echo "== parallel engine: bit-identical at --engine-threads=1 vs 4 =="
 # metrics, events fired, traces, and captures.
 for t in 1 4; do
   ./build/bench/bench_suite --engine-threads="$t" --stable --out="$obs/g$t.json" \
-    --trace="$obs/gtrace$t" --pcap="$obs/gpcap$t" --stats="$obs/gstats$t" >/dev/null
+    --trace="$obs/gtrace$t" --pcap="$obs/gpcap$t" --stats="$obs/gstats$t" \
+    --flow="$obs/gflow$t" >/dev/null
 done
 cmp "$obs/g1.json" "$obs/g4.json"
 diff -r "$obs/gtrace1" "$obs/gtrace4"
 diff -r "$obs/gpcap1" "$obs/gpcap4"
 diff -r "$obs/gstats1" "$obs/gstats4"
+diff -r "$obs/gflow1" "$obs/gflow4"
+
+echo
+echo "== xkflow smoke: critical-path attribution reconstructs the bench RTT =="
+# Stitch the sat-knee trace into per-call causal graphs and insist the mean
+# of the reconstructed RTTs matches the benchmark's own histogram mean within
+# 1% (the attribution partitions each call's [issue, done] exactly, so the
+# agreement is exact in practice -- 1% is the ISSUE acceptance bound).
+./build/src/xkflow "$obs/trace1/datacenter.sat-knee.trace.jsonl" > "$obs/knee.flow.txt"
+grep -q "aggregate attribution" "$obs/knee.flow.txt"
+flow_ms=$(./build/src/xkflow "$obs/trace1/datacenter.sat-knee.trace.jsonl" \
+  --critical-path --json | sed -E 's/.*"mean_rtt_ms":([0-9.eE+-]+).*/\1/')
+bench_ms=$(grep '"name": "sat-knee"' "$obs/r1.json" \
+  | sed -E 's/.*"mean_ms": ([0-9.eE+-]+).*/\1/')
+awk -v f="$flow_ms" -v b="$bench_ms" 'BEGIN {
+  d = f > b ? f - b : b - f;
+  if (b <= 0 || d > 0.01 * b) {
+    printf "FAIL: xkflow mean rtt %.6f ms vs bench %.6f ms\n", f, b; exit 1;
+  }
+  printf "xkflow rtt %.6f ms vs bench %.6f ms (|delta| %.6f)\n", f, b, d;
+}'
+# The replica-crash campaign reads as a causal story: the crash, the VPOOL
+# down/readmit cycle, and cause-attributed retransmissions all surface.
+./build/src/xkflow "$obs/trace1/datacenter.replica-crash-failover.trace.jsonl" \
+  --critical-path > "$obs/crash.flow.txt"
+grep -q "crash" "$obs/crash.flow.txt"
+grep -Eq "retransmits: [1-9]" "$obs/crash.flow.txt"
+grep -Eq "replica_down" "$obs/crash.flow.txt"
 
 echo
 echo "== bench regression gate: xkbench-diff vs bench/baseline.json =="

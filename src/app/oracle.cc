@@ -1,6 +1,7 @@
 #include "src/app/oracle.h"
 
 #include "src/core/kernel.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -40,6 +41,13 @@ RpcServer::Handler AmoOracle::WrapEcho(Kernel* server_kernel) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       calls_[id].executed_boots.push_back(server_kernel->boot_id());
+    }
+    if (TraceSink* ts = server_kernel->trace_sink()) {
+      // Bind the server-side execution to the oracle call id; the echoed
+      // reply is a copy of the request, so it keeps the same message id and
+      // the reply path reads as the same logical message.
+      ts->RecordEvent(*server_kernel, TraceOp::kExec, "rpc_server", server_kernel->now(), id,
+                      &request, nullptr, server_kernel->boot_id());
     }
     return request;  // echo: the client checks the bytes round-tripped
   };

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "src/app/oracle.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -265,9 +266,20 @@ void OpenLoopGen::IssueAt(SimTime at) {
   ++phases_[static_cast<size_t>(phase)].issued;
   oracle_.RecordIssued(id, at);
   Message request = AmoOracle::MakeRequest(id, payload_bytes_);
+  if (TraceSink* ts = kernel_.trace_sink()) {
+    // Stamp the scheduled arrival (not "now") so a causal stitcher's
+    // reconstructed RTT matches the histogram's done_at - at exactly, and
+    // bind the request message's trace id to the oracle call id.
+    ts->RecordEvent(kernel_, TraceOp::kIssue, "gen", at, id, &request, nullptr, 0);
+  }
   client_.Call(service_, command_, id, std::move(request),
                [this, id, at, phase](Result<Message> r) {
                  const SimTime done_at = kernel_.now();
+                 if (TraceSink* ts = kernel_.trace_sink()) {
+                   ts->RecordEvent(kernel_, TraceOp::kDone, "gen", done_at, id,
+                                   r.ok() ? &*r : nullptr, nullptr, 0,
+                                   r.ok() ? StatusCode::kOk : r.status().code());
+                 }
                  oracle_.RecordOutcome(id, r, done_at);
                  rtt_.Record(done_at - at);
                  last_done_at_ = std::max(last_done_at_, done_at);

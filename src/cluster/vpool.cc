@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/hash.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -138,6 +139,10 @@ void VpoolProtocol::MarkDown(int idx) {
   }
   r.up = false;
   ++down_marks_;
+  if (TraceSink* ts = kernel().trace_sink()) {
+    ts->RecordEvent(kernel(), TraceOp::kReplicaDown, name(), kernel().now(), 0, nullptr,
+                    nullptr, static_cast<uint64_t>(idx), StatusCode::kUnreachable);
+  }
   kernel().CancelTimer(r.readmit_timer);
   if (readmit_after_ > 0) {
     r.readmit_timer = kernel().SetTimer(readmit_after_, [this, idx] { Readmit(idx); });
@@ -152,6 +157,10 @@ void VpoolProtocol::Readmit(int idx) {
   r.up = true;
   r.wrr_current = 0;
   ++readmits_;
+  if (TraceSink* ts = kernel().trace_sink()) {
+    ts->RecordEvent(kernel(), TraceOp::kReplicaReadmit, name(), kernel().now(), 0, nullptr,
+                    nullptr, static_cast<uint64_t>(idx));
+  }
 }
 
 Result<SessionRef> VpoolProtocol::DoOpen(Protocol& hlp, const ParticipantSet& parts) {
@@ -369,10 +378,21 @@ Status VpoolSession::DoPush(Message& msg) {
       // The open itself failed (e.g. no free channel state toward a dead
       // host): mark the replica down and let the policy reroute.
       ++pool_.rerouted_opens_;
+      if (TraceSink* ts = kernel().trace_sink()) {
+        ts->RecordEvent(kernel(), TraceOp::kReroute, pool_.name(), kernel().now(), 0, &msg,
+                        this, static_cast<uint64_t>(idx), lower.status().code());
+      }
       pool_.MarkDown(idx);
       continue;
     }
     VpoolProtocol::Replica& r = pool_.replicas_[static_cast<size_t>(idx)];
+    if (TraceSink* ts = kernel().trace_sink()) {
+      // The replica decision, visible per message: which backend this push
+      // rides. A stitcher reads pick/reroute chains instead of inferring the
+      // spreading policy from per-host spans.
+      ts->RecordEvent(kernel(), TraceOp::kPick, pool_.name(), kernel().now(), 0, &msg, this,
+                      static_cast<uint64_t>(idx));
+    }
     ++r.calls;
     ++r.outstanding;
     ++pool_.lls_inflight_[lower->get()];

@@ -43,6 +43,10 @@ void Kernel::TrackPending(EventHandle handle) {
 }
 
 void Kernel::Crash() {
+  if (trace_ != nullptr) {
+    trace_->RecordEvent(*this, TraceOp::kCrash, "kernel", now(), 0, nullptr, nullptr,
+                        boot_id_, StatusCode::kUnreachable);
+  }
   // Order matters: pending task/timer closures capture raw pointers into the
   // protocol graph, so they must die before the graph does.
   for (EventHandle& h : pending_handles_) {
@@ -63,6 +67,10 @@ void Kernel::Restart() {
   // hand out different ids than the serial engine's single queue does.
   ++boot_id_;
   up_ = true;
+  if (trace_ != nullptr) {
+    trace_->RecordEvent(*this, TraceOp::kRestart, "kernel", now(), 0, nullptr, nullptr,
+                        boot_id_);
+  }
 }
 
 void Kernel::CancelTimer(EventHandle& handle) {

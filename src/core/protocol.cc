@@ -278,7 +278,15 @@ uint64_t Protocol::EvictIdle(SimTime min_idle) {
     }
     // EvictSession drops the protocol's owning refs, which may destroy `s`
     // before it returns -- mark it disowned first and don't touch it after.
+    // The event reads the session's trace id before the eviction for the
+    // same reason.
+    TraceSink* ts = kernel_.trace_sink();
+    const SimTime idle_for = now - s->last_active_;
     s->idle_eligible_ = false;
+    if (ts != nullptr) {
+      ts->RecordEvent(kernel_, TraceOp::kEvict, name_, now, 0, nullptr, s,
+                      static_cast<uint64_t>(idle_for));
+    }
     if (EvictSession(*s)) {
       kernel_.ChargeSessionDestroy();
       ++idle_.evicted;

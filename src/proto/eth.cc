@@ -66,6 +66,10 @@ void EthProtocol::Transmit(Message& msg) {
   // is a straight copy with no heap traffic in steady state.
   auto frame = AcquirePooled<EthFrame>();
   msg.FlattenInto(frame->bytes);
+  // Carry the message's trace identity on the frame (overwriting whatever a
+  // pooled frame held last). Zero wire bytes, zero simulated cost -- it lets
+  // wire records and the receiving host's spans name the sender's message.
+  frame->trace_msg_id = msg.trace_id();
   ++frames_out_;
   segment_.Transmit(attach_id_, std::move(frame), kernel().cpu().now());
 }
@@ -80,6 +84,9 @@ void EthProtocol::FrameArrived(const EthFrame& frame) {
     kernel().ChargeDevCopy(frame.bytes.size());
     ++frames_in_;
     Message msg = Message::FromBytes(frame.bytes);
+    // The deserialized copy is the same logical message the sender pushed;
+    // let its spans read as one id across the wire.
+    TraceSink::InheritTraceId(msg, frame.trace_msg_id);
     (void)span.Finish(Demux(nullptr, msg));
   });
 }

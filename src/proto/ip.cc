@@ -4,6 +4,7 @@
 
 #include "src/core/wire.h"
 #include "src/tools/checksum.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -197,19 +198,32 @@ Status IpProtocol::DoOpenEnable(Protocol& hlp, const ParticipantSet& parts) {
 }
 
 Status IpProtocol::Forward(const IpHeader& hdr, Message& msg) {
+  TraceSink* ts = kernel().trace_sink();
   if (hdr.ttl <= 1) {
     ++stats_.ttl_drops;
+    if (ts != nullptr) {
+      ts->RecordEvent(kernel(), TraceOp::kTtlDrop, name(), kernel().now(), 0, &msg, nullptr,
+                      hdr.ttl, StatusCode::kUnreachable);
+    }
     return ErrStatus(StatusCode::kUnreachable);
   }
   IpAddr next_hop;
   const IpInterface* ifc = Route(hdr.dst, &next_hop);
   if (ifc == nullptr) {
     ++stats_.no_route_drops;
+    if (ts != nullptr) {
+      ts->RecordEvent(kernel(), TraceOp::kNoRoute, name(), kernel().now(), 0, &msg, nullptr,
+                      0, StatusCode::kUnreachable);
+    }
     return ErrStatus(StatusCode::kUnreachable);
   }
   Result<SessionRef> lower = OpenLower(*ifc, next_hop);
   if (!lower.ok()) {
     ++stats_.no_route_drops;
+    if (ts != nullptr) {
+      ts->RecordEvent(kernel(), TraceOp::kNoRoute, name(), kernel().now(), 0, &msg, nullptr,
+                      0, lower.status().code());
+    }
     return lower.status();
   }
   IpHeader out = hdr;
@@ -220,6 +234,12 @@ Status IpProtocol::Forward(const IpHeader& hdr, Message& msg) {
   kernel().ChargeChecksum(kHeaderSize);
   msg.PushHeader(raw);
   ++stats_.forwards;
+  if (ts != nullptr) {
+    // One event per router hop, on the same message id the endpoints see, so
+    // an observer can count the hop chain of any call's path.
+    ts->RecordEvent(kernel(), TraceOp::kForward, name(), kernel().now(), 0, &msg, nullptr,
+                    out.ttl);
+  }
   return (*lower)->Push(msg);
 }
 

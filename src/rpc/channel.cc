@@ -1,6 +1,7 @@
 #include "src/rpc/channel.h"
 
 #include "src/core/wire.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -269,6 +270,11 @@ void ChannelSession::OnTimeout() {
   ++chan_.stats_.timeouts;
   if (pending_->retries >= chan_.retry_limit_) {
     ++chan_.stats_.call_failures;
+    if (TraceSink* ts = kernel().trace_sink()) {
+      ts->RecordEvent(kernel(), TraceOp::kGiveUp, chan_.name(), kernel().now(), 0,
+                      &pending_->request, this,
+                      static_cast<uint64_t>(pending_->retries), StatusCode::kTimeout);
+    }
     pending_.reset();
     // A sweep may have parked this session while the call pinned it; relink
     // so the now-idle channel ages out normally.
@@ -281,6 +287,14 @@ void ChannelSession::OnTimeout() {
   ++pending_->retries;
   pending_->retransmitted = true;
   ++chan_.stats_.retransmissions;
+  if (TraceSink* ts = kernel().trace_sink()) {
+    // Each attempt boundary is a point event on the saved request message, so
+    // a causal stitcher can tie every wire transmission of the same id to an
+    // attempt and classify what the retry was recovering from.
+    ts->RecordEvent(kernel(), TraceOp::kRetransmit, chan_.name(), kernel().now(), 0,
+                    &pending_->request, this,
+                    static_cast<uint64_t>(pending_->retries + 1));
+  }
   // Retransmissions ask the server to confirm liveness explicitly.
   Send(kFlagRequest | kFlagPleaseAck, pending_->seq, 0, pending_->request);
   ArmTimer();

@@ -124,7 +124,8 @@ void EthernetSegment::ProcessTransmit(int sender_id, std::shared_ptr<EthFrame> f
   const SimTime arrival = end + wire_.propagation;
 
   if (trace_ != nullptr) {
-    trace_->RecordWire(observer_id_, start, end, arrival, shared->bytes.size(), depth, wait);
+    trace_->RecordWire(observer_id_, start, end, arrival, shared->bytes.size(), depth, wait,
+                       shared->trace_msg_id);
   }
   if (stats_ != nullptr) {
     stats_->OnTransmit(start, tx, shared->bytes.size(), depth);

@@ -39,6 +39,12 @@ class TraceSink;
 struct EthFrame {
   std::vector<uint8_t> bytes;
 
+  // Host-side observability bookkeeping, never serialized: the trace id of
+  // the Message this frame carries, stamped by the transmitting driver so
+  // wire records and the receive path can be tied back to the sender's
+  // spans. Not wire bytes -- packet formats and timing are unchanged.
+  uint64_t trace_msg_id = 0;
+
   EthAddr Dst() const;
   EthAddr Src() const;
 };

@@ -298,11 +298,12 @@ inline Direction DirectionFor(std::string_view path) {
       contains("completed") || contains("success") || contains("goodput")) {
     return Direction::kHigherBetter;
   }
-  // "offered"/"issued" are workload inputs and "calls" are per-replica routing
-  // counts: drift in either direction is a real change, not an improvement.
+  // "offered"/"issued" are workload inputs, "calls" are per-replica routing
+  // counts, and "overhead" measures instrumentation cost: drift in either
+  // direction is a real change, not an improvement.
   if (contains("util") || contains("frames") || contains("bytes") || contains("count") ||
       contains("depth") || contains("busy") || contains("offered") || contains("issued") ||
-      contains("calls")) {
+      contains("calls") || contains("overhead")) {
     return Direction::kTwoSided;
   }
   return Direction::kLowerBetter;  // *_ms, *_ns, failed, drops, ...

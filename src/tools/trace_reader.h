@@ -44,6 +44,22 @@ struct WireRec {
   uint64_t len = 0;    // frame bytes
   uint64_t qdepth = 0; // frames waiting behind the bus at tx start
   int64_t qwait = 0;   // ns this frame waited for the bus
+  uint64_t msg = 0;    // trace id of the carried message (0 = untracked)
+};
+
+// One point event: a cluster-tier decision (issue/done/exec, retransmit,
+// reroute, replica down/readmit, eviction, router forward) bound to an
+// oracle call id and/or message trace id.
+struct EventRec {
+  std::string host;
+  std::string proto;
+  std::string op;
+  std::string status;
+  int64_t t = 0;
+  uint64_t call = 0;    // oracle call id (0 = not call-bound)
+  uint64_t msg = 0;     // message trace id (0 = none)
+  uint64_t sess = 0;    // session trace id (0 = none)
+  uint64_t detail = 0;  // op-specific: retry #, replica idx, ttl, idle ns...
 };
 
 // One structured log record (from Kernel::Tracef).
@@ -58,6 +74,7 @@ struct TraceFile {
   std::vector<SpanRec> spans;
   std::vector<WireRec> wires;
   std::vector<LogRec> logs;
+  std::vector<EventRec> events;
   uint64_t dropped = 0;  // records the sink discarded at capacity
 };
 
@@ -242,7 +259,20 @@ inline TraceFile Parse(const std::string& text) {
       r.len = static_cast<uint64_t>(o.num("len"));
       r.qdepth = static_cast<uint64_t>(o.num("qd"));
       r.qwait = o.num("qw");
+      r.msg = static_cast<uint64_t>(o.num("msg"));
       tf.wires.push_back(r);
+    } else if (kind == "ev") {
+      EventRec r;
+      r.host = detail::StrOr(o, "host");
+      r.proto = detail::StrOr(o, "proto");
+      r.op = detail::StrOr(o, "op");
+      r.status = detail::StrOr(o, "status");
+      r.t = o.num("t");
+      r.call = static_cast<uint64_t>(o.num("call"));
+      r.msg = static_cast<uint64_t>(o.num("msg"));
+      r.sess = static_cast<uint64_t>(o.num("sess"));
+      r.detail = static_cast<uint64_t>(o.num("detail"));
+      tf.events.push_back(std::move(r));
     } else if (kind == "log") {
       LogRec r;
       r.host = detail::StrOr(o, "host");
@@ -295,6 +325,14 @@ struct SegmentStat {
   int64_t wait_max = 0;       // ns, worst single-frame bus wait
 };
 
+// Per-router forwarding activity, aggregated from IP's point events.
+struct RouterStat {
+  std::string host;
+  uint64_t forwards = 0;
+  uint64_t ttl_drops = 0;
+  uint64_t no_route_drops = 0;
+};
+
 // Per-layer breakdown plus a per-call latency estimate built from the trace.
 //
 // The estimate is timestamp-based: the elapsed simulated time from the first
@@ -312,6 +350,7 @@ struct SegmentStat {
 struct Breakdown {
   std::vector<LayerStat> layers;     // sorted by (host, proto, op)
   std::vector<SegmentStat> segments; // sorted by segment id
+  std::vector<RouterStat> routers;   // sorted by host; hosts that forwarded or dropped
   uint64_t calls = 1;
   int64_t cpu_total = 0;   // ns, sum of span exclusive costs
   int64_t wire_total = 0;  // ns, sum of frame transmission times
@@ -377,6 +416,25 @@ inline Breakdown Analyze(const TraceFile& tf, uint64_t forced_calls = 0) {
   b.segments.reserve(segs.size());
   for (auto& [id, sg] : segs) {
     b.segments.push_back(sg);
+  }
+  std::map<std::string, RouterStat> routers;
+  for (const EventRec& e : tf.events) {
+    if (e.op != "forward" && e.op != "ttl_drop" && e.op != "no_route") {
+      continue;
+    }
+    RouterStat& rt = routers[e.host];
+    rt.host = e.host;
+    if (e.op == "forward") {
+      ++rt.forwards;
+    } else if (e.op == "ttl_drop") {
+      ++rt.ttl_drops;
+    } else {
+      ++rt.no_route_drops;
+    }
+  }
+  b.routers.reserve(routers.size());
+  for (auto& [host, rt] : routers) {
+    b.routers.push_back(std::move(rt));
   }
   b.layers.reserve(layers.size());
   for (auto& [key, st] : layers) {

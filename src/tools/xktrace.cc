@@ -69,6 +69,13 @@ void PrintBreakdownText(const std::string& path, const TraceFile& tf, const Brea
                   static_cast<double>(s.wait_max) / 1000.0);
     }
   }
+  if (!b.routers.empty()) {
+    std::printf("\n%-10s %10s %10s %14s\n", "router", "forwards", "ttl_drops", "no_route_drops");
+    for (const auto& rt : b.routers) {
+      std::printf("%-10s %10" PRIu64 " %10" PRIu64 " %14" PRIu64 "\n", rt.host.c_str(),
+                  rt.forwards, rt.ttl_drops, rt.no_route_drops);
+    }
+  }
   std::printf("\n");
   std::printf("calls:        %" PRIu64 " (inferred as min push count per layer)\n", b.calls);
   std::printf("cpu total:    %.3f us (%.3f us per-call)\n",
@@ -111,6 +118,14 @@ void PrintBreakdownJson(const TraceFile& tf, const Breakdown& b) {
                 ",\"wait_max_ns\":%" PRId64 "}",
                 first ? "" : ",", s.seg, s.frames, s.bytes, s.busy, s.queued, s.peak_depth,
                 s.depth_sum, s.wait_total, s.wait_max);
+    first = false;
+  }
+  std::printf("],\"routers\":[");
+  first = true;
+  for (const auto& rt : b.routers) {
+    std::printf("%s{\"host\":\"%s\",\"forwards\":%" PRIu64 ",\"ttl_drops\":%" PRIu64
+                ",\"no_route_drops\":%" PRIu64 "}",
+                first ? "" : ",", rt.host.c_str(), rt.forwards, rt.ttl_drops, rt.no_route_drops);
     first = false;
   }
   std::printf("]}\n");

@@ -1,0 +1,485 @@
+#include "src/trace/causal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+#include <unordered_map>
+
+namespace xk::causal {
+
+namespace {
+
+// Sweep priority: lower wins when activities overlap. CPU work explains a
+// slice better than "the frame was also in flight" (the host is actively
+// driving the call); queueing beats serialization beats propagation because
+// each is the *cause* of the next's delay.
+int PriorityOf(Category c) {
+  switch (c) {
+    case kClientCpu:
+    case kServerCpu:
+    case kRouterCpu:
+      return 0;
+    case kQueue:
+      return 1;
+    case kWire:
+      return 2;
+    case kProp:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+struct Iv {
+  int64_t t0 = 0;
+  int64_t t1 = 0;
+  Category cat = kSched;
+  int prio = 4;
+  uint64_t depth = 0;  // span nesting; innermost wins within a priority
+  std::string label;
+};
+
+struct CrashMark {
+  int64_t t = 0;
+};
+
+// One host's down window: crash time to restart time (open until restarted).
+struct Outage {
+  std::string host;
+  int64_t t0 = 0;
+  int64_t t1 = -1;  // -1 = never restarted
+};
+
+void AppendNum(std::string& out, const char* key, int64_t v) {
+  out += ",\"";
+  out += key;
+  out += "\":" + std::to_string(v);
+}
+
+void AppendStr(std::string& out, const char* key, const std::string& v) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  out += v;  // host/proto/status/category names: no escapes needed
+  out += '"';
+}
+
+}  // namespace
+
+const char* CategoryName(Category c) {
+  switch (c) {
+    case kClientCpu:
+      return "client_cpu";
+    case kServerCpu:
+      return "server_cpu";
+    case kRouterCpu:
+      return "router_cpu";
+    case kQueue:
+      return "queue";
+    case kWire:
+      return "wire";
+    case kProp:
+      return "prop";
+    case kBackoff:
+      return "retry_backoff";
+    case kSched:
+      return "sched_wait";
+    case kNumCategories:
+      break;
+  }
+  return "?";
+}
+
+Category CallFlow::critical() const {
+  int best = 0;
+  for (int c = 1; c < kNumCategories; ++c) {
+    if (ns[static_cast<size_t>(c)] > ns[static_cast<size_t>(best)]) {
+      best = c;
+    }
+  }
+  return static_cast<Category>(best);
+}
+
+double FlowAnalysis::MeanRttNs() const {
+  double sum = 0;
+  uint64_t n = 0;
+  for (const CallFlow& c : calls) {
+    if (c.completed) {
+      sum += static_cast<double>(c.rtt());
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+FlowAnalysis Stitch(const tracetool::TraceFile& tf) {
+  FlowAnalysis fa;
+  std::vector<CallFlow> calls;
+  std::unordered_map<uint64_t, size_t> by_id;
+  auto call_for = [&](uint64_t id) -> CallFlow& {
+    auto [it, fresh] = by_id.try_emplace(id, calls.size());
+    if (fresh) {
+      calls.emplace_back();
+      calls.back().id = id;
+    }
+    return calls[it->second];
+  };
+  std::unordered_map<uint64_t, uint64_t> msg_call;
+  auto bind_msg = [&](uint64_t msg, uint64_t id) {
+    if (msg != 0) {
+      msg_call.try_emplace(msg, id);
+    }
+  };
+  auto call_of_msg = [&](uint64_t msg) -> CallFlow* {
+    if (msg == 0) {
+      return nullptr;
+    }
+    auto it = msg_call.find(msg);
+    return it != msg_call.end() ? &call_for(it->second) : nullptr;
+  };
+
+  // Pass 1 -- events, in emission order (kIssue precedes everything else a
+  // call produces, so message ids bind before they are referenced).
+  std::vector<CrashMark> crashes;
+  std::vector<Outage> outages;
+  std::unordered_map<uint64_t, std::vector<int64_t>> reroute_times;
+  for (const tracetool::EventRec& e : tf.events) {
+    if (e.op == "issue") {
+      CallFlow& c = call_for(e.call);
+      c.issue_t = e.t;
+      c.client = e.host;
+      bind_msg(e.msg, e.call);
+    } else if (e.op == "done") {
+      CallFlow& c = call_for(e.call);
+      c.done_t = e.t;
+      c.completed = true;
+      c.status = e.status;
+      bind_msg(e.msg, e.call);
+    } else if (e.op == "exec") {
+      CallFlow& c = call_for(e.call);
+      c.exec_t = e.t;
+      c.server = e.host;
+      bind_msg(e.msg, e.call);
+    } else if (e.op == "rexmit") {
+      ++fa.retransmits;
+      if (CallFlow* c = call_of_msg(e.msg)) {
+        Attempt a;
+        a.t = e.t;
+        a.retry = static_cast<int>(e.detail);
+        c->attempts.push_back(std::move(a));
+      }
+    } else if (e.op == "pick") {
+      ++fa.replica_picks[static_cast<int>(e.detail)];
+      if (CallFlow* c = call_of_msg(e.msg)) {
+        c->replica = static_cast<int>(e.detail);
+      }
+    } else if (e.op == "reroute") {
+      ++fa.reroutes;
+      if (CallFlow* c = call_of_msg(e.msg)) {
+        ++c->reroutes;
+        reroute_times[c->id].push_back(e.t);
+      }
+    } else if (e.op == "replica_down") {
+      ++fa.replica_downs;
+    } else if (e.op == "replica_readmit") {
+      ++fa.replica_readmits;
+    } else if (e.op == "evict") {
+      ++fa.evictions;
+    } else if (e.op == "forward") {
+      ++fa.forwards;
+    } else if (e.op == "ttl_drop") {
+      ++fa.ttl_drops;
+    } else if (e.op == "no_route") {
+      ++fa.no_route_drops;
+    } else if (e.op == "crash") {
+      ++fa.crashes;
+      crashes.push_back({e.t});
+      outages.push_back({e.host, e.t, -1});
+    } else if (e.op == "restart") {
+      ++fa.restarts;
+      for (auto it = outages.rbegin(); it != outages.rend(); ++it) {
+        if (it->host == e.host && it->t1 < 0) {
+          it->t1 = e.t;
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2 -- spans and wire hops, joined through the message id.
+  std::unordered_map<uint64_t, std::vector<const tracetool::SpanRec*>> call_spans;
+  for (const tracetool::SpanRec& s : tf.spans) {
+    if (s.msg == 0) {
+      continue;
+    }
+    auto it = msg_call.find(s.msg);
+    if (it != msg_call.end()) {
+      call_spans[it->second].push_back(&s);
+    }
+  }
+  for (const tracetool::WireRec& w : tf.wires) {
+    if (CallFlow* c = call_of_msg(w.msg)) {
+      c->hops.push_back({w.seg, w.t0, w.t1, w.arrive, w.qwait, w.len, w.msg});
+    }
+  }
+  for (const auto& [msg, id] : msg_call) {
+    call_for(id).msgs.push_back(msg);
+  }
+  for (CallFlow& c : calls) {
+    std::sort(c.msgs.begin(), c.msgs.end());
+    std::sort(c.hops.begin(), c.hops.end(),
+              [](const Hop& a, const Hop& b) { return std::tie(a.t0, a.seg) < std::tie(b.t0, b.seg); });
+  }
+
+  // Pass 3 -- per call: attempt causes, then the attribution sweep.
+  for (CallFlow& c : calls) {
+    const std::vector<const tracetool::SpanRec*>* spans = nullptr;
+    if (auto it = call_spans.find(c.id); it != call_spans.end()) {
+      spans = &it->second;
+    }
+    // Attempt boundaries: issue plus every retransmission, each classified by
+    // what happened in the window since the previous attempt.
+    std::vector<Attempt> att;
+    att.push_back({c.issue_t, 0, "first"});
+    for (Attempt& a : c.attempts) {
+      att.push_back(std::move(a));
+    }
+    std::sort(att.begin(), att.end(),
+              [](const Attempt& a, const Attempt& b) { return a.t < b.t; });
+    const std::vector<int64_t>* rrts = nullptr;
+    if (auto it = reroute_times.find(c.id); it != reroute_times.end()) {
+      rrts = &it->second;
+    }
+    for (size_t k = 1; k < att.size(); ++k) {
+      const int64_t lo = att[k - 1].t;
+      const int64_t hi = att[k].t;
+      auto in_window = [&](int64_t t) { return t > lo && t <= hi; };
+      bool crash = false;
+      for (const CrashMark& cm : crashes) {
+        crash = crash || in_window(cm.t);
+      }
+      // A call that never reached any server, retrying while a host was down
+      // for the whole window, is recovering from the crash even though the
+      // crash instant predates this window.
+      if (!crash && c.exec_t < 0) {
+        for (const Outage& o : outages) {
+          crash = crash || (o.t0 <= lo && (o.t1 < 0 || o.t1 >= hi));
+        }
+      }
+      bool reroute = false;
+      if (rrts != nullptr) {
+        for (int64_t t : *rrts) {
+          reroute = reroute || in_window(t);
+        }
+      }
+      bool corruption = false;
+      if (spans != nullptr) {
+        for (const tracetool::SpanRec* s : *spans) {
+          corruption = corruption || (s->status != "OK" && s->host != c.client && in_window(s->t0));
+        }
+      }
+      bool sent = false;
+      for (const Hop& h : c.hops) {
+        sent = sent || in_window(h.t0);
+      }
+      att[k].cause = crash        ? "crash"
+                     : reroute    ? "reroute"
+                     : corruption ? "corruption"
+                     : sent       ? "drop"
+                                  : "timeout";
+    }
+    c.attempts = std::move(att);
+    for (size_t k = 1; k < c.attempts.size(); ++k) {
+      ++fa.retry_causes[c.attempts[k].cause];
+    }
+    if (!c.completed || c.done_t <= c.issue_t) {
+      continue;
+    }
+
+    // Interval set, clipped to [issue, done].
+    std::vector<Iv> ivs;
+    auto add = [&](int64_t t0, int64_t t1, Category cat, uint64_t depth, std::string label) {
+      t0 = std::max(t0, c.issue_t);
+      t1 = std::min(t1, c.done_t);
+      if (t1 > t0) {
+        ivs.push_back({t0, t1, cat, PriorityOf(cat), depth, std::move(label)});
+      }
+    };
+    if (spans != nullptr) {
+      for (const tracetool::SpanRec* s : *spans) {
+        const Category cat = s->host == c.client   ? kClientCpu
+                             : s->host == c.server ? kServerCpu
+                                                   : kRouterCpu;
+        add(s->t0, s->t1, cat, s->depth, s->host + ";" + s->proto);
+      }
+    }
+    for (const Hop& h : c.hops) {
+      const std::string seg = "seg" + std::to_string(h.seg);
+      add(h.t0 - h.qwait, h.t0, kQueue, 0, seg);
+      add(h.t0, h.t1, kWire, 0, seg);
+      add(h.t1, h.arrive, kProp, 0, seg);
+    }
+
+    // Boundary sweep: every elementary slice goes to the best active
+    // interval; uncovered slices are backoff (if they end at an attempt
+    // boundary) or scheduling wait.
+    std::vector<int64_t> cuts;
+    cuts.push_back(c.issue_t);
+    cuts.push_back(c.done_t);
+    for (const Iv& iv : ivs) {
+      cuts.push_back(iv.t0);
+      cuts.push_back(iv.t1);
+    }
+    for (size_t k = 1; k < c.attempts.size(); ++k) {
+      if (c.attempts[k].t > c.issue_t && c.attempts[k].t < c.done_t) {
+        cuts.push_back(c.attempts[k].t);
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const int64_t a = cuts[i];
+      const int64_t b = cuts[i + 1];
+      const Iv* best = nullptr;
+      for (const Iv& iv : ivs) {
+        if (iv.t0 > a || iv.t1 < b) {
+          continue;  // cuts include every endpoint: covering means containing
+        }
+        if (best == nullptr ||
+            std::tie(iv.prio, best->depth, iv.t0, iv.label) <
+                std::tie(best->prio, iv.depth, best->t0, best->label)) {
+          // Lower priority value wins; within it the deeper (innermost) span,
+          // then the later-started, then the lexically-smaller label -- all
+          // deterministic functions of the trace.
+          best = &iv;
+        }
+      }
+      Slice sl;
+      sl.t0 = a;
+      sl.t1 = b;
+      if (best != nullptr) {
+        sl.cat = best->cat;
+        sl.label = best->label;
+      } else {
+        // Gap. If the next attempt fires at (or right after) this slice's
+        // end, the call was sitting in CHANNEL's retransmit timer.
+        const Attempt* next_att = nullptr;
+        for (size_t k = 1; k < c.attempts.size(); ++k) {
+          if (c.attempts[k].t > a) {
+            next_att = &c.attempts[k];
+            break;
+          }
+        }
+        if (next_att != nullptr && next_att->t <= b) {
+          sl.cat = kBackoff;
+          sl.label = next_att->cause;
+        } else {
+          sl.cat = kSched;
+          sl.label = "wait";
+        }
+      }
+      c.ns[static_cast<size_t>(sl.cat)] += b - a;
+      if (!c.slices.empty() && c.slices.back().cat == sl.cat &&
+          c.slices.back().label == sl.label && c.slices.back().t1 == sl.t0) {
+        c.slices.back().t1 = sl.t1;
+      } else {
+        c.slices.push_back(std::move(sl));
+      }
+    }
+  }
+
+  std::sort(calls.begin(), calls.end(), [](const CallFlow& a, const CallFlow& b) {
+    return std::tie(a.issue_t, a.id) < std::tie(b.issue_t, b.id);
+  });
+  for (const CallFlow& c : calls) {
+    if (c.completed) {
+      if (c.status == "OK") {
+        ++fa.completed;
+      } else {
+        ++fa.failed;
+      }
+      for (int k = 0; k < kNumCategories; ++k) {
+        fa.total_ns[static_cast<size_t>(k)] += c.ns[static_cast<size_t>(k)];
+      }
+      if (c.rtt() > 0) {
+        ++fa.dominant_calls[static_cast<size_t>(c.critical())];
+      }
+    }
+  }
+  fa.calls = std::move(calls);
+  return fa;
+}
+
+std::string ToFlowJsonl(const FlowAnalysis& fa) {
+  std::string out;
+  out.reserve(fa.calls.size() * 256 + 512);
+  out += "{\"k\":\"meta\",\"calls\":" + std::to_string(fa.calls.size()) +
+         ",\"completed\":" + std::to_string(fa.completed) +
+         ",\"failed\":" + std::to_string(fa.failed) + "}\n";
+  for (const CallFlow& c : fa.calls) {
+    out += "{\"k\":\"call\",\"id\":" + std::to_string(c.id);
+    AppendStr(out, "client", c.client);
+    AppendStr(out, "server", c.server);
+    AppendStr(out, "status", c.status);
+    AppendNum(out, "issue", c.issue_t);
+    AppendNum(out, "done", c.done_t);
+    AppendNum(out, "rtt", c.completed ? c.rtt() : 0);
+    AppendNum(out, "attempts", static_cast<int64_t>(c.attempts.size()));
+    AppendNum(out, "reroutes", c.reroutes);
+    AppendNum(out, "replica", c.replica);
+    AppendNum(out, "hops", static_cast<int64_t>(c.hops.size()));
+    if (c.attempts.size() > 1) {
+      AppendStr(out, "last_cause", c.attempts.back().cause);
+    }
+    for (int k = 0; k < kNumCategories; ++k) {
+      AppendNum(out, CategoryName(static_cast<Category>(k)), c.ns[static_cast<size_t>(k)]);
+    }
+    if (c.completed && c.rtt() > 0) {
+      AppendStr(out, "critical", CategoryName(c.critical()));
+    }
+    out += "}\n";
+  }
+  out += "{\"k\":\"total\"";
+  AppendNum(out, "retransmits", static_cast<int64_t>(fa.retransmits));
+  AppendNum(out, "reroutes", static_cast<int64_t>(fa.reroutes));
+  AppendNum(out, "replica_downs", static_cast<int64_t>(fa.replica_downs));
+  AppendNum(out, "replica_readmits", static_cast<int64_t>(fa.replica_readmits));
+  AppendNum(out, "evictions", static_cast<int64_t>(fa.evictions));
+  AppendNum(out, "forwards", static_cast<int64_t>(fa.forwards));
+  AppendNum(out, "ttl_drops", static_cast<int64_t>(fa.ttl_drops));
+  AppendNum(out, "no_route_drops", static_cast<int64_t>(fa.no_route_drops));
+  AppendNum(out, "crashes", static_cast<int64_t>(fa.crashes));
+  AppendNum(out, "restarts", static_cast<int64_t>(fa.restarts));
+  for (int k = 0; k < kNumCategories; ++k) {
+    AppendNum(out, CategoryName(static_cast<Category>(k)),
+              fa.total_ns[static_cast<size_t>(k)]);
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", fa.MeanRttNs());
+  out += ",\"mean_rtt_ns\":";
+  out += buf;
+  out += "}\n";
+  return out;
+}
+
+std::string ToFolded(const FlowAnalysis& fa) {
+  std::map<std::string, int64_t> stacks;
+  for (const CallFlow& c : fa.calls) {
+    for (const Slice& sl : c.slices) {
+      std::string key = "call;";
+      key += CategoryName(sl.cat);
+      if (!sl.label.empty()) {
+        key += ';';
+        key += sl.label;
+      }
+      stacks[key] += sl.t1 - sl.t0;
+    }
+  }
+  std::string out;
+  for (const auto& [key, ns] : stacks) {
+    out += key + " " + std::to_string(ns) + "\n";
+  }
+  return out;
+}
+
+}  // namespace xk::causal

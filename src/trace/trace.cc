@@ -26,6 +26,36 @@ const char* TraceOpName(TraceOp op) {
       return "open";
     case TraceOp::kIntr:
       return "intr";
+    case TraceOp::kIssue:
+      return "issue";
+    case TraceOp::kDone:
+      return "done";
+    case TraceOp::kExec:
+      return "exec";
+    case TraceOp::kRetransmit:
+      return "rexmit";
+    case TraceOp::kGiveUp:
+      return "giveup";
+    case TraceOp::kPick:
+      return "pick";
+    case TraceOp::kReroute:
+      return "reroute";
+    case TraceOp::kReplicaDown:
+      return "replica_down";
+    case TraceOp::kReplicaReadmit:
+      return "replica_readmit";
+    case TraceOp::kEvict:
+      return "evict";
+    case TraceOp::kForward:
+      return "forward";
+    case TraceOp::kTtlDrop:
+      return "ttl_drop";
+    case TraceOp::kNoRoute:
+      return "no_route";
+    case TraceOp::kCrash:
+      return "crash";
+    case TraceOp::kRestart:
+      return "restart";
   }
   return "?";
 }
@@ -109,12 +139,14 @@ void TraceSink::AbsorbRecord(const TraceSink& shard, ShardNameMap& names, Record
   };
   switch (rec.kind) {
     case Record::Kind::kSpan:
+    case Record::Kind::kEvent:
       rec.host = map_name(rec.host);
       rec.proto = map_name(rec.proto);
       rec.sess = TranslateId(rec.sess, tagged_sess_, next_sess_id_);
       rec.msg = TranslateId(rec.msg, tagged_msg_, next_msg_id_);
       break;
     case Record::Kind::kWire:
+      rec.msg = TranslateId(rec.msg, tagged_msg_, next_msg_id_);
       break;
     case Record::Kind::kLog:
       rec.host = map_name(rec.host);
@@ -164,7 +196,8 @@ void TraceSink::EndSpan(Kernel& kernel, Status status) {
 }
 
 void TraceSink::RecordWire(int segment, SimTime tx_start, SimTime tx_end, SimTime arrival,
-                           size_t bytes, uint64_t queue_depth, SimTime queue_wait) {
+                           size_t bytes, uint64_t queue_depth, SimTime queue_wait,
+                           uint64_t msg_id) {
   Record r;
   r.kind = Record::Kind::kWire;
   r.segment = segment;
@@ -174,7 +207,31 @@ void TraceSink::RecordWire(int segment, SimTime tx_start, SimTime tx_end, SimTim
   r.len = bytes;
   r.qdepth = queue_depth;
   r.qwait = queue_wait;
+  r.msg = TranslateId(msg_id, tagged_msg_, next_msg_id_);
   Append(std::move(r));
+}
+
+void TraceSink::RecordEvent(Kernel& kernel, TraceOp op, std::string_view proto_name,
+                            SimTime t, uint64_t call, const Message* msg, Session* sess,
+                            uint64_t detail, StatusCode status) {
+  Record r;
+  r.kind = Record::Kind::kEvent;
+  r.host = InternName(kernel.host_name());
+  r.proto = InternName(std::string(proto_name));
+  r.op = op;
+  r.t0 = t;
+  r.call = call;
+  r.msg = MessageTraceId(msg);
+  r.sess = SessionTraceId(sess);
+  r.len = detail;
+  r.status = status;
+  Append(std::move(r));
+}
+
+void TraceSink::InheritTraceId(const Message& msg, uint64_t id) {
+  if (msg.trace_id_ == 0 && id != 0) {
+    msg.trace_id_ = id;
+  }
 }
 
 void TraceSink::RecordLog(const Kernel& kernel, int level, std::string_view text) {
@@ -233,6 +290,19 @@ std::string TraceSink::ToJsonl() const {
         JsonAppendField(out, "len", r.len);
         JsonAppendField(out, "qd", r.qdepth);
         JsonAppendField(out, "qw", r.qwait);
+        JsonAppendField(out, "msg", r.msg);
+        break;
+      case Record::Kind::kEvent:
+        out += "{\"k\":\"ev\"";
+        JsonAppendField(out, "host", names_[r.host]);
+        JsonAppendField(out, "proto", names_[r.proto]);
+        JsonAppendField(out, "op", TraceOpName(r.op));
+        JsonAppendField(out, "t", r.t0);
+        JsonAppendField(out, "call", r.call);
+        JsonAppendField(out, "msg", r.msg);
+        JsonAppendField(out, "sess", r.sess);
+        JsonAppendField(out, "detail", r.len);
+        JsonAppendField(out, "status", StatusCodeName(r.status));
         break;
       case Record::Kind::kLog:
         out += "{\"k\":\"log\"";

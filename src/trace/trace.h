@@ -37,13 +37,32 @@ class Message;
 class Protocol;
 class Session;
 
-// The layer crossings the chokepoints record.
+// The layer crossings the chokepoints record, plus the point events
+// (Record::Kind::kEvent) the cluster tier emits so a causal stitcher sees
+// decisions -- retries, reroutes, failover -- instead of inferring them
+// from gaps between spans.
 enum class TraceOp : uint8_t {
   kPush,   // Session::Push (down the stack)
   kPop,    // Session::Pop (up the stack)
   kDemux,  // Protocol::Demux
   kOpen,   // Protocol::Open
   kIntr,   // interrupt shepherd carrying a frame off the wire
+  // --- point events (kEvent records) ---
+  kIssue,       // workload generator issued a call (t = scheduled arrival)
+  kDone,        // call completed at the client (status = outcome)
+  kExec,        // server executed the call body
+  kRetransmit,  // CHANNEL retransmitted the pending request (detail = retry #)
+  kGiveUp,      // CHANNEL exhausted its retry budget
+  kPick,        // VPOOL chose replica `detail` for an open
+  kReroute,     // VPOOL open toward replica `detail` failed; trying the next
+  kReplicaDown,     // VPOOL marked replica `detail` down
+  kReplicaReadmit,  // VPOOL readmitted replica `detail`
+  kEvict,       // idle sweep reclaimed a session
+  kForward,     // IP forwarded a datagram through this router (detail = ttl left)
+  kTtlDrop,     // IP discarded a datagram whose ttl expired
+  kNoRoute,     // IP discarded a datagram with no matching route
+  kCrash,       // host crashed
+  kRestart,     // host restarted (detail = new boot id)
 };
 
 const char* TraceOpName(TraceOp op);
@@ -63,9 +82,13 @@ class TraceSink {
     // tagged trace id, so the master learns ids in *allocation* order (span
     // records are emitted post-order at span end, which is too late -- a
     // serial run numbers ids at span begin). Never appears in output.
-    enum class Kind : uint8_t { kSpan, kWire, kLog, kAlloc };
+    //
+    // kEvent is a zero-duration point annotation (RecordEvent): a cluster-tier
+    // decision stamped with the oracle call id, emitted immediately (in
+    // program order, unlike post-order spans).
+    enum class Kind : uint8_t { kSpan, kWire, kLog, kAlloc, kEvent };
     Kind kind = Kind::kSpan;
-    // span
+    // span + event
     uint32_t host = 0;   // name-table index
     uint32_t proto = 0;  // name-table index
     TraceOp op = TraceOp::kPush;
@@ -73,7 +96,8 @@ class TraceSink {
     uint32_t depth = 0;
     uint64_t sess = 0;
     uint64_t msg = 0;
-    uint64_t len = 0;
+    uint64_t call = 0;  // oracle call id (events; 0 = not bound to a call)
+    uint64_t len = 0;   // events reuse this as `detail`
     SimTime t0 = 0;
     SimTime t1 = 0;
     SimTime incl = 0;
@@ -99,11 +123,28 @@ class TraceSink {
   // `arrival` (tx_end + propagation). `queue_depth` is the number of frames
   // queued behind the bus at acquisition; `queue_wait` is how long this frame
   // waited for the bus (tx_start - ready).
+  // `msg_id` is the trace identity of the message the frame carries (the
+  // EthFrame remembers it host-side; no wire bytes change), so an observer can
+  // tie a bus transmission back to the push/pop spans of the same message.
   void RecordWire(int segment, SimTime tx_start, SimTime tx_end, SimTime arrival,
-                  size_t bytes, uint64_t queue_depth = 0, SimTime queue_wait = 0);
+                  size_t bytes, uint64_t queue_depth = 0, SimTime queue_wait = 0,
+                  uint64_t msg_id = 0);
 
   // A structured log line (the Kernel routes Tracef here when attached).
   void RecordLog(const Kernel& kernel, int level, std::string_view text);
+
+  // A point event: a cluster-tier decision (issue/done/exec, retransmit,
+  // reroute, failover, eviction, forward) bound to the oracle call id that
+  // caused it. `t` is explicit so generators can stamp the scheduled arrival
+  // rather than "now". Zero simulated cost, like every other record.
+  void RecordEvent(Kernel& kernel, TraceOp op, std::string_view proto_name, SimTime t,
+                   uint64_t call, const Message* msg, Session* sess, uint64_t detail,
+                   StatusCode status = StatusCode::kOk);
+
+  // Copies a previously assigned trace id onto a freshly deserialized
+  // message (the receive path's Message::FromBytes), so one logical message
+  // reads as one id across the wire. Charges nothing; pure bookkeeping.
+  static void InheritTraceId(const Message& msg, uint64_t id);
 
   // --- output -----------------------------------------------------------------
   // JSON-lines: one `{"k":"meta",...}` header line, then one line per record
