@@ -384,11 +384,24 @@ Job DatacenterJob(std::string name, DatacenterSpec spec) {
         {"session_flushes", static_cast<double>(r.session_flushes)},
         {"late_replies", static_cast<double>(r.late_replies)},
         {"sum_done_at_ns", static_cast<double>(r.sum_done_at)},
+        {"shed", static_cast<double>(r.shed)},
+        {"rejected", static_cast<double>(r.rejected)},
+        {"budget_exhausted", static_cast<double>(r.budget_exhausted)},
+        {"hedges", static_cast<double>(r.hedges)},
+        {"hedge_cancels", static_cast<double>(r.hedge_cancels)},
+        {"capped_rejects", static_cast<double>(r.capped_rejects)},
+        {"breaker_trips", static_cast<double>(r.breaker_trips)},
         {"oracle_executions", static_cast<double>(r.oracle.executions)},
         {"oracle_double_exec", static_cast<double>(r.oracle.double_executions)},
         {"oracle_cross_boot_reexec",
          static_cast<double>(r.oracle.cross_boot_reexecutions)},
         {"oracle_silent", static_cast<double>(r.oracle.silent)},
+        {"oracle_admitted", static_cast<double>(r.oracle.admitted)},
+        {"oracle_admitted_success_ppm",
+         static_cast<double>(r.oracle.admitted_success_ppm)},
+        {"oracle_hedged", static_cast<double>(r.oracle.hedged)},
+        {"oracle_hedged_duplicate_executions",
+         static_cast<double>(r.oracle.hedged_duplicate_executions)},
     };
     out.events_fired = r.events_fired;
     out.latency_hist = r.rtt;
@@ -636,6 +649,41 @@ std::vector<Job> BuildJobs() {
     }
     crash.faults.Crash("s0", Msec(80), Msec(500));
     jobs.push_back(DatacenterJob("replica-crash-failover", std::move(crash)));
+
+    // The same 400 cps/client overload that collapses sat-overload, with the
+    // overload-control layer on: per-call deadlines propagated in the CHANNEL
+    // header, a client retry budget, server admission control, and per-replica
+    // concurrency caps at the VPOOL. Calls the pool cannot serve in time are
+    // turned away cheaply (BUSY / DEADLINE_EXCEEDED) instead of queueing into
+    // collapse, so goodput holds near the knee and admitted calls still
+    // succeed -- graceful degradation instead of congestion collapse.
+    DatacenterSpec controlled = SaturationSpec(400);
+    controlled.deadline = Msec(30);
+    controlled.retry_ratio_ppm = 100000;  // 0.1 retries per call
+    controlled.retry_burst = 5;
+    controlled.concurrency_cap = 1;
+    controlled.max_inflight = 0;  // echo replicas serve inline; backlog governs
+    controlled.max_backlog = Msec(5);
+    jobs.push_back(DatacenterJob("sat-overload-controlled", std::move(controlled)));
+
+    // Replica crash with hedged requests: after the client's own p99 (seeded
+    // with a 15ms base delay), a second attempt goes to a different replica.
+    // Calls whose primary pick died complete on the hedge instead of waiting
+    // out CHANNEL's full retransmission ladder; the oracle separates the
+    // resulting benign hedged_duplicate_executions from true double
+    // executions, so the run still proves at-most-once per attempt path.
+    DatacenterSpec hedged;
+    hedged.client_segments = 2;
+    hedged.clients_per_segment = 1;
+    hedged.replicas = 3;
+    hedged.readmit_after = Msec(120);
+    if (!ArrivalSpec::Parse("poisson:rate=100,horizon=900ms,seed=17", &hedged.arrivals,
+                            &error)) {
+      std::abort();  // literal spec; unreachable
+    }
+    hedged.faults.Crash("s0", Msec(80), Msec(500));
+    hedged.hedge_delay = Msec(15);
+    jobs.push_back(DatacenterJob("hedged-crash-failover", std::move(hedged)));
   }
   // Connection scale: pooled session storage under growing populations, plus
   // a churn soak whose slab capacity (and RSS) must plateau across cycles.

@@ -180,6 +180,40 @@ grep -q '"oracle_silent": 0' "$obs/dc_custom.json"
 echo "saturation balance, replica-crash failover, and --arrivals= campaigns clean"
 
 echo
+echo "== overload control: graceful degradation at 2.5x the knee =="
+# sat-overload-controlled offers the same 400 cps/client that collapses the
+# uncontrolled sat-overload job, but with deadlines + retry budget + caps +
+# backlog-bounded admission armed it must sustain >= 85% of the knee's
+# goodput, and >= 99% of the calls the system admitted must complete.
+knee_good=$(grep '"name": "sat-knee"' "$obs/r1.json" \
+  | sed -nE 's/.*"goodput_cps": ([0-9.eE+-]+).*/\1/p')
+ctrl_line=$(grep '"name": "sat-overload-controlled"' "$obs/r1.json")
+ctrl_good=$(echo "$ctrl_line" | sed -nE 's/.*"goodput_cps": ([0-9.eE+-]+).*/\1/p')
+awk -v c="$ctrl_good" -v k="$knee_good" 'BEGIN { exit !(k > 0 && c >= 0.85 * k) }' \
+  || { echo "FAIL: controlled goodput ${ctrl_good:-?} cps < 85% of knee ${knee_good:-?}"; \
+       exit 1; }
+adm_ppm=$(echo "$ctrl_line" \
+  | sed -nE 's/.*"oracle_admitted_success_ppm": ([0-9]+).*/\1/p')
+[ "${adm_ppm:-0}" -ge 990000 ] \
+  || { echo "FAIL: admitted-call success ${adm_ppm:-?} ppm < 990000"; exit 1; }
+echo "$ctrl_line" | grep -q '"oracle_double_exec": 0' \
+  || { echo "FAIL: sat-overload-controlled reported double executions"; exit 1; }
+echo "$ctrl_line" | grep -q '"oracle_silent": 0' \
+  || { echo "FAIL: sat-overload-controlled reported silent failures"; exit 1; }
+# Hedged failover across a replica crash: at-most-once must hold even with
+# deliberate duplicate attempts in flight (hedged duplicates are reported as
+# their own class, never as violations).
+hedge_line=$(grep '"name": "hedged-crash-failover"' "$obs/r1.json")
+echo "$hedge_line" | grep -Eq '"hedges": [1-9]' \
+  || { echo "FAIL: hedged-crash-failover never hedged"; exit 1; }
+echo "$hedge_line" | grep -q '"oracle_double_exec": 0' \
+  || { echo "FAIL: hedged-crash-failover reported double executions"; exit 1; }
+echo "$hedge_line" | grep -q '"oracle_silent": 0' \
+  || { echo "FAIL: hedged-crash-failover reported silent failures"; exit 1; }
+echo "controlled goodput ${ctrl_good} cps (knee ${knee_good})," \
+     "admitted success ${adm_ppm} ppm, hedged failover oracle-clean"
+
+echo
 echo "== session scale: churn soak evicts everything and RSS plateaus =="
 # Three open -> drain cycles of 20k sessions each. The sweep timer must
 # reclaim every session (live_after = 0, evictions > 0) and the resident set

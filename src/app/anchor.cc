@@ -1,5 +1,7 @@
 #include "src/app/anchor.h"
 
+#include "src/trace/trace.h"
+
 namespace xk {
 
 // ---------------------------------------------------------------------------
@@ -152,14 +154,47 @@ Status RpcServer::DoDemux(Session* lls, Message& msg) {
   // Service time runs from here to the reply entering the stack; reading the
   // task clock charges nothing, so measured runs stay bit-identical.
   const SimTime service_start = kernel().now();
+  // Deadline-aware shedding: a request that expired while queued (behind the
+  // CPU backlog or the channel semaphore) is answered with a cheap error
+  // reply instead of being charged execution -- the client has already given
+  // up on it, so executing it only steals capacity from live work.
+  if (msg.deadline() != 0 && service_start >= msg.deadline()) {
+    ++deadline_sheds_;
+    if (TraceSink* ts = kernel().trace_sink()) {
+      ts->RecordEvent(kernel(), TraceOp::kShed, name(), service_start, 0, &msg, lls, 0,
+                      StatusCode::kDeadlineExceeded);
+    }
+    Message reply;
+    reply.set_wire_error(static_cast<uint8_t>(StatusCode::kDeadlineExceeded));
+    return lls->Push(reply);
+  }
+  // Admission control: when the delayed-service window is full, or this task
+  // is running `max_backlog_` behind its arrival event (the CPU run queue has
+  // grown past the bound), fast-reject with BUSY before charging app cost or
+  // running the handler. The reply still pays the normal send path -- the
+  // point is to skip the expensive part, not to be free.
+  const SimTime backlog = service_start - kernel().events().now();
+  if ((max_inflight_ != 0 && inflight_ >= max_inflight_) ||
+      (max_backlog_ != 0 && backlog > max_backlog_)) {
+    ++busy_rejects_;
+    if (TraceSink* ts = kernel().trace_sink()) {
+      ts->RecordEvent(kernel(), TraceOp::kReject, name(), service_start, 0, &msg, lls,
+                      static_cast<uint64_t>(backlog), StatusCode::kBusy);
+    }
+    Message reply;
+    reply.set_wire_error(static_cast<uint8_t>(StatusCode::kBusy));
+    return lls->Push(reply);
+  }
   kernel().Charge(app_cost_);
   ++requests_served_;
   if (service_delay_ > 0) {
     // Slow service: reply later, from a fresh task.
     SessionRef reply_to = lls->Ref();
     Message request = msg;
+    ++inflight_;
     kernel().SetTimer(service_delay_,
                       [this, handler, reply_to, request, command, service_start]() mutable {
+                        --inflight_;
                         Message reply = handler(command, request);
                         (void)reply_to->Push(reply);
                         service_time_.Record(kernel().now() - service_start);
@@ -175,6 +210,11 @@ Status RpcServer::DoDemux(Session* lls, Message& msg) {
 Status RpcServer::DoControl(ControlOp op, ControlArgs& args) {
   if (op == ControlOp::kGetMaxSendSize) {
     args.u64 = UINT64_MAX;
+    return OkStatus();
+  }
+  if (op == ControlOp::kSetAdmissionLimit) {
+    set_admission_limit(static_cast<uint32_t>(args.u64 >> 32),
+                        Usec(args.u64 & 0xFFFFFFFF));
     return OkStatus();
   }
   return ErrStatus(StatusCode::kUnsupported);

@@ -97,7 +97,27 @@ class RpcServer : public Protocol {
   void set_service_delay(SimTime t) { service_delay_ = t; }
   void set_app_cost(SimTime t) { app_cost_ = t; }
 
+  // Admission control (also via ControlOp::kSetAdmissionLimit): bounds the
+  // server's run queue. `max_inflight` caps delayed-service requests whose
+  // reply timer is still pending; `max_backlog` caps how far this request's
+  // task clock may be running behind its arrival event (queueing delay plus
+  // the receive path's own processing) before new work is fast-rejected with
+  // a cheap BUSY reply. 0 = unbounded (the default).
+  void set_admission_limit(uint32_t max_inflight, SimTime max_backlog) {
+    max_inflight_ = max_inflight;
+    max_backlog_ = max_backlog;
+  }
+
   uint64_t requests_served() const { return requests_served_; }
+  uint64_t busy_rejects() const { return busy_rejects_; }
+  uint64_t deadline_sheds() const { return deadline_sheds_; }
+
+  void ExportCounters(const CounterEmit& emit) const override {
+    Protocol::ExportCounters(emit);
+    emit("requests_served", requests_served_);
+    emit("busy_rejects", busy_rejects_);
+    emit("deadline_sheds", deadline_sheds_);
+  }
 
   // Per-request service time: from the request reaching this server protocol
   // to the reply being handed back down the stack (includes app cost, any
@@ -116,6 +136,11 @@ class RpcServer : public Protocol {
   SimTime service_delay_ = 0;
   SimTime app_cost_ = Usec(45);
   uint64_t requests_served_ = 0;
+  uint32_t max_inflight_ = 0;   // delayed-service requests in flight (0 = off)
+  SimTime max_backlog_ = 0;     // run-queue delay bound (0 = off)
+  uint64_t inflight_ = 0;
+  uint64_t busy_rejects_ = 0;
+  uint64_t deadline_sheds_ = 0;
   Histogram service_time_;
 };
 

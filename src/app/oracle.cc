@@ -40,7 +40,7 @@ RpcServer::Handler AmoOracle::WrapEcho(Kernel* server_kernel) {
     const uint64_t id = ExtractId(request);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      calls_[id].executed_boots.push_back(server_kernel->boot_id());
+      calls_[id].executed.emplace_back(server_kernel, server_kernel->boot_id());
     }
     if (TraceSink* ts = server_kernel->trace_sink()) {
       // Bind the server-side execution to the oracle call id; the echoed
@@ -59,12 +59,18 @@ void AmoOracle::RecordIssued(uint64_t id, SimTime at) {
   calls_[id].issued = true;
 }
 
+void AmoOracle::RecordHedged(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  calls_[id].hedged = true;
+}
+
 void AmoOracle::RecordOutcome(uint64_t id, const Result<Message>& r, SimTime at) {
   (void)at;
   std::lock_guard<std::mutex> lock(mu_);
   CallRecord& rec = calls_[id];
   if (!r.ok()) {
     rec.failed = true;
+    rec.fail_code = r.status().code();
     return;
   }
   rec.completed = true;
@@ -104,23 +110,61 @@ AmoOracle::Report AmoOracle::Finish() const {
       ++rep.completed;
     } else if (rec.failed) {
       ++rep.failed;
+      switch (rec.fail_code) {
+        case StatusCode::kDeadlineExceeded:
+          ++rep.shed;
+          break;
+        case StatusCode::kBusy:
+          ++rep.rejected;
+          break;
+        case StatusCode::kResourceExhausted:
+          ++rep.budget_exhausted;
+          break;
+        default:
+          break;
+      }
     } else if (rec.issued) {
       ++rep.silent;
     }
     if (rec.mismatched) {
       ++rep.mismatched_replies;
     }
-    rep.executions += rec.executed_boots.size();
-    // Same boot twice = at-most-once violation; a new boot re-executing is
-    // the (reported) consequence of losing the duplicate filter in a crash.
-    for (size_t i = 1; i < rec.executed_boots.size(); ++i) {
-      if (rec.executed_boots[i] == rec.executed_boots[i - 1]) {
-        ++rep.double_executions;
+    if (rec.hedged) {
+      ++rep.hedged;
+    }
+    rep.executions += rec.executed.size();
+    // Per host: the same boot twice = at-most-once violation; a new boot
+    // re-executing is the (reported) consequence of losing the duplicate
+    // filter in a crash. Across hosts: only a hedged id may legitimately run
+    // on more than one replica (the intended race); unhedged cross-host
+    // duplication is a violation. Counts are order-independent, so the
+    // pointer-keyed grouping stays deterministic.
+    std::map<const Kernel*, std::vector<uint32_t>> per_host;
+    for (const auto& [host, boot] : rec.executed) {
+      per_host[host].push_back(boot);
+    }
+    for (const auto& [host, boots] : per_host) {
+      (void)host;
+      for (size_t i = 1; i < boots.size(); ++i) {
+        if (boots[i] == boots[i - 1]) {
+          ++rep.double_executions;
+        } else {
+          ++rep.cross_boot_reexecutions;
+        }
+      }
+    }
+    if (per_host.size() > 1) {
+      if (rec.hedged) {
+        rep.hedged_duplicate_executions += per_host.size() - 1;
       } else {
-        ++rep.cross_boot_reexecutions;
+        rep.double_executions += per_host.size() - 1;
       }
     }
   }
+  const uint64_t not_admitted = rep.shed + rep.rejected;
+  rep.admitted = rep.issued > not_admitted ? rep.issued - not_admitted : 0;
+  rep.admitted_success_ppm =
+      rep.admitted == 0 ? 1000000 : rep.completed * 1000000 / rep.admitted;
   return rep;
 }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/app/anchor.h"
@@ -57,6 +58,12 @@ class AmoOracle {
   void RecordIssued(uint64_t id, SimTime at);
   void RecordOutcome(uint64_t id, const Result<Message>& r, SimTime at);
 
+  // Client side: a hedged second attempt went out for `id`. A hedged id
+  // executing on TWO DIFFERENT hosts is the intended race, reported in
+  // hedged_duplicate_executions instead of flagged; the same id twice on one
+  // host in one boot stays a violation.
+  void RecordHedged(uint64_t id);
+
   struct Report {
     uint64_t issued = 0;
     uint64_t completed = 0;
@@ -67,6 +74,17 @@ class AmoOracle {
     uint64_t mismatched_replies = 0;  // reply does not echo its request: violation
     uint64_t unknown_replies = 0;     // reply id never issued: violation
     uint64_t silent = 0;              // issued, no outcome ever: violation
+    // Overload-control outcome classes (each also counted in `failed`):
+    uint64_t shed = 0;              // DEADLINE_EXCEEDED: expired client- or server-side
+    uint64_t rejected = 0;          // BUSY: admission control / caps fast-rejected
+    uint64_t budget_exhausted = 0;  // RESOURCE_EXHAUSTED: retry budget drained
+    // Calls the system accepted for execution (issued - shed - rejected) and
+    // how many of those completed, per million -- the graceful-degradation
+    // headline: under overload this should stay ~1e6 while shed/rejected grow.
+    uint64_t admitted = 0;
+    uint64_t admitted_success_ppm = 0;
+    uint64_t hedged = 0;  // ids that issued a second attempt
+    uint64_t hedged_duplicate_executions = 0;  // hedged id ran on 2 hosts: reported
 
     // True iff at-most-once semantics held and no failure was silent.
     bool clean() const {
@@ -85,7 +103,11 @@ class AmoOracle {
     bool completed = false;
     bool failed = false;
     bool mismatched = false;
-    std::vector<uint32_t> executed_boots;  // boot id at each execution
+    bool hedged = false;
+    StatusCode fail_code = StatusCode::kOk;  // classifies `failed`
+    // (host, boot id) at each execution; the host lets a hedged id's
+    // two-replica race be told apart from a same-server duplicate.
+    std::vector<std::pair<const Kernel*, uint32_t>> executed;
   };
 
   mutable std::mutex mu_;

@@ -266,6 +266,9 @@ void OpenLoopGen::IssueAt(SimTime at) {
   ++phases_[static_cast<size_t>(phase)].issued;
   oracle_.RecordIssued(id, at);
   Message request = AmoOracle::MakeRequest(id, payload_bytes_);
+  if (deadline_ > 0) {
+    request.set_deadline(at + deadline_);
+  }
   if (TraceSink* ts = kernel_.trace_sink()) {
     // Stamp the scheduled arrival (not "now") so a causal stitcher's
     // reconstructed RTT matches the histogram's done_at - at exactly, and
@@ -289,6 +292,19 @@ void OpenLoopGen::IssueAt(SimTime at) {
                  } else {
                    ++failed_;
                    ++phases_[static_cast<size_t>(phase)].failed;
+                   switch (r.status().code()) {
+                     case StatusCode::kDeadlineExceeded:
+                       ++shed_;
+                       break;
+                     case StatusCode::kBusy:
+                       ++rejected_;
+                       break;
+                     case StatusCode::kResourceExhausted:
+                       ++budget_exhausted_;
+                       break;
+                     default:
+                       break;
+                   }
                  }
                });
 

@@ -69,6 +69,11 @@ class OpenLoopGen {
     phase_until_ = until;
   }
 
+  // Per-call deadline, relative to the arrival time: every request is stamped
+  // with absolute deadline `at + d`, which CHANNEL propagates on the wire so
+  // both ends shed expired work. 0 = no deadlines (the default).
+  void set_deadline(SimTime d) { deadline_ = d; }
+
   struct PhaseStats {
     uint64_t issued = 0;
     uint64_t completed = 0;
@@ -78,6 +83,10 @@ class OpenLoopGen {
   uint64_t issued() const { return issued_; }
   uint64_t completed() const { return completed_; }
   uint64_t failed() const { return failed_; }
+  // Failure classes (each also counted in failed()).
+  uint64_t shed() const { return shed_; }
+  uint64_t rejected() const { return rejected_; }
+  uint64_t budget_exhausted() const { return budget_exhausted_; }
   const Histogram& rtt() const { return rtt_; }
   SimTime last_done_at() const { return last_done_at_; }
   // 0 = before the phase window, 1 = inside, 2 = after.
@@ -102,10 +111,14 @@ class OpenLoopGen {
   Rng rng_;
   SimTime phase_from_ = 0;
   SimTime phase_until_ = 0;
+  SimTime deadline_ = 0;
   uint64_t seq_ = 0;
   uint64_t issued_ = 0;
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t budget_exhausted_ = 0;
   Histogram rtt_;
   SimTime last_done_at_ = 0;
   PhaseStats phases_[3];

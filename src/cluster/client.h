@@ -7,11 +7,20 @@
 // replies by the 8-byte big-endian call id at the head of every oracle-format
 // request/reply (AmoOracle::MakeRequest layout) instead of by queue position.
 //
-// Errors carry no reply bytes, so an asynchronous SessionError completes the
-// OLDEST (smallest-id) outstanding call -- CHANNEL surfaces errors per call in
-// issue order. A reply for an id that already failed that way is counted in
-// `late_replies` and dropped; at-most-once stays observable because failure
-// outcomes need no echo match.
+// Errors: the SessionCallError upcall carries the failing request, whose
+// first 8 bytes are the call id, so failures complete the exact call that
+// died even when rejects arrive out of issue order. A legacy SessionError
+// (no request) falls back to completing the oldest outstanding id. A reply
+// for an id that already failed is counted in `late_replies` and dropped;
+// at-most-once stays observable because failure outcomes need no echo match.
+//
+// Hedged requests (set_hedge_delay): when the primary attempt has not settled
+// after the hedge delay -- the client's own observed p99 RTT once it has
+// enough samples, the configured base until then -- a second attempt is
+// pushed toward a DIFFERENT replica (one-shot kSetAvoidReplica on the pool
+// below) and the first reply wins. A primary reply arriving before the timer
+// fires cancels the hedge outright; the call fails only when every attempt
+// has failed.
 
 #ifndef XK_SRC_CLUSTER_CLIENT_H_
 #define XK_SRC_CLUSTER_CLIENT_H_
@@ -43,28 +52,60 @@ class ClusterClient : public Protocol {
   void set_app_cost(SimTime t) { app_cost_ = t; }
   void set_max_send_size(uint64_t n) { max_send_size_ = n; }
 
+  // Enables hedging with `base` as the delay until 64 RTT samples exist
+  // (then the client's own p99 takes over). 0 = off (the default).
+  void set_hedge_delay(SimTime base) { hedge_base_delay_ = base; }
+
+  // Observer for hedged call ids; the bench wires this to the oracle so a
+  // hedged id executing on two replicas is reported, not flagged.
+  void set_hedge_notify(std::function<void(uint64_t)> f) { hedge_notify_ = std::move(f); }
+
   uint64_t calls_completed() const { return calls_completed_; }
   uint64_t calls_failed() const { return calls_failed_; }
   uint64_t late_replies() const { return late_replies_; }
+  uint64_t hedges() const { return hedges_; }
+  uint64_t hedge_cancels() const { return hedge_cancels_; }
+  const Histogram& rtt_histogram() const { return rtt_; }
 
   void ExportCounters(const CounterEmit& emit) const override;
   void ExportGauges(const CounterEmit& emit) const override;
   void SessionError(Session& lls, Status error) override;
+  void SessionCallError(Session& lls, Status error, const Message* request) override;
 
  protected:
   Status DoDemux(Session* lls, Message& msg) override;
   Status DoControl(ControlOp op, ControlArgs& args) override;
 
  private:
+  // RTT samples before the hedge delay switches from the base to own-p99.
+  static constexpr uint64_t kHedgeMinSamples = 64;
+
+  struct PendingCall {
+    RpcDone done;
+    SimTime issued_at = 0;
+    int attempts = 1;       // pushes in flight for this id
+    int primary_pick = -1;  // replica the first attempt rode (hedge avoids it)
+    bool hedged = false;    // the second attempt actually went out
+    EventHandle hedge_timer;
+    Message args;  // retained only while hedging is enabled
+  };
+
+  void FireHedge(Session* sess, uint64_t id);
+
   Protocol* rpc_;
   SimTime app_cost_ = Usec(45);
   uint64_t max_send_size_ = UINT64_MAX;
+  SimTime hedge_base_delay_ = 0;
+  std::function<void(uint64_t)> hedge_notify_;
   std::map<std::pair<IpAddr, uint16_t>, SessionRef> session_cache_;
   // Ordered by id within each session, so "oldest outstanding" = begin().
-  std::map<Session*, std::map<uint64_t, RpcDone>> outstanding_;
+  std::map<Session*, std::map<uint64_t, PendingCall>> outstanding_;
+  Histogram rtt_;
   uint64_t calls_completed_ = 0;
   uint64_t calls_failed_ = 0;
   uint64_t late_replies_ = 0;
+  uint64_t hedges_ = 0;
+  uint64_t hedge_cancels_ = 0;
 };
 
 }  // namespace xk

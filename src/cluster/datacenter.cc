@@ -102,6 +102,7 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
     h.kernel->RunTask(net.events().now(), [&] {
       auto& server = h.kernel->Emplace<RpcServer>(*h.kernel, stack.top);
       server.set_service_delay(spec.service_delay);
+      server.set_admission_limit(spec.max_inflight, spec.max_backlog);
       (void)server.Export(kEchoCommand, oracle.WrapEcho(h.kernel));
       arm_idle(stack);
     });
@@ -109,6 +110,7 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
       RpcStack rebuilt = BuildLRpc(fresh, Delivery::kVip);
       auto& server = fresh.kernel->Emplace<RpcServer>(*fresh.kernel, rebuilt.top);
       server.set_service_delay(spec.service_delay);
+      server.set_admission_limit(spec.max_inflight, spec.max_backlog);
       (void)server.Export(kEchoCommand, oracle.WrapEcho(fresh.kernel));
       arm_idle(rebuilt);
     });
@@ -122,7 +124,19 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
       node.vpool = &k->Emplace<VpoolProtocol>(*k, node.stack.top);
       node.vpool->BindService(kVip, replica_ips, spec.policy, spec.weights);
       node.vpool->set_readmit_after(spec.readmit_after);
+      node.vpool->set_concurrency_cap(spec.concurrency_cap);
+      node.vpool->set_breaker(spec.breaker_min_volume, spec.breaker_trip_ppm);
       node.client = &k->Emplace<ClusterClient>(*k, node.vpool);
+      if (spec.hedge_delay > 0) {
+        node.client->set_hedge_delay(spec.hedge_delay);
+        node.client->set_hedge_notify([&oracle](uint64_t id) { oracle.RecordHedged(id); });
+      }
+      if (spec.retry_ratio_ppm > 0 && node.stack.channel != nullptr) {
+        ControlArgs budget;
+        budget.u64 = (static_cast<uint64_t>(spec.retry_burst) << 32) |
+                     static_cast<uint64_t>(spec.retry_ratio_ppm);
+        (void)node.stack.channel->Control(ControlOp::kSetRetryBudget, budget);
+      }
       if (spec.idle_timeout != 0) {
         ControlArgs args;
         args.u64 = static_cast<uint64_t>(spec.idle_timeout);
@@ -158,6 +172,7 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
     if (restart_at > crash_at) {
       node.gen->set_phase_window(crash_at, restart_at);
     }
+    node.gen->set_deadline(spec.deadline);
     node.gen->Start();
     ++idx;
   }
@@ -185,6 +200,13 @@ DatacenterResult MeasureDatacenter(const DatacenterSpec& spec) {
     out.all_down_failures += node.vpool->all_down_failures();
     out.session_flushes += node.vpool->session_flushes();
     out.late_replies += node.client->late_replies();
+    out.shed += node.gen->shed();
+    out.rejected += node.gen->rejected();
+    out.budget_exhausted += node.gen->budget_exhausted();
+    out.hedges += node.client->hedges();
+    out.hedge_cancels += node.client->hedge_cancels();
+    out.capped_rejects += node.vpool->capped_rejects();
+    out.breaker_trips += node.vpool->breaker_trips();
     out.idle_evictions += node.vpool->idle_evictions();
     if (node.stack.select != nullptr) {
       out.idle_evictions += node.stack.select->idle_evictions();

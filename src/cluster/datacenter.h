@@ -42,6 +42,17 @@ struct DatacenterSpec {
   SimTime restart_at = 0;      //   (0,0 = no window; normally from the plan)
   int engine_threads = 0;      // 0 = thread default
   uint64_t seed = 1;
+
+  // --- overload control (all default-off: 0 disables each mechanism) ---
+  SimTime deadline = 0;          // per-call deadline, stamped by the generators
+  uint32_t retry_ratio_ppm = 0;  // CHANNEL retry budget: retries per call, ppm
+  uint32_t retry_burst = 0;      //   token-bucket burst, in calls' worth
+  uint32_t max_inflight = 0;     // replica admission: delayed-service window
+  SimTime max_backlog = 0;       // replica admission: run-queue delay bound
+  uint32_t concurrency_cap = 0;  // VPOOL per-replica outstanding cap
+  uint32_t breaker_min_volume = 0;  // VPOOL breaker: window volume to judge at
+  uint32_t breaker_trip_ppm = 0;    //   bad-outcome ratio that trips it
+  SimTime hedge_delay = 0;       // ClusterClient hedging base delay
 };
 
 struct DatacenterResult {
@@ -71,6 +82,15 @@ struct DatacenterResult {
   // Idle evictions summed over the client-side stacks (VPOOL + SELECT +
   // CHANNEL + VIP); 0 unless spec.idle_timeout was set.
   uint64_t idle_evictions = 0;
+
+  // Overload-control aggregates (all 0 with the mechanisms off).
+  uint64_t shed = 0;              // calls failed DEADLINE_EXCEEDED
+  uint64_t rejected = 0;          // calls failed BUSY
+  uint64_t budget_exhausted = 0;  // calls failed RESOURCE_EXHAUSTED
+  uint64_t hedges = 0;            // hedged second attempts issued
+  uint64_t hedge_cancels = 0;     // hedges cancelled by a fast primary
+  uint64_t capped_rejects = 0;    // VPOOL pushes failed with all replicas capped
+  uint64_t breaker_trips = 0;     // VPOOL circuit-breaker trips
 
   // Failover timeline (issue-time attribution against [crash_at, restart_at)).
   struct Phase {

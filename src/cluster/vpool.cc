@@ -60,7 +60,13 @@ void VpoolProtocol::BindService(IpAddr vip, std::vector<IpAddr> replicas, VpoolP
   std::sort(ring_.begin(), ring_.end());
 }
 
-int VpoolProtocol::PickUp(uint64_t affinity_key) {
+bool VpoolProtocol::Pickable(size_t idx, int avoid) const {
+  const Replica& r = replicas_[idx];
+  return r.up && static_cast<int>(idx) != avoid &&
+         (concurrency_cap_ == 0 || r.outstanding < concurrency_cap_);
+}
+
+int VpoolProtocol::PickUp(uint64_t affinity_key, int avoid) {
   const size_t n = replicas_.size();
   if (n == 0) {
     return -1;
@@ -69,7 +75,7 @@ int VpoolProtocol::PickUp(uint64_t affinity_key) {
     case VpoolPolicy::kRoundRobin: {
       for (size_t tried = 0; tried < n; ++tried) {
         const size_t idx = rr_next_++ % n;
-        if (replicas_[idx].up) {
+        if (Pickable(idx, avoid)) {
           return static_cast<int>(idx);
         }
       }
@@ -82,7 +88,7 @@ int VpoolProtocol::PickUp(uint64_t affinity_key) {
       int best = -1;
       for (size_t i = 0; i < n; ++i) {
         Replica& r = replicas_[i];
-        if (!r.up) {
+        if (!Pickable(i, avoid)) {
           continue;
         }
         r.wrr_current += r.weight;
@@ -100,7 +106,7 @@ int VpoolProtocol::PickUp(uint64_t affinity_key) {
       int best = -1;
       for (size_t i = 0; i < n; ++i) {
         const Replica& r = replicas_[i];
-        if (!r.up) {
+        if (!Pickable(i, avoid)) {
           continue;
         }
         if (best < 0 || r.outstanding < replicas_[static_cast<size_t>(best)].outstanding) {
@@ -115,13 +121,14 @@ int VpoolProtocol::PickUp(uint64_t affinity_key) {
       }
       const uint64_t h = MixBits(affinity_key);
       auto it = std::lower_bound(ring_.begin(), ring_.end(), std::make_pair(h, -1));
-      // Walk clockwise from the first point at or after h until an up replica
-      // owns the point; a down replica's arcs fall to its ring successors.
+      // Walk clockwise from the first point at or after h until a pickable
+      // replica owns the point; a down (or capped, or avoided) replica's arcs
+      // fall to its ring successors.
       for (size_t tried = 0; tried < ring_.size(); ++tried) {
         if (it == ring_.end()) {
           it = ring_.begin();
         }
-        if (replicas_[static_cast<size_t>(it->second)].up) {
+        if (Pickable(static_cast<size_t>(it->second), avoid)) {
           return it->second;
         }
         ++it;
@@ -130,6 +137,26 @@ int VpoolProtocol::PickUp(uint64_t affinity_key) {
     }
   }
   return -1;
+}
+
+void VpoolProtocol::RecordOutcome(int idx, bool bad) {
+  if (breaker_min_volume_ == 0) {
+    return;  // breaker off: don't grow windows nobody reads
+  }
+  Replica& r = replicas_[static_cast<size_t>(idx)];
+  ++r.window_calls;
+  if (bad) {
+    ++r.window_bad;
+  }
+  if (r.window_calls >= breaker_min_volume_ &&
+      r.window_bad * 1000000 >= static_cast<uint64_t>(breaker_trip_ppm_) * r.window_calls) {
+    ++breaker_trips_;
+    r.window_calls = 0;
+    r.window_bad = 0;
+    // MarkDown's readmit probation doubles as the probe-before-readmit path:
+    // the first call after probation either heals the window or re-trips.
+    MarkDown(idx);
+  }
 }
 
 void VpoolProtocol::MarkDown(int idx) {
@@ -156,6 +183,8 @@ void VpoolProtocol::Readmit(int idx) {
   }
   r.up = true;
   r.wrr_current = 0;
+  r.window_calls = 0;
+  r.window_bad = 0;
   ++readmits_;
   if (TraceSink* ts = kernel().trace_sink()) {
     ts->RecordEvent(kernel(), TraceOp::kReplicaReadmit, name(), kernel().now(), 0, nullptr,
@@ -206,11 +235,16 @@ Status VpoolProtocol::DoDemux(Session* lls, Message& msg) {
     if (iit != lls_inflight_.end() && iit->second > 0) {
       --iit->second;
     }
+    RecordOutcome(rit->second, /*bad=*/false);
   }
   return sess->Pop(msg, lls);
 }
 
 void VpoolProtocol::SessionError(Session& lls, Status error) {
+  SessionCallError(lls, error, nullptr);
+}
+
+void VpoolProtocol::SessionCallError(Session& lls, Status error, const Message* request) {
   SessionRef sess = by_lls_.Peek(&lls);
   if (sess == nullptr) {
     return;
@@ -226,12 +260,22 @@ void VpoolProtocol::SessionError(Session& lls, Status error) {
     if (iit != lls_inflight_.end() && iit->second > 0) {
       --iit->second;
     }
-    // An asynchronous call failure is how a crashed replica manifests here
-    // (CHANNEL exhausted its retransmissions): stop routing to it.
-    MarkDown(rit->second);
+    const StatusCode code = error.code();
+    if (code == StatusCode::kBusy || code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kResourceExhausted) {
+      // Overload rejects are a load signal, not proof of death: feed the
+      // breaker and keep routing until the bad ratio actually trips it.
+      RecordOutcome(rit->second, /*bad=*/true);
+    } else {
+      // An asynchronous hard failure is how a crashed replica manifests here
+      // (CHANNEL exhausted its retransmissions): stop routing to it.
+      MarkDown(rit->second);
+    }
   }
   if (sess->hlp() != nullptr) {
-    sess->hlp()->SessionError(*sess, error);
+    // Headerless layer: the failing request passes up unchanged, so the
+    // client above can identify WHICH call died (not just "the oldest").
+    sess->hlp()->SessionCallError(*sess, error, request);
   }
 }
 
@@ -243,6 +287,23 @@ Status VpoolProtocol::DoControl(ControlOp op, ControlArgs& args) {
         up += r.up ? 1 : 0;
       }
       args.u64 = up;
+      return OkStatus();
+    }
+    case ControlOp::kSetConcurrencyCap: {
+      set_concurrency_cap(static_cast<uint32_t>(args.u64));
+      return OkStatus();
+    }
+    case ControlOp::kSetBreaker: {
+      set_breaker(static_cast<uint32_t>(args.u64 >> 32),
+                  static_cast<uint32_t>(args.u64 & 0xFFFFFFFF));
+      return OkStatus();
+    }
+    case ControlOp::kSetAvoidReplica: {
+      avoid_once_ = static_cast<int>(static_cast<int64_t>(args.u64));
+      return OkStatus();
+    }
+    case ControlOp::kGetLastPick: {
+      args.u64 = static_cast<uint64_t>(static_cast<int64_t>(last_pick_));
       return OkStatus();
     }
     default: {
@@ -313,6 +374,8 @@ void VpoolProtocol::ExportCounters(const CounterEmit& emit) const {
   emit("all_down_failures", all_down_failures_);
   emit("session_flushes", session_flushes_);
   emit("flush_skipped_busy", flush_skipped_busy_);
+  emit("capped_rejects", capped_rejects_);
+  emit("breaker_trips", breaker_trips_);
   for (size_t i = 0; i < replicas_.size(); ++i) {
     const std::string prefix = "r" + std::to_string(i);
     emit(prefix + "_calls", replicas_[i].calls);
@@ -368,8 +431,12 @@ Status VpoolSession::DoPush(Message& msg) {
   // header, no copy; the message rides the chosen lower session unchanged.
   kernel().Charge(Usec(2));
   const size_t n = pool_.replicas_.size();
+  // One-shot exclusion (kSetAvoidReplica): consumed by this push whether or
+  // not the pick succeeds -- the hedger arms it immediately before pushing.
+  const int avoid = pool_.avoid_once_;
+  pool_.avoid_once_ = -1;
   for (size_t attempt = 0; attempt < n; ++attempt) {
-    const int idx = pool_.PickUp(affinity_key_);
+    const int idx = pool_.PickUp(affinity_key_, avoid);
     if (idx < 0) {
       break;
     }
@@ -395,6 +462,7 @@ Status VpoolSession::DoPush(Message& msg) {
     }
     ++r.calls;
     ++r.outstanding;
+    pool_.last_pick_ = idx;
     ++pool_.lls_inflight_[lower->get()];
     Status s = (*lower)->Push(msg);
     if (!s.ok()) {
@@ -410,6 +478,21 @@ Status VpoolSession::DoPush(Message& msg) {
       ++r.errors;
     }
     return s;
+  }
+  // Nothing pickable. Distinguish brownout from blackout: if some replica is
+  // still up, the pick failed on caps (or the hedge exclusion) -- fail fast
+  // with BUSY so the caller sheds instead of retrying a dead address.
+  bool any_up = false;
+  for (const VpoolProtocol::Replica& r : pool_.replicas_) {
+    any_up = any_up || r.up;
+  }
+  if (any_up) {
+    ++pool_.capped_rejects_;
+    if (TraceSink* ts = kernel().trace_sink()) {
+      ts->RecordEvent(kernel(), TraceOp::kReject, pool_.name(), kernel().now(), 0, &msg,
+                      this, 0, StatusCode::kBusy);
+    }
+    return ErrStatus(StatusCode::kBusy);
   }
   ++pool_.all_down_failures_;
   return ErrStatus(StatusCode::kUnreachable);

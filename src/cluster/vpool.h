@@ -86,6 +86,24 @@ class VpoolProtocol final : public Protocol {
   // Probation delay before a down replica is tried again (0 = never readmit).
   void set_readmit_after(SimTime t) { readmit_after_ = t; }
 
+  // Brownout cap (also ControlOp::kSetConcurrencyCap): a replica with this
+  // many calls outstanding is skipped by every policy; when every up replica
+  // is at its cap the push fails fast with BUSY -- client-side load shedding
+  // before any wire traffic. 0 = uncapped (the default).
+  void set_concurrency_cap(uint32_t cap) { concurrency_cap_ = cap; }
+
+  // Circuit breaker (also ControlOp::kSetBreaker): once a replica has seen
+  // `min_volume` outcomes since its window last reset, a bad-outcome ratio at
+  // or above `trip_ppm` trips the breaker -- the replica is marked down and
+  // the existing readmit probation doubles as the probe-before-readmit path.
+  // Overload signals (BUSY, DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED) feed the
+  // breaker; hard failures (timeout, unreachable) still mark down at once.
+  // min_volume 0 = breaker off (the default).
+  void set_breaker(uint32_t min_volume, uint32_t trip_ppm) {
+    breaker_min_volume_ = min_volume;
+    breaker_trip_ppm_ = trip_ppm;
+  }
+
   IpAddr service_addr() const { return vip_; }
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
   bool replica_up(int i) const { return replicas_[static_cast<size_t>(i)].up; }
@@ -99,11 +117,14 @@ class VpoolProtocol final : public Protocol {
   uint64_t rerouted_opens() const { return rerouted_opens_; }
   uint64_t all_down_failures() const { return all_down_failures_; }
   uint64_t session_flushes() const { return session_flushes_; }
+  uint64_t capped_rejects() const { return capped_rejects_; }
+  uint64_t breaker_trips() const { return breaker_trips_; }
 
   // Live VpoolSessions (slab-pooled).
   size_t live_sessions() const { return sessions_.live(); }
 
   void SessionError(Session& lls, Status error) override;
+  void SessionCallError(Session& lls, Status error, const Message* request) override;
   void ExportCounters(const CounterEmit& emit) const override;
   void ExportGauges(const CounterEmit& emit) const override;
 
@@ -124,13 +145,22 @@ class VpoolProtocol final : public Protocol {
     uint64_t calls = 0;       // calls routed here (client-side ground truth)
     uint64_t errors = 0;      // open failures + asynchronous call errors
     uint64_t outstanding = 0; // in flight now (least-outstanding input)
+    uint64_t window_calls = 0;  // breaker window: outcomes since last reset
+    uint64_t window_bad = 0;    // breaker window: overload outcomes
     EventHandle readmit_timer;
   };
 
-  // Picks an up replica per the bound policy; -1 when every replica is down.
-  int PickUp(uint64_t affinity_key);
+  // Picks a pickable replica per the bound policy; -1 when none qualifies.
+  // `avoid` (a replica index, -1 = none) is excluded -- the hedging path uses
+  // it to force the second attempt onto a different backend.
+  int PickUp(uint64_t affinity_key, int avoid = -1);
+  // Up, not the avoided index, and under the concurrency cap.
+  bool Pickable(size_t idx, int avoid) const;
   void MarkDown(int idx);
   void Readmit(int idx);
+  // Feeds one call outcome into the breaker window; trips it when the bad
+  // ratio crosses the threshold at sufficient volume.
+  void RecordOutcome(int idx, bool bad);
 
   // Drops `vs`'s cached lower sessions that have nothing in flight (the
   // kFlushSessions body; idle eviction reuses it). Returns sessions dropped.
@@ -144,6 +174,13 @@ class VpoolProtocol final : public Protocol {
   // Consistent-hash ring: kVnodesPerReplica points per replica, sorted.
   std::vector<std::pair<uint64_t, int>> ring_;
   size_t rr_next_ = 0;
+  uint32_t concurrency_cap_ = 0;     // per-replica outstanding bound (0 = off)
+  uint32_t breaker_min_volume_ = 0;  // outcomes before the breaker may trip
+  uint32_t breaker_trip_ppm_ = 0;    // bad-outcome ratio that trips it
+  int avoid_once_ = -1;              // one-shot exclusion (kSetAvoidReplica)
+  int last_pick_ = -1;               // most recent successful pick (kGetLastPick)
+  uint64_t capped_rejects_ = 0;      // pushes failed BUSY with all up replicas capped
+  uint64_t breaker_trips_ = 0;
   uint64_t down_marks_ = 0;
   uint64_t readmits_ = 0;
   uint64_t rerouted_opens_ = 0;     // picks abandoned because the open failed

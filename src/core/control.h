@@ -58,6 +58,23 @@ enum class ControlOp : uint8_t {
   kFlushSessions,      // drop idle cached lower sessions (connection churn);
                        // out u64: sessions actually dropped
 
+  // --- overload control --------------------------------------------------------
+  kSetRetryBudget,     // in u64: packed burst<<32 | retry_ratio_ppm. Installs a
+                       // per-stack retransmit token bucket on CHANNEL (0 ppm =
+                       // disabled, the default). See README "Overload control".
+  kGetRetryBudgetTokens,  // out u64: current bucket level in ppm (stats)
+  kSetAdmissionLimit,  // in u64: packed max_inflight<<32 | max_backlog_us.
+                       // Bounds the RpcServer run queue; 0/0 = unbounded.
+  kSetConcurrencyCap,  // in u64: VPOOL per-replica outstanding-call cap
+                       // (0 = uncapped, the default)
+  kSetBreaker,         // in u64: packed min_volume<<32 | trip_ratio_ppm.
+                       // VPOOL circuit breaker: trip a replica whose rejected/
+                       // errored fraction over the window reaches the ratio
+                       // once min_volume outcomes have been observed.
+  kSetAvoidReplica,    // in u64: replica index the NEXT VPOOL pick must avoid
+                       // (one-shot; consumed by the next push). Used by hedging.
+  kGetLastPick,        // out u64: replica index chosen by the most recent push
+
   // --- load spreading (VPOOL) -------------------------------------------------
   kGetReplicasUp,      // out u64: replicas currently considered up
 

@@ -118,6 +118,20 @@ class Message {
   // keep the id, so one logical message reads as one id up and down a stack.
   uint64_t trace_id() const { return trace_id_; }
 
+  // Absolute sim-clock deadline for the call this message belongs to
+  // (0 = none). Host-side metadata copied with the message; CHANNEL
+  // serializes it onto the wire when nonzero (kFlagDeadline) so servers can
+  // shed already-expired requests.
+  SimTime deadline() const { return deadline_; }
+  void set_deadline(SimTime d) { deadline_ = d; }
+
+  // Application-level error a reply carries back through the transport's
+  // header error field (a StatusCode as uint8; 0 = OK). Lets RpcServer tag a
+  // fast-reject (BUSY) or shed (DEADLINE_EXCEEDED) reply without inventing a
+  // payload convention; CHANNEL serializes it into its 16-bit error field.
+  uint8_t wire_error() const { return wire_error_; }
+  void set_wire_error(uint8_t e) { wire_error_ = e; }
+
  private:
   friend class TraceSink;
 
@@ -226,6 +240,8 @@ class Message {
   size_t length_ = 0;  // arena_len_ + sum(chunk.len)
   // Mutable so a sink can tag a message observed through a const reference.
   mutable uint64_t trace_id_ = 0;
+  SimTime deadline_ = 0;    // absolute sim-clock call deadline (0 = none)
+  uint8_t wire_error_ = 0;  // StatusCode carried in the transport error field
 };
 
 }  // namespace xk

@@ -211,6 +211,16 @@ class Protocol {
   // Default: ignore.
   virtual void SessionError(Session& lls, Status error);
 
+  // Like SessionError, but carries the failing request message when the lower
+  // layer still holds it, so multiplexing layers (SELECT, ClusterClient) can
+  // identify WHICH call failed instead of guessing. Overload-control rejects
+  // (BUSY, DEADLINE_EXCEEDED) arrive out of order relative to issue, so
+  // identity matters there. Default: degrade to SessionError.
+  virtual void SessionCallError(Session& lls, Status error, const Message* request) {
+    (void)request;
+    SessionError(lls, error);
+  }
+
   // --- control ----------------------------------------------------------------
 
   Status Control(ControlOp op, ControlArgs& args);

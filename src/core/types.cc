@@ -26,6 +26,12 @@ const char* StatusCodeName(StatusCode code) {
       return "REJECTED";
     case StatusCode::kUnsupported:
       return "UNSUPPORTED";
+    case StatusCode::kBusy:
+      return "BUSY";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -56,6 +56,9 @@ enum class StatusCode : uint8_t {
   kTooBig,          // message exceeds what the protocol can carry
   kRejected,        // peer refused (e.g., authentication, boot-id mismatch)
   kUnsupported,     // operation or control opcode not implemented
+  kBusy,            // server admission control fast-rejected the request
+  kDeadlineExceeded,   // call deadline passed (client gave up or server shed)
+  kResourceExhausted,  // client-side retry budget drained
 };
 
 // Lightweight status value; converts to bool for "is ok" checks.

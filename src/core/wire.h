@@ -35,6 +35,11 @@ class WireWriter {
     PutBytes(b, 4);
   }
 
+  void PutU64(uint64_t v) {
+    PutU32(static_cast<uint32_t>(v >> 32));
+    PutU32(static_cast<uint32_t>(v));
+  }
+
   void PutIpAddr(IpAddr a) { PutU32(a.value()); }
 
   void PutEthAddr(const EthAddr& a) { PutBytes(a.bytes().data(), 6); }
@@ -89,6 +94,11 @@ class WireReader {
     uint8_t b[4] = {};
     GetBytes(b, 4);
     return (uint32_t{b[0]} << 24) | (uint32_t{b[1]} << 16) | (uint32_t{b[2]} << 8) | uint32_t{b[3]};
+  }
+
+  uint64_t GetU64() {
+    const uint64_t hi = GetU32();
+    return (hi << 32) | GetU32();
   }
 
   IpAddr GetIpAddr() { return IpAddr(GetU32()); }

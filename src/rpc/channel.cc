@@ -10,6 +10,14 @@ constexpr uint16_t kFlagRequest = 0x1;
 constexpr uint16_t kFlagReply = 0x2;
 constexpr uint16_t kFlagAck = 0x4;        // explicit "still working on it"
 constexpr uint16_t kFlagPleaseAck = 0x8;  // retransmitted request asks for one
+constexpr uint16_t kFlagDeadline = 0x10;  // header carries an 8-byte absolute
+                                          // deadline extension after boot_id
+
+// Size of the optional deadline extension (absolute sim-clock ns, u64).
+constexpr size_t kDeadlineExtSize = 8;
+
+// One whole retransmission token, in parts-per-million.
+constexpr uint64_t kTokenPpm = 1000000;
 
 // Adaptive-RTO bounds (consulted only with kSetAdaptiveTimeout on).
 constexpr SimTime kRtoFloor = Msec(10);
@@ -40,6 +48,17 @@ bool ChannelProtocol::EvictSession(Session& s) {
   }
   active_.Unbind(Key{cs.peer_, cs.channel_, cs.proto_});
   return true;
+}
+
+void ChannelProtocol::RefillBudget() {
+  if (retry_ratio_ppm_ == 0) {
+    return;
+  }
+  retry_tokens_ppm_ += retry_ratio_ppm_;
+  const uint64_t cap = retry_burst_ * kTokenPpm;
+  if (retry_tokens_ppm_ > cap) {
+    retry_tokens_ppm_ = cap;
+  }
 }
 
 SimTime ChannelProtocol::EvictQuarantine() const {
@@ -124,6 +143,15 @@ Status ChannelProtocol::DoDemux(Session* lls, Message& msg) {
   const uint32_t seq = r.GetU32();
   const uint16_t error = r.GetU16();
   const uint32_t boot_id = r.GetU32();
+  if (flags & kFlagDeadline) {
+    uint8_t ext[kDeadlineExtSize];
+    if (!msg.PopHeader(ext)) {
+      return ErrStatus(StatusCode::kInvalidArgument);
+    }
+    kernel().ChargeHdrLoad(kDeadlineExtSize);
+    WireReader er(ext);
+    msg.set_deadline(static_cast<SimTime>(er.GetU64()));
+  }
 
   // The peer's address comes from the delivering session, not the header
   // (CHANNEL deliberately carries no host addresses -- FRAGMENT or IP below
@@ -182,6 +210,14 @@ Status ChannelProtocol::DoControl(ControlOp op, ControlArgs& args) {
     case ControlOp::kSetAdaptiveTimeout:
       adaptive_timeout_ = args.u64 != 0;
       return OkStatus();
+    case ControlOp::kSetRetryBudget:
+      retry_burst_ = args.u64 >> 32;
+      retry_ratio_ppm_ = args.u64 & 0xFFFFFFFFu;
+      retry_tokens_ppm_ = retry_burst_ * kTokenPpm;  // bucket starts full
+      return OkStatus();
+    case ControlOp::kGetRetryBudgetTokens:
+      args.u64 = retry_tokens_ppm_;
+      return OkStatus();
     case ControlOp::kGetMaxSendSize:
       // CHANNEL adds a header but does not fragment; it depends on the layer
       // below to carry (or split) what its own clients push.
@@ -207,7 +243,13 @@ ChannelSession::ChannelSession(ChannelProtocol& owner, Protocol* hlp, IpAddr pee
 
 void ChannelSession::Send(uint16_t flags, uint32_t seq, uint16_t error,
                           const Message& payload) {
-  uint8_t raw[ChannelProtocol::kHeaderSize];
+  uint8_t raw[ChannelProtocol::kHeaderSize + kDeadlineExtSize];
+  // Requests with a deadline carry it on the wire so the server can shed
+  // expired work; the extension costs nothing when deadlines are off.
+  const bool with_deadline = (flags & kFlagRequest) != 0 && payload.deadline() != 0;
+  if (with_deadline) {
+    flags |= kFlagDeadline;
+  }
   WireWriter w(raw);
   w.PutU16(flags);
   w.PutU16(channel_);
@@ -215,9 +257,12 @@ void ChannelSession::Send(uint16_t flags, uint32_t seq, uint16_t error,
   w.PutU32(seq);
   w.PutU16(error);
   w.PutU32(kernel().boot_id());
+  if (with_deadline) {
+    w.PutU64(static_cast<uint64_t>(payload.deadline()));
+  }
   Message pkt = payload;
-  kernel().ChargeHdrStore(ChannelProtocol::kHeaderSize);
-  pkt.PushHeader(raw);
+  kernel().ChargeHdrStore(w.pos());
+  pkt.PushHeader(std::span(raw, w.pos()));
   (void)lower_->Push(pkt);
 }
 
@@ -259,8 +304,35 @@ void ChannelSession::ArmTimer() {
   } else {
     rto = TimeoutFor(pending_->request);
   }
-  pending_->timer =
-      kernel().SetTimer(rto * (pending_->acked ? 4 : 1), [this]() { OnTimeout(); });
+  SimTime delay = rto * (pending_->acked ? 4 : 1);
+  if (pending_->deadline != 0) {
+    // Never sleep past the deadline: the timer fires exactly at it so the
+    // giveup happens the moment the call can no longer succeed.
+    const SimTime until = pending_->deadline - kernel().now();
+    if (until < delay) {
+      delay = until > 0 ? until : 0;
+    }
+  }
+  pending_->timer = kernel().SetTimer(delay, [this]() { OnTimeout(); });
+}
+
+void ChannelSession::FailPending(StatusCode code) {
+  ++chan_.stats_.call_failures;
+  if (TraceSink* ts = kernel().trace_sink()) {
+    const TraceOp op = code == StatusCode::kResourceExhausted ? TraceOp::kBudgetExhausted
+                                                              : TraceOp::kGiveUp;
+    ts->RecordEvent(kernel(), op, chan_.name(), kernel().now(), 0, &pending_->request, this,
+                    static_cast<uint64_t>(pending_->retries), code);
+  }
+  Message req = std::move(pending_->request);
+  kernel().CancelTimer(pending_->timer);
+  pending_.reset();
+  // A sweep may have parked this session while the call pinned it; relink
+  // so the now-idle channel ages out normally.
+  NoteActivity();
+  if (hlp() != nullptr) {
+    hlp()->SessionCallError(*this, ErrStatus(code), &req);
+  }
 }
 
 void ChannelSession::OnTimeout() {
@@ -268,21 +340,26 @@ void ChannelSession::OnTimeout() {
     return;
   }
   ++chan_.stats_.timeouts;
-  if (pending_->retries >= chan_.retry_limit_) {
-    ++chan_.stats_.call_failures;
-    if (TraceSink* ts = kernel().trace_sink()) {
-      ts->RecordEvent(kernel(), TraceOp::kGiveUp, chan_.name(), kernel().now(), 0,
-                      &pending_->request, this,
-                      static_cast<uint64_t>(pending_->retries), StatusCode::kTimeout);
-    }
-    pending_.reset();
-    // A sweep may have parked this session while the call pinned it; relink
-    // so the now-idle channel ages out normally.
-    NoteActivity();
-    if (hlp() != nullptr) {
-      hlp()->SessionError(*this, ErrStatus(StatusCode::kTimeout));
-    }
+  if (pending_->deadline != 0 && kernel().now() >= pending_->deadline) {
+    // The deadline passed: retransmitting buys nothing the caller can use.
+    ++chan_.stats_.deadline_giveups;
+    FailPending(StatusCode::kDeadlineExceeded);
     return;
+  }
+  if (pending_->retries >= chan_.retry_limit_) {
+    FailPending(StatusCode::kTimeout);
+    return;
+  }
+  if (chan_.retry_ratio_ppm_ > 0) {
+    // Retry budget: a retransmission costs one whole token. An empty bucket
+    // means the stack as a whole is retrying more than its configured ratio
+    // -- give this call up instead of joining the storm.
+    if (chan_.retry_tokens_ppm_ < kTokenPpm) {
+      ++chan_.stats_.budget_giveups;
+      FailPending(StatusCode::kResourceExhausted);
+      return;
+    }
+    chan_.retry_tokens_ppm_ -= kTokenPpm;
   }
   ++pending_->retries;
   pending_->retransmitted = true;
@@ -303,21 +380,49 @@ void ChannelSession::OnTimeout() {
 Status ChannelSession::DoPush(Message& msg) {
   if (in_progress_) {
     // A request from the peer is executing here: this push is its reply.
-    in_progress_ = false;
+    // Executions complete in start order, so the oldest queued seq names the
+    // request this reply answers. If that is no longer the current request,
+    // the client abandoned it (deadline giveup) and reused the channel -- the
+    // reply answers dead work and must be dropped, NOT sent as the current
+    // request's answer (the payload would belong to the wrong call).
+    uint32_t exec_seq = recv_seq_;
+    if (!exec_seqs_.empty()) {
+      exec_seq = exec_seqs_.front();
+      exec_seqs_.erase(exec_seqs_.begin());
+    }
+    in_progress_ = !exec_seqs_.empty();
+    if (exec_seq != recv_seq_) {
+      ++chan_.stats_.abandoned_replies;
+      return OkStatus();
+    }
+    // A nonzero wire_error (admission fast-reject, shed) rides the header's
+    // error field so the client fails the call without parsing a payload.
     saved_reply_ = msg;  // kept until implicitly acked by the next request
-    Send(kFlagReply, recv_seq_, 0, msg);
+    Send(kFlagReply, recv_seq_, msg.wire_error(), msg);
     return OkStatus();
   }
   // Client call.
   if (pending_.has_value()) {
     return ErrStatus(StatusCode::kError);  // one outstanding call per channel
   }
+  if (msg.deadline() != 0 && kernel().now() >= msg.deadline()) {
+    // Already expired (e.g. queued behind a full channel pool): don't waste
+    // a wire exchange on an answer nobody will wait for.
+    ++chan_.stats_.deadline_giveups;
+    if (TraceSink* ts = kernel().trace_sink()) {
+      ts->RecordEvent(kernel(), TraceOp::kGiveUp, chan_.name(), kernel().now(), 0, &msg, this, 0,
+                      StatusCode::kDeadlineExceeded);
+    }
+    return ErrStatus(StatusCode::kDeadlineExceeded);
+  }
   const uint32_t seq = ++send_seq_;
   ++chan_.stats_.calls_sent;
+  chan_.RefillBudget();
   pending_.emplace();
   pending_->request = msg;
   pending_->seq = seq;
   pending_->sent_at = kernel().now();
+  pending_->deadline = msg.deadline();
   Send(kFlagRequest, seq, 0, msg);
   ArmTimer();
   kernel().ChargeSemOp();  // the calling shepherd blocks awaiting the reply
@@ -334,16 +439,18 @@ Status ChannelSession::HandleRequest(uint32_t seq, uint32_t boot_id, Message& pa
     ++chan_.stats_.boot_resets;
     recv_seq_ = 0;
     in_progress_ = false;
+    exec_seqs_.clear();
     saved_reply_.reset();
   }
   client_boot_id_ = boot_id;
 
   if (seq == recv_seq_) {
     // Duplicate of the current request: at-most-once -- never re-execute.
+    // A saved error reply (shed/reject) resends with its original error code.
     ++chan_.stats_.duplicates_suppressed;
     if (saved_reply_.has_value()) {
       ++chan_.stats_.replies_resent;
-      Send(kFlagReply, recv_seq_, 0, *saved_reply_);
+      Send(kFlagReply, recv_seq_, saved_reply_->wire_error(), *saved_reply_);
     } else if (in_progress_) {
       ++chan_.stats_.explicit_acks_sent;
       Send(kFlagAck, recv_seq_, 0, Message());
@@ -357,7 +464,24 @@ Status ChannelSession::HandleRequest(uint32_t seq, uint32_t boot_id, Message& pa
   // New request: implicitly acknowledges the previous reply.
   saved_reply_.reset();
   recv_seq_ = seq;
+  if (payload.deadline() != 0 && kernel().now() >= payload.deadline()) {
+    // Deadline-aware shedding: the request expired in flight or in queue.
+    // Answer with a cheap error reply instead of charging execution -- the
+    // client has already given up (or is about to), so running the handler
+    // would only push the server deeper into overload.
+    ++chan_.stats_.deadline_sheds;
+    if (TraceSink* ts = kernel().trace_sink()) {
+      ts->RecordEvent(kernel(), TraceOp::kShed, chan_.name(), kernel().now(), 0, &payload, this,
+                      0, StatusCode::kDeadlineExceeded);
+    }
+    Message err_reply;
+    err_reply.set_wire_error(static_cast<uint8_t>(StatusCode::kDeadlineExceeded));
+    saved_reply_ = err_reply;
+    Send(kFlagReply, recv_seq_, err_reply.wire_error(), err_reply);
+    return OkStatus();
+  }
   in_progress_ = true;
+  exec_seqs_.push_back(recv_seq_);
   ++chan_.stats_.requests_executed;
   // Dispatch to the server process.
   kernel().ChargeSemOp();
@@ -379,7 +503,26 @@ Status ChannelSession::HandleReply(uint16_t flags, uint32_t seq, uint16_t error,
     ArmTimer();
     return OkStatus();
   }
-  (void)error;
+  if (error != 0) {
+    // Error reply: the server refused or shed the request (BUSY from
+    // admission control, DEADLINE_EXCEEDED from shedding). Complete the call
+    // with that status -- much cheaper for everyone than burning the full
+    // retransmission ladder. Error replies return immediately regardless of
+    // service time, so they never feed the RTT estimator.
+    kernel().CancelTimer(pending_->timer);
+    Message req = std::move(pending_->request);
+    pending_.reset();
+    ++chan_.stats_.reject_replies;
+    ++chan_.stats_.call_failures;
+    NoteActivity();
+    // Wake the blocked calling shepherd to observe the failure.
+    kernel().ChargeSemOp();
+    kernel().ChargeProcessSwitch();
+    if (hlp() != nullptr) {
+      hlp()->SessionCallError(*this, ErrStatus(static_cast<StatusCode>(error)), &req);
+    }
+    return OkStatus();
+  }
   // RTT estimation, Karn's rule: retransmitted calls are ambiguous (the reply
   // may answer either copy), so only clean exchanges update the estimator.
   if (!pending_->retransmitted) {

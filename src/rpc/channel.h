@@ -39,6 +39,7 @@
 #include <map>
 #include <optional>
 #include <tuple>
+#include <vector>
 
 #include "src/core/kernel.h"
 #include "src/core/map.h"
@@ -87,6 +88,7 @@ class ChannelSession final : public Session {
     bool acked = false;          // server sent an explicit "I'm working on it"
     bool retransmitted = false;  // Karn's rule: never sample a retransmitted call
     SimTime sent_at = 0;
+    SimTime deadline = 0;  // absolute; 0 = none. Bounds retransmission.
     EventHandle timer;
   };
 
@@ -95,6 +97,10 @@ class ChannelSession final : public Session {
   SimTime AdaptiveRto() const;
   void ArmTimer();
   void OnTimeout();
+  // Fails the pending call with `code`, tracing the giveup and delivering
+  // SessionCallError (with the request, so multiplexed callers can identify
+  // the victim) to the high-level protocol.
+  void FailPending(StatusCode code);
   Status HandleRequest(uint32_t seq, uint32_t boot_id, Message& payload, Session* lls);
   Status HandleReply(uint16_t flags, uint32_t seq, uint16_t error, Message& payload);
 
@@ -120,6 +126,14 @@ class ChannelSession final : public Session {
   // --- server half ------------------------------------------------------------
   uint32_t recv_seq_ = 0;
   bool in_progress_ = false;
+  // Seqs of requests currently executing above, oldest first. A client that
+  // gives up on a call (deadline) releases its channel and may reuse it for a
+  // new request while the old one is still executing here; replies complete
+  // in start order (one deterministic kernel, uniform service delay), so a
+  // popped front older than recv_seq_ identifies the abandoned execution's
+  // reply, which must be dropped rather than sent as the current request's
+  // answer.
+  std::vector<uint32_t> exec_seqs_;
   std::optional<Message> saved_reply_;
   uint32_t client_boot_id_ = 0;
 };
@@ -154,6 +168,13 @@ class ChannelProtocol final : public Protocol {
     uint64_t boot_resets = 0;
     uint64_t stale_drops = 0;  // old-sequence packets discarded
     uint64_t timeouts = 0;     // retransmit timer expirations
+    // Overload control (all zero unless deadlines/budgets are configured).
+    uint64_t deadline_giveups = 0;  // client stopped calling/retrying: deadline
+    uint64_t deadline_sheds = 0;    // server shed an already-expired request
+    uint64_t budget_giveups = 0;    // retry budget empty at retransmit time
+    uint64_t reject_replies = 0;    // error replies completing a call (BUSY etc.)
+    uint64_t abandoned_replies = 0;  // server replies to requests the client
+                                     // had already abandoned (dropped)
   };
   const Stats& stats() const { return stats_; }
 
@@ -178,6 +199,11 @@ class ChannelProtocol final : public Protocol {
     emit("boot_resets", stats_.boot_resets);
     emit("stale_drops", stats_.stale_drops);
     emit("timeouts", stats_.timeouts);
+    emit("deadline_giveups", stats_.deadline_giveups);
+    emit("deadline_sheds", stats_.deadline_sheds);
+    emit("budget_giveups", stats_.budget_giveups);
+    emit("reject_replies", stats_.reject_replies);
+    emit("abandoned_replies", stats_.abandoned_replies);
   }
 
   void ExportGauges(const CounterEmit& emit) const override {
@@ -198,12 +224,24 @@ class ChannelProtocol final : public Protocol {
   friend class ChannelSession;
   using Key = std::tuple<IpAddr, uint16_t, RelProtoNum>;  // (peer, channel, proto)
 
+  // Adds one call's worth of refill to the retry budget (no-op when the
+  // budget is disabled). Called once per original request sent.
+  void RefillBudget();
+
   SlabPool<ChannelSession> pool_;
   DemuxMap<Key> active_;
   DemuxMap<RelProtoNum, Protocol*> passive_;
   SimTime base_timeout_ = Msec(50);
   int retry_limit_ = 5;
   bool adaptive_timeout_ = false;
+  // Retry budget (kSetRetryBudget): a token bucket shared by every channel of
+  // this stack. Each original call deposits retry_ratio_ppm_ tokens (capped at
+  // retry_burst_ calls' worth); each retransmission spends one call's worth
+  // (1e6 ppm). ratio 0 = disabled, the default -- retransmission behavior is
+  // then exactly the paper's.
+  uint64_t retry_ratio_ppm_ = 0;
+  uint64_t retry_burst_ = 0;
+  uint64_t retry_tokens_ppm_ = 0;
   Stats stats_;
 };
 

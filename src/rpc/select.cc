@@ -1,6 +1,7 @@
 #include "src/rpc/select.h"
 
 #include "src/core/wire.h"
+#include "src/trace/trace.h"
 
 namespace xk {
 
@@ -184,8 +185,14 @@ Status SelectProtocol::DoDemux(Session* lls, Message& msg) {
 }
 
 void SelectProtocol::SessionError(Session& lls, Status error) {
-  // A channel call failed (e.g., retransmissions exhausted). Release the
-  // channel and propagate to whoever was calling through it.
+  SessionCallError(lls, error, nullptr);
+}
+
+void SelectProtocol::SessionCallError(Session& lls, Status error, const Message* request) {
+  // A channel call failed (retransmissions exhausted, deadline, reject).
+  // Release the channel and propagate to whoever was calling through it,
+  // forwarding the request -- minus our header -- so multiplexed callers
+  // above can tell WHICH call died.
   SessionRef caller = calls_.Take(&lls);
   if (caller == nullptr) {
     return;
@@ -202,7 +209,13 @@ void SelectProtocol::SessionError(Session& lls, Status error) {
   }
   sess->CallFinished();
   if (sess->hlp() != nullptr) {
-    sess->hlp()->SessionError(*sess, error);
+    if (request != nullptr && request->length() >= kHeaderSize) {
+      Message req = *request;
+      (void)req.Discard(kHeaderSize);
+      sess->hlp()->SessionCallError(*sess, error, &req);
+    } else {
+      sess->hlp()->SessionCallError(*sess, error, nullptr);
+    }
   }
 }
 
@@ -241,6 +254,21 @@ Status SelectSession::DoPush(Message& msg) {
   }
   // Blocks (queues the continuation) if every channel is busy.
   pool->available->P([this, pool, msg]() mutable {
+    if (msg.deadline() != 0 && kernel().now() >= msg.deadline()) {
+      // The deadline lapsed while this call queued for a free channel: shed
+      // it here rather than spending a wire exchange on a dead call.
+      pool->available->V();
+      ++sel_.stats_.expired_in_queue;
+      if (TraceSink* ts = kernel().trace_sink()) {
+        ts->RecordEvent(kernel(), TraceOp::kGiveUp, sel_.name(), kernel().now(), 0, &msg, this, 0,
+                        StatusCode::kDeadlineExceeded);
+      }
+      CallFinished();
+      if (hlp() != nullptr) {
+        hlp()->SessionCallError(*this, ErrStatus(StatusCode::kDeadlineExceeded), &msg);
+      }
+      return;
+    }
     size_t index = 0;
     while (index < pool->busy.size() && pool->busy[index]) {
       ++index;
@@ -256,7 +284,14 @@ Status SelectSession::DoPush(Message& msg) {
     w.PutU8(SelectProtocol::kStatusOk);
     kernel().ChargeHdrStore(SelectProtocol::kHeaderSize);
     msg.PushHeader(raw);
-    (void)channel->Push(msg);
+    Status pushed = channel->Push(msg);
+    if (!pushed.ok()) {
+      // Synchronous failure (e.g. the deadline lapsed while the header charge
+      // ran): unwind through the normal call-error path so the channel is
+      // released and the caller learns which call died, instead of leaking a
+      // busy channel and a silent call.
+      sel_.SessionCallError(*channel, pushed, &msg);
+    }
   });
   return OkStatus();
 }

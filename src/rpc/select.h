@@ -126,6 +126,7 @@ class SelectProtocol : public Protocol {
                  RelProtoNum rel_proto = kRelProtoSelect);
 
   void SessionError(Session& lls, Status error) override;
+  void SessionCallError(Session& lls, Status error, const Message* request) override;
 
   struct Stats {
     uint64_t calls = 0;
@@ -133,6 +134,7 @@ class SelectProtocol : public Protocol {
     uint64_t served = 0;
     uint64_t no_such_command = 0;
     uint64_t blocked_on_channel = 0;  // calls that waited for a free channel
+    uint64_t expired_in_queue = 0;    // shed while waiting for a free channel
   };
   const Stats& stats() const { return stats_; }
 
@@ -146,6 +148,7 @@ class SelectProtocol : public Protocol {
     emit("served", stats_.served);
     emit("no_such_command", stats_.no_such_command);
     emit("blocked_on_channel", stats_.blocked_on_channel);
+    emit("expired_in_queue", stats_.expired_in_queue);
   }
 
   void ExportGauges(const CounterEmit& emit) const override {

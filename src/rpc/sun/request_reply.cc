@@ -156,6 +156,19 @@ void RequestReplySession::OnTimeout(uint32_t xid) {
   }
   PendingCall& call = it->second;
   ++rr_.stats_.timeouts;
+  // Deadline check before the retry check: retransmitting a call nobody is
+  // waiting for anymore only adds load. Sun RPC has no deadline wire format,
+  // so this is purely the client giving up (the server still runs zero-or-
+  // more semantics on whatever already reached it).
+  if (call.deadline != 0 && kernel().now() >= call.deadline) {
+    ++rr_.stats_.deadline_giveups;
+    ++rr_.stats_.call_failures;
+    pending_.erase(it);
+    if (hlp() != nullptr) {
+      hlp()->SessionError(*this, ErrStatus(StatusCode::kDeadlineExceeded));
+    }
+    return;
+  }
   if (call.retries >= rr_.retry_limit_) {
     ++rr_.stats_.call_failures;
     pending_.erase(it);
@@ -184,6 +197,7 @@ Status RequestReplySession::DoPush(Message& msg) {
   ++rr_.stats_.calls_sent;
   PendingCall call;
   call.request = msg;
+  call.deadline = msg.deadline();
   pending_.emplace(xid, std::move(call));
   Send(kTypeCall, xid, msg);
   ArmTimer(xid);

@@ -41,6 +41,7 @@ class RequestReplyProtocol : public Protocol {
     uint64_t call_failures = 0;
     uint64_t stale_replies = 0;
     uint64_t timeouts = 0;  // retransmit timer expirations
+    uint64_t deadline_giveups = 0;  // calls abandoned past their deadline
   };
   const Stats& stats() const { return stats_; }
 
@@ -53,6 +54,7 @@ class RequestReplyProtocol : public Protocol {
     emit("call_failures", stats_.call_failures);
     emit("stale_replies", stats_.stale_replies);
     emit("timeouts", stats_.timeouts);
+    emit("deadline_giveups", stats_.deadline_giveups);
   }
 
  protected:
@@ -93,6 +95,7 @@ class RequestReplySession : public Session {
   struct PendingCall {
     Message request;
     int retries = 0;
+    SimTime deadline = 0;  // absolute; 0 = none
     EventHandle timer;
   };
 

@@ -300,10 +300,16 @@ inline Direction DirectionFor(std::string_view path) {
   }
   // "offered"/"issued" are workload inputs, "calls" are per-replica routing
   // counts, and "overhead" measures instrumentation cost: drift in either
-  // direction is a real change, not an improvement.
+  // direction is a real change, not an improvement. Overload-control verdicts
+  // (sheds, rejects, budget giveups, hedges, breaker trips, admitted volume)
+  // are policy decisions, not performance: fewer sheds can mean the policy
+  // broke just as easily as the load eased, so they compare two-sided too.
+  // ("admitted_success_ppm" is classified above: its "success" leaf wins.)
   if (contains("util") || contains("frames") || contains("bytes") || contains("count") ||
       contains("depth") || contains("busy") || contains("offered") || contains("issued") ||
-      contains("calls") || contains("overhead")) {
+      contains("calls") || contains("overhead") || contains("shed") || contains("reject") ||
+      contains("budget") || contains("hedge") || contains("breaker") || contains("admitted") ||
+      contains("giveup")) {
     return Direction::kTwoSided;
   }
   return Direction::kLowerBetter;  // *_ms, *_ns, failed, drops, ...

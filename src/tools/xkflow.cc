@@ -10,6 +10,8 @@
 //   xkflow TRACE.jsonl                     per-call table + aggregate summary
 //   xkflow TRACE.jsonl --call=ID           one call's waterfall, hop by hop
 //   xkflow TRACE.jsonl --slowest=N         the N worst calls, with breakdowns
+//   xkflow TRACE.jsonl --rejected          only overload-terminated calls
+//                                          (shed / rejected / budget-exhausted)
 //   xkflow TRACE.jsonl --critical-path     aggregate attribution [--json]
 //   xkflow TRACE.jsonl --folded            flame-graph folded stacks to stdout
 //   xkflow TRACE.jsonl --flow              flow JSONL to stdout
@@ -44,13 +46,20 @@ using xk::causal::ToFolded;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: xkflow TRACE.jsonl [--call=ID] [--slowest=N] [--critical-path]\n"
-               "              [--folded] [--flow] [--json]\n");
+               "usage: xkflow TRACE.jsonl [--call=ID] [--slowest=N] [--rejected]\n"
+               "              [--critical-path] [--folded] [--flow] [--json]\n");
   return 2;
 }
 
 double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
 double Us(int64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+// A call the overload-control layer turned away (or that died giving up):
+// either a shed/reject/budget event bound to it, or an overload status.
+bool OverloadTerminated(const CallFlow& c) {
+  return !c.terminal.empty() || c.status == "DEADLINE_EXCEEDED" || c.status == "BUSY" ||
+         c.status == "RESOURCE_EXHAUSTED";
+}
 
 void PrintCallRow(const CallFlow& c) {
   std::printf("%6" PRIu64 " %-10s %-10s %-12s %4d %9.3f %4zu %3d %-12s\n", c.id,
@@ -83,6 +92,12 @@ void PrintWaterfall(const CallFlow& c) {
               c.status.empty() ? "?" : c.status.c_str(), c.replica, Ms(c.rtt()));
   std::printf("  issued %.6f ms, done %.6f ms, %zu message id(s), %zu hop(s), %d reroute(s)\n",
               Ms(c.issue_t), Ms(c.done_t), c.msgs.size(), c.hops.size(), c.reroutes);
+  if (!c.terminal.empty()) {
+    std::printf("  overload verdict: %s at +%.3f us%s\n", c.terminal.c_str(),
+                Us(c.terminal_t - c.issue_t), c.hedged ? " (hedged)" : "");
+  } else if (c.hedged) {
+    std::printf("  hedged: yes\n");
+  }
   if (c.attempts.size() > 1) {
     std::printf("  attempts:\n");
     for (const Attempt& a : c.attempts) {
@@ -140,6 +155,11 @@ void PrintSummary(const FlowAnalysis& fa) {
                 fa.reroutes, fa.replica_downs, fa.replica_readmits, fa.crashes, fa.restarts,
                 fa.evictions);
   }
+  if (fa.sheds + fa.rejects + fa.budget_exhausted + fa.hedges + fa.hedge_cancels > 0) {
+    std::printf("overload: %" PRIu64 " sheds, %" PRIu64 " rejects, %" PRIu64
+                " budget_exhausted, %" PRIu64 " hedges (%" PRIu64 " cancelled)\n",
+                fa.sheds, fa.rejects, fa.budget_exhausted, fa.hedges, fa.hedge_cancels);
+  }
   if (fa.forwards + fa.ttl_drops + fa.no_route_drops > 0) {
     std::printf("routing: %" PRIu64 " forwards, %" PRIu64 " ttl_drops, %" PRIu64
                 " no_route_drops\n",
@@ -169,9 +189,12 @@ void PrintCriticalPathJson(const FlowAnalysis& fa) {
   }
   std::printf("{\"calls\":%zu,\"completed\":%" PRIu64 ",\"failed\":%" PRIu64
               ",\"mean_rtt_ns\":%.3f,\"mean_rtt_ms\":%.6f,\"total_attributed_ns\":%" PRId64
-              ",\"retransmits\":%" PRIu64,
+              ",\"retransmits\":%" PRIu64 ",\"sheds\":%" PRIu64 ",\"rejects\":%" PRIu64
+              ",\"budget_exhausted\":%" PRIu64 ",\"hedges\":%" PRIu64
+              ",\"hedge_cancels\":%" PRIu64,
               fa.calls.size(), fa.completed, fa.failed, fa.MeanRttNs(), fa.MeanRttNs() / 1e6,
-              total, fa.retransmits);
+              total, fa.retransmits, fa.sheds, fa.rejects, fa.budget_exhausted, fa.hedges,
+              fa.hedge_cancels);
   std::printf(",\"categories\":{");
   for (int k = 0; k < kNumCategories; ++k) {
     std::printf("%s\"%s\":%" PRId64, k == 0 ? "" : ",", CategoryName(static_cast<Category>(k)),
@@ -202,6 +225,7 @@ int main(int argc, char** argv) {
   bool folded = false;
   bool flow = false;
   bool json = false;
+  bool rejected = false;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--call=", 7) == 0) {
@@ -217,6 +241,8 @@ int main(int argc, char** argv) {
       flow = true;
     } else if (std::strcmp(a, "--json") == 0) {
       json = true;
+    } else if (std::strcmp(a, "--rejected") == 0) {
+      rejected = true;
     } else if (a[0] == '-') {
       return Usage();
     } else if (path.empty()) {
@@ -268,6 +294,20 @@ int main(int argc, char** argv) {
       PrintWaterfall(*c);
       std::printf("\n");
     }
+    return 0;
+  }
+  if (rejected) {
+    PrintCallTableHeader();
+    size_t n = 0;
+    for (const CallFlow& c : fa.calls) {
+      if (OverloadTerminated(c)) {
+        PrintCallRow(c);
+        ++n;
+      }
+    }
+    std::printf("\n%zu overload-terminated call(s) of %zu (%" PRIu64 " sheds, %" PRIu64
+                " rejects, %" PRIu64 " budget_exhausted)\n",
+                n, fa.calls.size(), fa.sheds, fa.rejects, fa.budget_exhausted);
     return 0;
   }
   if (critical) {

@@ -203,6 +203,29 @@ FlowAnalysis Stitch(const tracetool::TraceFile& tf) {
           break;
         }
       }
+    } else if (e.op == "shed" || e.op == "reject" || e.op == "budget_exhausted") {
+      // Overload verdicts are emitted mid-stack (server anchor, CHANNEL,
+      // VPOOL) where the oracle id is unknown, so they join via the request
+      // message id. The LAST verdict wins: an early attempt's shed that a
+      // retransmission recovered from is not the call's fate.
+      if (e.op == "shed") {
+        ++fa.sheds;
+      } else if (e.op == "reject") {
+        ++fa.rejects;
+      } else {
+        ++fa.budget_exhausted;
+      }
+      if (CallFlow* c = call_of_msg(e.msg)) {
+        c->terminal_t = e.t;
+        c->terminal = e.op;
+      }
+    } else if (e.op == "hedge") {
+      ++fa.hedges;
+      CallFlow& c = call_for(e.call);
+      c.hedged = true;
+      bind_msg(e.msg, e.call);
+    } else if (e.op == "hedge_cancel") {
+      ++fa.hedge_cancels;
     }
   }
 
@@ -373,6 +396,12 @@ FlowAnalysis Stitch(const tracetool::TraceFile& tf) {
         if (next_att != nullptr && next_att->t <= b) {
           sl.cat = kBackoff;
           sl.label = next_att->cause;
+        } else if (!c.terminal.empty() && c.status != "OK") {
+          // The call ended on an overload verdict: its idle tail (waiting out
+          // the deadline, sitting behind a full queue) is that verdict's cost,
+          // not anonymous scheduling wait.
+          sl.cat = kSched;
+          sl.label = c.terminal;
         } else {
           sl.cat = kSched;
           sl.label = "wait";
@@ -428,6 +457,10 @@ std::string ToFlowJsonl(const FlowAnalysis& fa) {
     AppendNum(out, "reroutes", c.reroutes);
     AppendNum(out, "replica", c.replica);
     AppendNum(out, "hops", static_cast<int64_t>(c.hops.size()));
+    AppendNum(out, "hedged", c.hedged ? 1 : 0);
+    if (!c.terminal.empty()) {
+      AppendStr(out, "terminal", c.terminal);
+    }
     if (c.attempts.size() > 1) {
       AppendStr(out, "last_cause", c.attempts.back().cause);
     }
@@ -450,6 +483,11 @@ std::string ToFlowJsonl(const FlowAnalysis& fa) {
   AppendNum(out, "no_route_drops", static_cast<int64_t>(fa.no_route_drops));
   AppendNum(out, "crashes", static_cast<int64_t>(fa.crashes));
   AppendNum(out, "restarts", static_cast<int64_t>(fa.restarts));
+  AppendNum(out, "sheds", static_cast<int64_t>(fa.sheds));
+  AppendNum(out, "rejects", static_cast<int64_t>(fa.rejects));
+  AppendNum(out, "budget_exhausted", static_cast<int64_t>(fa.budget_exhausted));
+  AppendNum(out, "hedges", static_cast<int64_t>(fa.hedges));
+  AppendNum(out, "hedge_cancels", static_cast<int64_t>(fa.hedge_cancels));
   for (int k = 0; k < kNumCategories; ++k) {
     AppendNum(out, CategoryName(static_cast<Category>(k)),
               fa.total_ns[static_cast<size_t>(k)]);

@@ -98,6 +98,13 @@ struct CallFlow {
   int64_t exec_t = -1;     // last server execution time (-1 = none)
   int replica = -1;        // last VPOOL pick (-1 = none seen)
   int reroutes = 0;
+  bool hedged = false;     // a hedged second attempt was issued for this call
+  // Overload verdict: the last shed / reject / budget_exhausted event bound to
+  // this call. Failed calls carrying one get their otherwise-unattributed wait
+  // labeled with it, so the causal graph closes on a cause instead of an
+  // unbounded "sched_wait;wait".
+  int64_t terminal_t = -1;
+  std::string terminal;  // "shed" | "reject" | "budget_exhausted" | ""
   std::vector<uint64_t> msgs;  // message trace ids belonging to this call
   std::vector<Attempt> attempts;
   std::vector<Hop> hops;       // chronological
@@ -126,6 +133,13 @@ struct FlowAnalysis {
   uint64_t no_route_drops = 0;
   uint64_t crashes = 0;
   uint64_t restarts = 0;
+  // Overload-control events (server shed/reject, CHANNEL shed, VPOOL capped
+  // reject, retry-budget giveups, hedging).
+  uint64_t sheds = 0;
+  uint64_t rejects = 0;
+  uint64_t budget_exhausted = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_cancels = 0;
 
   double MeanRttNs() const;  // over settled calls; matches the bench histogram
 };

@@ -56,6 +56,16 @@ const char* TraceOpName(TraceOp op) {
       return "crash";
     case TraceOp::kRestart:
       return "restart";
+    case TraceOp::kShed:
+      return "shed";
+    case TraceOp::kReject:
+      return "reject";
+    case TraceOp::kBudgetExhausted:
+      return "budget_exhausted";
+    case TraceOp::kHedge:
+      return "hedge";
+    case TraceOp::kHedgeCancel:
+      return "hedge_cancel";
   }
   return "?";
 }

@@ -63,6 +63,12 @@ enum class TraceOp : uint8_t {
   kNoRoute,     // IP discarded a datagram with no matching route
   kCrash,       // host crashed
   kRestart,     // host restarted (detail = new boot id)
+  // --- overload control (terminal/point events) ---
+  kShed,        // server dropped an already-expired request before execution
+  kReject,      // server admission control fast-rejected a request (BUSY)
+  kBudgetExhausted,  // client retry budget empty: call given up
+  kHedge,        // client issued a hedged second attempt (detail = avoided replica)
+  kHedgeCancel,  // primary settled first: pending hedge timer cancelled
 };
 
 const char* TraceOpName(TraceOp op);

@@ -120,6 +120,46 @@ TEST(BenchDiff, ReplicaCallShareDriftIsTwoSided) {
   EXPECT_EQ(down.regressions[0].direction, Direction::kTwoSided);
 }
 
+// Overload-control verdict counters are policy outcomes, not performance:
+// drift in either direction must be flagged. One leaf name per new metric
+// the overload jobs emit.
+TEST(BenchDiff, OverloadVerdictLeavesAreTwoSided) {
+  for (const char* leaf :
+       {"shed", "rejected", "budget_exhausted", "hedges", "hedge_cancels", "capped_rejects",
+        "breaker_trips", "admitted", "busy_rejects", "deadline_sheds", "deadline_giveups",
+        "hedged_duplicate_executions"}) {
+    EXPECT_EQ(DirectionFor(std::string("datacenter.sat-overload-controlled.metrics.") + leaf),
+              Direction::kTwoSided)
+        << leaf;
+  }
+}
+
+TEST(BenchDiff, AdmittedSuccessIsHigherBetter) {
+  EXPECT_EQ(DirectionFor("datacenter.sat-overload-controlled.oracle.admitted_success_ppm"),
+            Direction::kHigherBetter);
+}
+
+std::string OverloadJson(int shed, int hedges) {
+  return R"({
+  "schema_version": 2,
+  "results": [
+    {"group": "datacenter", "name": "sat-overload-controlled",
+     "metrics": {"shed": )" + std::to_string(shed) + R"(,
+                 "hedges": )" + std::to_string(hedges) + R"(}}
+  ]
+}
+)";
+}
+
+TEST(BenchDiff, ShedAndHedgeDriftFlaggedBothWays) {
+  const Report fewer = Compare(OverloadJson(100, 40), OverloadJson(50, 40));
+  ASSERT_FALSE(fewer.regressions.empty());
+  EXPECT_EQ(fewer.regressions[0].direction, Direction::kTwoSided);
+  const Report more = Compare(OverloadJson(100, 40), OverloadJson(100, 80));
+  ASSERT_FALSE(more.regressions.empty());
+  EXPECT_EQ(more.regressions[0].direction, Direction::kTwoSided);
+}
+
 TEST(BenchDiff, SmallDriftWithinThresholdPasses) {
   const Report r = Compare(SuiteJson(2.0, 400, 9000), SuiteJson(2.02, 396, 9050));
   EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0].path);
